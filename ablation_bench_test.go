@@ -1,0 +1,128 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// ICP residual formulation, integration rate, mu/truncation width,
+// reconstruction accuracy measurement and the decision machine.
+package slamgo_test
+
+import (
+	"testing"
+
+	"slamgo/internal/core"
+	"slamgo/internal/device"
+	"slamgo/internal/icp"
+	"slamgo/internal/imgproc"
+	"slamgo/internal/kfusion"
+	"slamgo/internal/sdf"
+	"slamgo/internal/slambench"
+)
+
+// benchICPVariant measures one ICP solve of frame 1 against the model
+// reference using either residual formulation.
+func benchICPVariant(b *testing.B, pointToPoint bool) {
+	seq := sequence(b)
+	f0, _ := seq.Frame(0)
+	cfg := tunedConfig()
+	p, err := kfusion.New(cfg, seq.Intrinsics(), f0.GroundTruth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.ProcessFrame(f0.Depth); err != nil {
+		b.Fatal(err)
+	}
+	ref, ok := p.Reference()
+	if !ok {
+		b.Fatal("no reference")
+	}
+	f1, _ := seq.Frame(1)
+	work := f1.Depth
+	for r := cfg.ComputeSizeRatio; r > 1; r /= 2 {
+		work, _ = imgproc.HalfSampleDepth(work, 0.1)
+	}
+	vm, _ := imgproc.DepthToVertexMap(work, p.ComputeIntrinsics().BackProject)
+	nm, _ := imgproc.VertexToNormalMap(vm)
+	params := icp.DefaultParams()
+	params.PointToPoint = pointToPoint
+	params.ConvergenceThreshold = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := icp.Solve(ref, icp.Frame{Vertices: vm, Normals: nm}, f0.GroundTruth, params)
+		if res.Inliers == 0 {
+			b.Fatal("no inliers")
+		}
+	}
+}
+
+// BenchmarkAblation_ICP_PointToPlane measures the KinectFusion residual.
+func BenchmarkAblation_ICP_PointToPlane(b *testing.B) { benchICPVariant(b, false) }
+
+// BenchmarkAblation_ICP_PointToPoint measures the classic residual (three
+// rows per correspondence; slower per iteration and slower to converge).
+func BenchmarkAblation_ICP_PointToPoint(b *testing.B) { benchICPVariant(b, true) }
+
+// benchIntegrationRate reports the simulated XU3 FPS of a configuration
+// as the integration rate is decimated.
+func benchIntegrationRate(b *testing.B, rate int) {
+	cfg := kfusion.DefaultConfig()
+	cfg.VolumeResolution = 128
+	cfg.IntegrationRate = rate
+	sum := runOnce(b, cfg, device.NewModel(device.OdroidXU3()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sum // the measurement is the setup run; report its metrics
+	}
+	b.ReportMetric(sum.SimFPS, "simFPS")
+	b.ReportMetric(sum.ATE.Max*1000, "maxATE_mm")
+}
+
+// BenchmarkAblation_IntegrationRate1 integrates every frame.
+func BenchmarkAblation_IntegrationRate1(b *testing.B) { benchIntegrationRate(b, 1) }
+
+// BenchmarkAblation_IntegrationRate4 integrates every 4th frame.
+func BenchmarkAblation_IntegrationRate4(b *testing.B) { benchIntegrationRate(b, 4) }
+
+// BenchmarkAblation_ReconstructionError measures comparing a mesh against
+// the analytic ground-truth scene.
+func BenchmarkAblation_ReconstructionError(b *testing.B) {
+	seq := sequence(b)
+	sys := slambench.NewKFusion(tunedConfig(), seq)
+	if _, err := (&slambench.Runner{}).Run(sys, seq); err != nil {
+		b.Fatal(err)
+	}
+	mesh := sys.Pipeline().Volume().ExtractMesh()
+	scene := sdf.LivingRoom()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := slambench.ReconstructionError(mesh, scene, 20000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_MeshExtraction measures marching-tetrahedra export.
+func BenchmarkAblation_MeshExtraction(b *testing.B) {
+	seq := sequence(b)
+	sys := slambench.NewKFusion(tunedConfig(), seq)
+	if _, err := (&slambench.Runner{}).Run(sys, seq); err != nil {
+		b.Fatal(err)
+	}
+	vol := sys.Pipeline().Volume()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := vol.ExtractMesh()
+		if len(m.Triangles) == 0 {
+			b.Fatal("empty mesh")
+		}
+	}
+}
+
+// BenchmarkAblation_DecisionMachine measures training the per-device
+// configuration recommender (the paper's stated future work).
+func BenchmarkAblation_DecisionMachine(b *testing.B) {
+	scale := core.QuickScale()
+	scale.Frames = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunDecisionMachine(core.DefaultCandidates(), scale, 0.1, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Command hypermapper runs the paper's design-space exploration
+// (Figure 2) on the simulated ODROID-XU3: random sampling, active
+// learning over random-forest surrogates, Pareto-front extraction,
+// knowledge-tree rules, and the headline default-vs-tuned comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slamgo/internal/core"
+	"slamgo/internal/hypermapper"
+)
+
+func main() {
+	var (
+		random    = flag.Int("random", 20, "random-phase evaluations")
+		active    = flag.Int("active", 5, "active-learning iterations")
+		batch     = flag.Int("batch", 4, "evaluations per active iteration")
+		limit     = flag.Float64("limit", 0.05, "accuracy limit (max ATE, metres)")
+		seed      = flag.Int64("seed", 1, "exploration seed")
+		quick     = flag.Bool("quick", false, "use the reduced quick scale")
+		frames    = flag.Int("frames", 0, "override sequence length")
+		scatter   = flag.String("scatter", "", "write the Figure 2 scatter CSV here")
+		obsPath   = flag.String("obs", "", "persist all evaluated configurations (HyperMapper-style CSV)")
+		headline  = flag.Bool("headline", true, "derive the headline default-vs-tuned numbers")
+		knowledge = flag.Bool("knowledge", true, "print the extracted knowledge rules")
+	)
+	flag.Parse()
+
+	opts := core.DefaultFig2Options()
+	if *quick {
+		opts.Scale = core.QuickScale()
+	}
+	if *frames > 0 {
+		opts.Scale.Frames = *frames
+	}
+	opts.RandomSamples = *random
+	opts.ActiveIterations = *active
+	opts.BatchPerIteration = *batch
+	opts.AccuracyLimit = *limit
+	opts.Seed = *seed
+	opts.Log = func(s string) { fmt.Println("  [dse]", s) }
+
+	fmt.Printf("design-space exploration on lr_kt%d (%dx%d, %d frames), accuracy limit %.3f m\n",
+		opts.Scale.KT, opts.Scale.Width, opts.Scale.Height, opts.Scale.Frames, opts.AccuracyLimit)
+
+	fig2, err := core.RunFig2(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hypermapper:", err)
+		os.Exit(1)
+	}
+
+	printScatterSummary(fig2)
+	if *scatter != "" {
+		if err := writeScatter(*scatter, fig2); err != nil {
+			fmt.Fprintln(os.Stderr, "hypermapper:", err)
+			os.Exit(1)
+		}
+		fmt.Println("scatter CSV →", *scatter)
+	}
+
+	if *obsPath != "" {
+		f, err := os.Create(*obsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hypermapper:", err)
+			os.Exit(1)
+		}
+		all := append(append([]hypermapper.Observation(nil),
+			fig2.Active.Observations...), fig2.RandomOnly...)
+		if err := hypermapper.WriteObservations(f, fig2.Space, all); err != nil {
+			fmt.Fprintln(os.Stderr, "hypermapper:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Println("observations CSV →", *obsPath)
+	}
+
+	if *knowledge && len(fig2.Knowledge) > 0 {
+		fmt.Println("\nknowledge rules (Figure 2, right):")
+		for _, r := range fig2.Knowledge {
+			fmt.Println("  ", r)
+		}
+	}
+
+	if len(fig2.RuntimeImportance) > 0 {
+		fmt.Println("\nparameter sensitivity (mean decrease in impurity):")
+		fmt.Println("  parameter            runtime   maxATE")
+		for _, p := range fig2.Space.Params {
+			fmt.Printf("  %-20s %6.1f%%  %6.1f%%\n", p.Name,
+				100*fig2.RuntimeImportance[p.Name], 100*fig2.ATEImportance[p.Name])
+		}
+	}
+
+	if *headline {
+		head, err := core.RunHeadline(fig2, opts.Scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hypermapper: headline:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nheadline (default vs tuned on ODROID-XU3 model):")
+		fmt.Printf("  default: %6.2f FPS  %5.2f W  maxATE %.4f m\n",
+			fps(head.Default.Runtime), head.Default.Power, head.Default.MaxATE)
+		fmt.Printf("  tuned:   %6.2f FPS  %5.2f W  maxATE %.4f m  (OPP %s)\n",
+			fps(head.TunedLowPower.Runtime), head.TunedLowPower.Power,
+			head.TunedLowPower.MaxATE, head.TunedPoint)
+		fmt.Printf("  speed-up %.1fx | power reduction %.1fx | real-time: %v\n",
+			head.Speedup, head.PowerReduction, head.TunedMeetsRealTime)
+		fmt.Printf("  tuned config: vr=%d csr=%d mu=%.3f pyr=%v ir=%d tr=%d\n",
+			head.TunedConfig.VolumeResolution, head.TunedConfig.ComputeSizeRatio,
+			head.TunedConfig.Mu, head.TunedConfig.PyramidIterations,
+			head.TunedConfig.IntegrationRate, head.TunedConfig.TrackingRate)
+	}
+}
+
+func fps(runtime float64) float64 {
+	if runtime <= 0 {
+		return 0
+	}
+	return 1 / runtime
+}
+
+func printScatterSummary(fig2 *core.Fig2Result) {
+	countFeasible := func(obs []hypermapper.Observation) int {
+		n := 0
+		for _, o := range obs {
+			if !o.M.Failed && o.M.MaxATE <= fig2.AccuracyLimit {
+				n++
+			}
+		}
+		return n
+	}
+	fmt.Printf("\nevaluations: %d active-learning (of which %d random seed), %d random-only baseline\n",
+		len(fig2.Active.Observations), fig2.Active.RandomPhase, len(fig2.RandomOnly))
+	fmt.Printf("feasible (maxATE ≤ %.3f): active %d | random %d\n",
+		fig2.AccuracyLimit,
+		countFeasible(fig2.Active.Observations), countFeasible(fig2.RandomOnly))
+	fmt.Printf("default config: %.2f FPS, maxATE %.4f m, %.2f W\n",
+		fps(fig2.DefaultMetrics.Runtime), fig2.DefaultMetrics.MaxATE, fig2.DefaultMetrics.Power)
+	if fig2.HasBestFeasible {
+		fmt.Printf("best feasible:  %.2f FPS, maxATE %.4f m, %.2f W\n",
+			fps(fig2.BestFeasible.M.Runtime), fig2.BestFeasible.M.MaxATE, fig2.BestFeasible.M.Power)
+	}
+	fmt.Println("\nPareto front (runtime vs maxATE):")
+	for _, o := range fig2.Active.Front {
+		fmt.Printf("  %7.2f FPS  maxATE %.4f m  %5.2f W\n",
+			fps(o.M.Runtime), o.M.MaxATE, o.M.Power)
+	}
+}
+
+func writeScatter(path string, fig2 *core.Fig2Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, "phase,runtime_s,max_ate_m,power_w,failed"); err != nil {
+		return err
+	}
+	emit := func(phase string, obs []hypermapper.Observation) error {
+		for _, o := range obs {
+			failed := 0
+			if o.M.Failed {
+				failed = 1
+			}
+			if _, err := fmt.Fprintf(f, "%s,%.6f,%.6f,%.3f,%d\n",
+				phase, o.M.Runtime, o.M.MaxATE, o.M.Power, failed); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := emit("random_seed", fig2.Active.Observations[:fig2.Active.RandomPhase]); err != nil {
+		return err
+	}
+	if err := emit("active", fig2.Active.Observations[fig2.Active.RandomPhase:]); err != nil {
+		return err
+	}
+	if err := emit("random_only", fig2.RandomOnly); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(f, "default,%.6f,%.6f,%.3f,0\n",
+		fig2.DefaultMetrics.Runtime, fig2.DefaultMetrics.MaxATE, fig2.DefaultMetrics.Power)
+	return err
+}

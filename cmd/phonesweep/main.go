@@ -1,0 +1,132 @@
+// Command phonesweep reproduces Figure 3: the ODROID-tuned KinectFusion
+// configuration replayed across the 83-device phone catalogue, reported
+// as per-device speed-up over the default configuration, with an ASCII
+// histogram matching the paper's bar chart.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"slamgo/internal/core"
+	"slamgo/internal/kfusion"
+)
+
+func main() {
+	var (
+		vr      = flag.Int("vr", 96, "tuned volume resolution")
+		csr     = flag.Int("csr", 4, "tuned compute size ratio")
+		mu      = flag.Float64("mu", 0.1, "tuned mu distance")
+		ir      = flag.Int("ir", 2, "tuned integration rate")
+		seed    = flag.Int64("seed", 42, "phone catalogue seed")
+		quick   = flag.Bool("quick", false, "use the reduced quick scale")
+		frames  = flag.Int("frames", 0, "override sequence length")
+		csvPath = flag.String("csv", "", "write per-device CSV here")
+		decide  = flag.Bool("decide", false, "also train the per-device decision machine")
+		ateLim  = flag.Float64("limit", 0.05, "accuracy limit for the decision machine")
+	)
+	flag.Parse()
+
+	tuned := kfusion.DefaultConfig()
+	tuned.VolumeResolution = *vr
+	tuned.ComputeSizeRatio = *csr
+	tuned.Mu = *mu
+	tuned.IntegrationRate = *ir
+
+	scale := core.DefaultScale()
+	if *quick {
+		scale = core.QuickScale()
+	}
+	if *frames > 0 {
+		scale.Frames = *frames
+	}
+
+	fmt.Printf("replaying default vs tuned (vr=%d csr=%d mu=%.3f ir=%d) across 83 phones…\n",
+		*vr, *csr, *mu, *ir)
+	res, err := core.RunFig3(tuned, scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phonesweep:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nspeed-up: mean %.1fx | median %.1fx | min %.1fx | max %.1fx\n\n",
+		res.Mean, res.Median, res.Min, res.Max)
+
+	// Histogram over speed-up buckets (the paper's Figure 3 shape).
+	const buckets = 14
+	hist := make([]int, buckets+1)
+	for _, p := range res.Phones {
+		b := int(p.Speedup)
+		if b > buckets {
+			b = buckets
+		}
+		if b < 0 {
+			b = 0
+		}
+		hist[b]++
+	}
+	fmt.Println("speed-up distribution:")
+	for b, n := range hist {
+		if n == 0 {
+			continue
+		}
+		label := fmt.Sprintf("%2d-%2dx", b, b+1)
+		if b == buckets {
+			label = fmt.Sprintf("  >%2dx", buckets)
+		}
+		fmt.Printf("  %s | %s %d\n", label, strings.Repeat("#", n), n)
+	}
+
+	fmt.Println("\nslowest and fastest devices:")
+	for _, i := range []int{0, 1, len(res.Phones) - 2, len(res.Phones) - 1} {
+		if i < 0 || i >= len(res.Phones) {
+			continue
+		}
+		p := res.Phones[i]
+		fmt.Printf("  %-28s (%d)  default %6.2f FPS → tuned %7.2f FPS  (%.1fx)\n",
+			p.Device, p.Year, p.DefaultFPS, p.TunedFPS, p.Speedup)
+	}
+
+	if *decide {
+		fmt.Println("\ntraining the decision machine (per-device configuration recommender)…")
+		dm, err := core.RunDecisionMachine(core.DefaultCandidates(), scale, *ateLim, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phonesweep:", err)
+			os.Exit(1)
+		}
+		counts := map[int]int{}
+		for _, c := range dm.Choices {
+			counts[c.Choice]++
+		}
+		fmt.Println("recommended configuration shares:")
+		for i, c := range dm.Candidates {
+			fmt.Printf("  %-10s (vr=%d csr=%d ir=%d, maxATE %.3f m): %d devices\n",
+				c.Name, c.Config.VolumeResolution, c.Config.ComputeSizeRatio,
+				c.Config.IntegrationRate, dm.CandidateATE[i], counts[i])
+		}
+		if n := counts[-1]; n > 0 {
+			fmt.Printf("  (no feasible candidate: %d devices)\n", n)
+		}
+		fmt.Printf("decision tree (training accuracy %.0f%%):\n", dm.TrainAccuracy*100)
+		for _, r := range dm.Rules {
+			fmt.Println("  ", r)
+		}
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phonesweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "device,year,default_fps,tuned_fps,speedup")
+		for _, p := range res.Phones {
+			fmt.Fprintf(f, "%s,%d,%.3f,%.3f,%.3f\n",
+				p.Device, p.Year, p.DefaultFPS, p.TunedFPS, p.Speedup)
+		}
+		fmt.Println("\nper-device CSV →", *csvPath)
+	}
+}

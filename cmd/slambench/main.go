@@ -1,0 +1,266 @@
+// Command slambench runs a SLAM system over a synthetic sequence and
+// reports the paper's joint metrics (speed, accuracy, power) — the CLI
+// analogue of the SLAMBench GUI in Figure 1 of the paper. It can also
+// dump the GUI's four panes as PPM images, export the reconstructed mesh,
+// and emit per-frame CSV for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"slamgo/internal/dataset"
+	"slamgo/internal/device"
+	"slamgo/internal/imgproc"
+	"slamgo/internal/kfusion"
+	"slamgo/internal/math3"
+	"slamgo/internal/odometry"
+	"slamgo/internal/sdf"
+	"slamgo/internal/slambench"
+	"slamgo/internal/trajectory"
+)
+
+func main() {
+	var (
+		kt       = flag.Int("kt", 0, "living-room trajectory (0-3)")
+		frames   = flag.Int("frames", 120, "frames to render")
+		width    = flag.Int("width", 320, "sensor width")
+		height   = flag.Int("height", 240, "sensor height")
+		noisy    = flag.Bool("noisy", true, "apply the Kinect noise model")
+		seed     = flag.Int64("seed", 42, "noise seed")
+		system   = flag.String("system", "kfusion", "kfusion | odometry")
+		devName  = flag.String("device", "xu3", "xu3 | desktop | none")
+		opp      = flag.String("opp", "", "device operating point (default nominal)")
+		csr      = flag.Int("csr", 2, "compute size ratio")
+		volRes   = flag.Int("vr", 256, "volume resolution (kfusion)")
+		mu       = flag.Float64("mu", 0.1, "TSDF truncation distance (kfusion)")
+		intRate  = flag.Int("ir", 1, "integration rate (kfusion)")
+		csvPath  = flag.String("csv", "", "write per-frame CSV to this file")
+		uiDir    = flag.String("ui", "", "dump GUI pane mosaics (PPM) into this directory")
+		uiEvery  = flag.Int("ui-every", 10, "dump every Nth frame")
+		meshPath = flag.String("mesh", "", "export the reconstruction as OBJ")
+		kernels  = flag.Bool("kernels", false, "print the kernel cost breakdown")
+		ascii    = flag.Bool("ascii", false, "print an ASCII render of the final model view")
+		recon    = flag.Bool("recon", false, "measure reconstruction error against the true scene")
+		trajPath = flag.String("traj", "", "write the estimated trajectory (TUM format) here")
+		jsonPath = flag.String("json", "", "write the full summary as JSON here")
+	)
+	flag.Parse()
+
+	if err := run(*kt, *frames, *width, *height, *noisy, *seed, *system, *devName,
+		*opp, *csr, *volRes, *mu, *intRate, *csvPath, *uiDir, *uiEvery, *meshPath,
+		*kernels, *ascii, *recon, *trajPath, *jsonPath); err != nil {
+		fmt.Fprintln(os.Stderr, "slambench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kt, frames, width, height int, noisy bool, seed int64, system, devName,
+	opp string, csr, volRes int, mu float64, intRate int, csvPath, uiDir string,
+	uiEvery int, meshPath string, kernels, ascii, recon bool, trajPath, jsonPath string) error {
+
+	fmt.Printf("rendering lr_kt%d (%dx%d, %d frames, noisy=%v)…\n", kt, width, height, frames, noisy)
+	seq, err := dataset.LivingRoomKT(kt, dataset.PresetOptions{
+		Width: width, Height: height, Frames: frames, FPS: 30, Noisy: noisy, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	var model *device.Model
+	switch devName {
+	case "xu3":
+		model = device.NewModel(device.OdroidXU3())
+	case "desktop":
+		model = device.NewModel(device.DesktopGPU())
+	case "none":
+	default:
+		return fmt.Errorf("unknown device %q", devName)
+	}
+	if model != nil && opp != "" {
+		m, err := model.AtPoint(opp)
+		if err != nil {
+			return err
+		}
+		model = m
+	}
+
+	var sys slambench.System
+	var kfSys *slambench.KFusionSystem
+	switch system {
+	case "kfusion":
+		cfg := kfusion.DefaultConfig()
+		cfg.ComputeSizeRatio = csr
+		cfg.VolumeResolution = volRes
+		cfg.Mu = mu
+		cfg.IntegrationRate = intRate
+		kfSys = slambench.NewKFusion(cfg, seq)
+		sys = kfSys
+	case "odometry":
+		cfg := odometry.DefaultConfig()
+		cfg.ComputeSizeRatio = csr
+		sys = slambench.NewOdometry(cfg, seq)
+	default:
+		return fmt.Errorf("unknown system %q", system)
+	}
+
+	runner := &slambench.Runner{Model: model}
+	if uiDir != "" && kfSys != nil {
+		if err := os.MkdirAll(uiDir, 0o755); err != nil {
+			return err
+		}
+		runner.PerFrame = func(rec slambench.FrameRecord) {
+			if uiEvery <= 0 || rec.Index%uiEvery != 0 {
+				return
+			}
+			if err := dumpPanes(uiDir, seq, kfSys, rec); err != nil {
+				fmt.Fprintln(os.Stderr, "ui dump:", err)
+			}
+		}
+	}
+
+	sum, err := runner.Run(sys, seq)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(slambench.FormatSummary(sum))
+
+	if kernels {
+		fmt.Println("\nkernel breakdown:")
+		if err := slambench.KernelBreakdown(os.Stdout, sum); err != nil {
+			return err
+		}
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := slambench.WriteCSV(f, sum); err != nil {
+			return err
+		}
+		fmt.Println("per-frame CSV →", csvPath)
+	}
+	if meshPath != "" && kfSys != nil && kfSys.Pipeline() != nil {
+		f, err := os.Create(meshPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		mesh := kfSys.Pipeline().Volume().ExtractMesh()
+		if err := mesh.WriteOBJ(f); err != nil {
+			return err
+		}
+		fmt.Printf("mesh (%d triangles) → %s\n", len(mesh.Triangles), meshPath)
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := slambench.WriteJSON(f, sum); err != nil {
+			return err
+		}
+		fmt.Println("summary JSON →", jsonPath)
+	}
+	if trajPath != "" {
+		tr := &trajectory.Trajectory{}
+		for _, r := range sum.Records {
+			tr.Append(r.Time, r.Pose)
+		}
+		f, err := os.Create(trajPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := dataset.WriteTUM(f, tr); err != nil {
+			return err
+		}
+		fmt.Println("estimated trajectory →", trajPath)
+	}
+	if recon && kfSys != nil && kfSys.Pipeline() != nil {
+		mesh := kfSys.Pipeline().Volume().ExtractMesh()
+		st, err := slambench.ReconstructionError(mesh, sdf.LivingRoom(), 50000)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nreconstruction vs ground-truth scene (%d samples):\n", st.Vertices)
+		fmt.Printf("  surface error: mean %.4f m | median %.4f m | p95 %.4f m | max %.4f m\n",
+			st.Mean, st.Median, st.P95, st.Max)
+	}
+	if ascii && kfSys != nil && kfSys.Pipeline() != nil {
+		if ref, ok := kfSys.Pipeline().Reference(); ok {
+			img := slambench.NormalsToRGB(ref.Normals, refLight())
+			fmt.Println("\nfinal model view:")
+			fmt.Print(slambench.ASCIIRender(img, 78))
+		}
+	}
+	return nil
+}
+
+// dumpPanes writes the four GUI panes of one frame as a 2×2 PPM mosaic.
+func dumpPanes(dir string, seq dataset.Sequence, kf *slambench.KFusionSystem, rec slambench.FrameRecord) error {
+	f, err := seq.Frame(rec.Index)
+	if err != nil {
+		return err
+	}
+	p := kf.Pipeline()
+	if p == nil {
+		return nil
+	}
+	depthPane := slambench.DepthToRGB(f.Depth)
+	rgbPane := f.RGB
+	if rgbPane == nil {
+		rgbPane = depthPane // depth stands in when RGB was not rendered
+	}
+	var modelPane, statusPane *imgproc.RGB
+	if ref, ok := p.Reference(); ok {
+		modelPane = slambench.NormalsToRGB(ref.Normals, refLight())
+		statusPane = slambench.TrackStatusToRGB(ref.Vertices, rec.Tracked)
+	}
+	// All panes must share a size: scale the sensor-resolution panes is
+	// overkill here; render compute-resolution panes only.
+	if modelPane == nil {
+		return nil
+	}
+	w, h := modelPane.Width, modelPane.Height
+	mosaic, err := slambench.Mosaic(
+		resample(rgbPane, w, h), resample(depthPane, w, h),
+		statusPane, modelPane,
+	)
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(filepath.Join(dir, fmt.Sprintf("frame_%04d.ppm", rec.Index)))
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	return slambench.WritePPM(out, mosaic)
+}
+
+// resample nearest-neighbour rescales an RGB image.
+func resample(src *imgproc.RGB, w, h int) *imgproc.RGB {
+	if src.Width == w && src.Height == h {
+		return src
+	}
+	dst := imgproc.NewRGB(w, h)
+	for y := 0; y < h; y++ {
+		sy := y * src.Height / h
+		for x := 0; x < w; x++ {
+			sx := x * src.Width / w
+			r, g, b := src.At(sx, sy)
+			dst.Set(x, y, r, g, b)
+		}
+	}
+	return dst
+}
+
+func refLight() math3.Vec3 {
+	return math3.V3(0.3, -0.8, -0.5)
+}

@@ -1,0 +1,12 @@
+// Package slamgo is a from-scratch Go reproduction of "Algorithmic
+// Performance-Accuracy Trade-off in 3D Vision Applications" (Bodin,
+// Nardi, Wagstaff, Kelly, O'Boyle — ISPASS 2018): the SLAMBench
+// benchmarking methodology around a complete KinectFusion dense-SLAM
+// pipeline, the HyperMapper machine-learning design-space exploration of
+// its algorithmic parameters, and the mobile-device performance study.
+//
+// The implementation lives under internal/; see README.md for the layout,
+// DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for measured-vs-paper results. The benchmarks in
+// bench_test.go regenerate every figure-level experiment.
+package slamgo

@@ -1,0 +1,48 @@
+// Quickstart: render a short synthetic living-room sequence, run the
+// KinectFusion pipeline over it, and print the three metric families the
+// paper's methodology couples together — speed, accuracy and (simulated)
+// power.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"slamgo/internal/dataset"
+	"slamgo/internal/device"
+	"slamgo/internal/kfusion"
+	"slamgo/internal/slambench"
+)
+
+func main() {
+	// 1. A synthetic RGB-D sequence with exact ground truth (the
+	//    ICL-NUIM living-room analogue). 160×120 keeps this instant.
+	seq, err := dataset.LivingRoomKT(0, dataset.PresetOptions{
+		Width: 160, Height: 120, Frames: 30, FPS: 30, Noisy: true, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The KinectFusion system under its stock configuration, with a
+	//    modest volume so the example runs in a couple of seconds.
+	cfg := kfusion.DefaultConfig()
+	cfg.VolumeResolution = 128
+	sys := slambench.NewKFusion(cfg, seq)
+
+	// 3. Benchmark it on the simulated ODROID-XU3 (the paper's board).
+	runner := &slambench.Runner{Model: device.NewModel(device.OdroidXU3())}
+	sum, err := runner.Run(sys, seq)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(slambench.FormatSummary(sum))
+	fmt.Println("\nkernel breakdown:")
+	if err := slambench.KernelBreakdown(os.Stdout, sum); err != nil {
+		log.Fatal(err)
+	}
+}

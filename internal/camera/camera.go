@@ -1,0 +1,105 @@
+// Package camera models the pinhole RGB-D camera used by the synthetic
+// dataset generator and the KinectFusion pipeline. Intrinsics follow the
+// standard computer-vision convention: +Z forward, +X right, +Y down, with
+// pixel (u,v) mapping through (fx, fy, cx, cy).
+package camera
+
+import (
+	"fmt"
+
+	"slamgo/internal/math3"
+)
+
+// Intrinsics holds a pinhole camera model for a specific image resolution.
+type Intrinsics struct {
+	Width, Height  int
+	Fx, Fy, Cx, Cy float64
+}
+
+// Kinect640 returns the canonical Kinect/ICL-NUIM intrinsics at 640×480,
+// the resolution SLAMBench's datasets use.
+func Kinect640() Intrinsics {
+	return Intrinsics{
+		Width: 640, Height: 480,
+		Fx: 481.2, Fy: 480.0, Cx: 319.5, Cy: 239.5,
+	}
+}
+
+// ScaledTo returns the intrinsics rescaled for a different resolution,
+// preserving the field of view. This is how the "compute size ratio"
+// parameter downsamples the input, and how pyramid levels derive their
+// projection.
+func (in Intrinsics) ScaledTo(width, height int) Intrinsics {
+	sx := float64(width) / float64(in.Width)
+	sy := float64(height) / float64(in.Height)
+	return Intrinsics{
+		Width: width, Height: height,
+		Fx: in.Fx * sx, Fy: in.Fy * sy,
+		// The ½-pixel offset keeps the principal point on the same optical
+		// ray after scaling.
+		Cx: (in.Cx+0.5)*sx - 0.5,
+		Cy: (in.Cy+0.5)*sy - 0.5,
+	}
+}
+
+// Downsample halves the resolution n times (pyramid construction).
+func (in Intrinsics) Downsample(n int) Intrinsics {
+	out := in
+	for i := 0; i < n; i++ {
+		out = out.ScaledTo(out.Width/2, out.Height/2)
+	}
+	return out
+}
+
+// Project maps a camera-frame 3D point to pixel coordinates. The boolean
+// reports whether the point is in front of the camera and inside the
+// image bounds.
+func (in Intrinsics) Project(p math3.Vec3) (math3.Vec2, bool) {
+	if p.Z <= 1e-9 {
+		return math3.Vec2{}, false
+	}
+	u := in.Fx*p.X/p.Z + in.Cx
+	v := in.Fy*p.Y/p.Z + in.Cy
+	ok := u >= 0 && v >= 0 && u <= float64(in.Width-1) && v <= float64(in.Height-1)
+	return math3.V2(u, v), ok
+}
+
+// BackProject maps pixel (u,v) at depth d (metres along +Z) to a
+// camera-frame 3D point.
+func (in Intrinsics) BackProject(u, v, d float64) math3.Vec3 {
+	return math3.V3(
+		(u-in.Cx)/in.Fx*d,
+		(v-in.Cy)/in.Fy*d,
+		d,
+	)
+}
+
+// Ray returns the unit direction through pixel (u,v) in the camera frame.
+func (in Intrinsics) Ray(u, v float64) math3.Vec3 {
+	return in.BackProject(u, v, 1).Normalized()
+}
+
+// Pixels returns Width·Height.
+func (in Intrinsics) Pixels() int { return in.Width * in.Height }
+
+// AspectRatio returns Width/Height.
+func (in Intrinsics) AspectRatio() float64 {
+	return float64(in.Width) / float64(in.Height)
+}
+
+// Validate reports a descriptive error for non-physical intrinsics.
+func (in Intrinsics) Validate() error {
+	if in.Width <= 0 || in.Height <= 0 {
+		return fmt.Errorf("camera: non-positive resolution %dx%d", in.Width, in.Height)
+	}
+	if in.Fx <= 0 || in.Fy <= 0 {
+		return fmt.Errorf("camera: non-positive focal length (%g, %g)", in.Fx, in.Fy)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (in Intrinsics) String() string {
+	return fmt.Sprintf("Intrinsics{%dx%d fx=%.1f fy=%.1f cx=%.1f cy=%.1f}",
+		in.Width, in.Height, in.Fx, in.Fy, in.Cx, in.Cy)
+}

@@ -1,0 +1,132 @@
+package camera
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"slamgo/internal/math3"
+)
+
+func TestProjectBackProjectRoundtrip(t *testing.T) {
+	in := Kinect640()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		u := r.Float64() * float64(in.Width-1)
+		v := r.Float64() * float64(in.Height-1)
+		d := 0.5 + r.Float64()*4
+		p := in.BackProject(u, v, d)
+		uv, ok := in.Project(p)
+		return ok &&
+			math.Abs(uv.X-u) < 1e-9 &&
+			math.Abs(uv.Y-v) < 1e-9 &&
+			math.Abs(p.Z-d) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectBehindCamera(t *testing.T) {
+	in := Kinect640()
+	if _, ok := in.Project(math3.V3(0, 0, -1)); ok {
+		t.Fatal("point behind camera projected")
+	}
+	if _, ok := in.Project(math3.V3(0, 0, 0)); ok {
+		t.Fatal("point at origin projected")
+	}
+}
+
+func TestProjectOutOfBounds(t *testing.T) {
+	in := Kinect640()
+	// A point far off-axis lands outside the image.
+	if _, ok := in.Project(math3.V3(100, 0, 1)); ok {
+		t.Fatal("off-image point reported in-bounds")
+	}
+}
+
+func TestPrincipalPointProjectsToCentre(t *testing.T) {
+	in := Kinect640()
+	uv, ok := in.Project(math3.V3(0, 0, 2))
+	if !ok {
+		t.Fatal("centre point rejected")
+	}
+	if math.Abs(uv.X-in.Cx) > 1e-12 || math.Abs(uv.Y-in.Cy) > 1e-12 {
+		t.Fatalf("centre projects to %v, want (%v,%v)", uv, in.Cx, in.Cy)
+	}
+}
+
+func TestScaledToPreservesRays(t *testing.T) {
+	in := Kinect640()
+	half := in.ScaledTo(320, 240)
+	if half.Width != 320 || half.Height != 240 {
+		t.Fatalf("scaled resolution %dx%d", half.Width, half.Height)
+	}
+	// The ray through the image centre must be preserved.
+	r1 := in.Ray(in.Cx, in.Cy)
+	r2 := half.Ray(half.Cx, half.Cy)
+	if !r1.ApproxEq(r2, 1e-9) {
+		t.Fatalf("centre rays differ: %v vs %v", r1, r2)
+	}
+	// Field of view at the left edge should be (nearly) preserved.
+	e1 := in.Ray(-0.5, in.Cy)
+	e2 := half.Ray(-0.5, half.Cy)
+	if math.Abs(e1.Dot(e2)-1) > 1e-4 {
+		t.Fatalf("edge rays diverge: %v vs %v", e1, e2)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	in := Kinect640()
+	d2 := in.Downsample(2)
+	if d2.Width != 160 || d2.Height != 120 {
+		t.Fatalf("downsample(2): %dx%d", d2.Width, d2.Height)
+	}
+	if d2.Fx >= in.Fx {
+		t.Fatal("focal length should shrink when downsampling")
+	}
+	if in.Downsample(0) != in {
+		t.Fatal("downsample(0) changed intrinsics")
+	}
+}
+
+func TestRayIsUnitAndForward(t *testing.T) {
+	in := Kinect640()
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		u := r.Float64() * float64(in.Width-1)
+		v := r.Float64() * float64(in.Height-1)
+		ray := in.Ray(u, v)
+		if math.Abs(ray.Norm()-1) > 1e-12 {
+			t.Fatalf("ray not unit: %v", ray)
+		}
+		if ray.Z <= 0 {
+			t.Fatalf("ray not forward: %v", ray)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Kinect640().Validate(); err != nil {
+		t.Fatalf("valid intrinsics rejected: %v", err)
+	}
+	bad := Intrinsics{Width: 0, Height: 480, Fx: 500, Fy: 500}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	bad2 := Intrinsics{Width: 640, Height: 480, Fx: 0, Fy: 500}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("zero focal accepted")
+	}
+}
+
+func TestPixelsAndAspect(t *testing.T) {
+	in := Kinect640()
+	if in.Pixels() != 640*480 {
+		t.Fatalf("Pixels = %d", in.Pixels())
+	}
+	if math.Abs(in.AspectRatio()-4.0/3.0) > 1e-12 {
+		t.Fatalf("AspectRatio = %v", in.AspectRatio())
+	}
+}

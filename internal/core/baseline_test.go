@@ -1,0 +1,35 @@
+package core
+
+import "testing"
+
+func TestRunBaseline(t *testing.T) {
+	scale := QuickScale()
+	scale.Frames = 12
+	res, err := RunBaseline(scale, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.KFusion) != 1 || len(res.Odometry) != 1 {
+		t.Fatalf("summaries: kf=%d odo=%d", len(res.KFusion), len(res.Odometry))
+	}
+	kf, odo := res.KFusion[0], res.Odometry[0]
+	if kf.TrackedFraction < 0.9 {
+		t.Fatalf("kfusion lost tracking: %v", kf.TrackedFraction)
+	}
+	if odo.TrackedFraction < 0.9 {
+		t.Fatalf("odometry lost tracking: %v", odo.TrackedFraction)
+	}
+	// The odometry baseline carries no mapping cost, so it must be
+	// cheaper per frame on the device model.
+	if odo.SimMeanLatency >= kf.SimMeanLatency {
+		t.Fatalf("odometry (%v) not cheaper than kfusion (%v)",
+			odo.SimMeanLatency, kf.SimMeanLatency)
+	}
+}
+
+func TestRunBaselineBadSequence(t *testing.T) {
+	scale := QuickScale()
+	if _, err := RunBaseline(scale, 9); err == nil {
+		t.Fatal("invalid kt accepted")
+	}
+}

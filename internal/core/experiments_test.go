@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"slamgo/internal/hypermapper"
+	"slamgo/internal/kfusion"
+)
+
+// fig2Quick runs a small but real DSE (shared across the experiment
+// tests to amortise its cost).
+func fig2Quick(t *testing.T) *Fig2Result {
+	t.Helper()
+	opts := DefaultFig2Options()
+	opts.Scale = QuickScale()
+	opts.RandomSamples = 8
+	opts.ActiveIterations = 2
+	opts.BatchPerIteration = 2
+	opts.AccuracyLimit = 0.08 // quick-scale sequences are short; be lenient
+	res, err := RunFig2(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFig2AndHeadlineAndFig3(t *testing.T) {
+	fig2 := fig2Quick(t)
+
+	// --- Fig 2 structural checks.
+	if len(fig2.Active.Observations) < 8 {
+		t.Fatalf("too few observations: %d", len(fig2.Active.Observations))
+	}
+	if len(fig2.RandomOnly) != len(fig2.Active.Observations) {
+		t.Fatalf("random baseline budget mismatch: %d vs %d",
+			len(fig2.RandomOnly), len(fig2.Active.Observations))
+	}
+	if fig2.DefaultMetrics.Failed {
+		t.Fatal("default configuration failed")
+	}
+	if len(fig2.Active.Front) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	if len(fig2.Knowledge) == 0 {
+		t.Fatal("no knowledge rules extracted")
+	}
+	if !fig2.HasBestFeasible {
+		t.Fatal("no feasible configuration found")
+	}
+	if len(fig2.RuntimeImportance) != len(fig2.Space.Params) {
+		t.Fatalf("runtime importance incomplete: %v", fig2.RuntimeImportance)
+	}
+	var impSum float64
+	for _, v := range fig2.RuntimeImportance {
+		impSum += v
+	}
+	if impSum < 0.99 || impSum > 1.01 {
+		t.Fatalf("importance not normalised: %v", impSum)
+	}
+	if fig2.BestFeasible.M.MaxATE > fig2.AccuracyLimit {
+		t.Fatalf("best feasible violates limit: %v", fig2.BestFeasible.M.MaxATE)
+	}
+
+	// --- Headline: tuned must be faster than default, and accurate.
+	head, err := RunHeadline(fig2, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.Speedup <= 1 {
+		t.Fatalf("tuned configuration not faster than default: speedup %v", head.Speedup)
+	}
+	if head.PowerReduction <= 1 {
+		t.Fatalf("tuned configuration not lower power: reduction %v", head.PowerReduction)
+	}
+	if head.TunedPerf.MaxATE > fig2.AccuracyLimit {
+		t.Fatalf("tuned config inaccurate: %v", head.TunedPerf.MaxATE)
+	}
+
+	// --- Fig 3: phone sweep over the tuned configuration.
+	fig3, err := RunFig3(head.TunedConfig, QuickScale(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig3.Phones) != 83 {
+		t.Fatalf("phone count %d", len(fig3.Phones))
+	}
+	if fig3.Min < 0.5 {
+		t.Fatalf("implausible minimum speedup %v", fig3.Min)
+	}
+	if fig3.Max <= fig3.Min {
+		t.Fatal("no speedup spread across devices")
+	}
+	if fig3.Mean <= 1 {
+		t.Fatalf("mean speedup %v — tuning should help on average", fig3.Mean)
+	}
+	// The distribution must actually vary (the whole point of Figure 3).
+	if fig3.Max/fig3.Min < 1.5 {
+		t.Fatalf("speedup spread too narrow: [%v, %v]", fig3.Min, fig3.Max)
+	}
+}
+
+func TestRunHeadlineRequiresFeasible(t *testing.T) {
+	fig2 := &Fig2Result{AccuracyLimit: 0.05}
+	if _, err := RunHeadline(fig2, QuickScale()); err == nil {
+		t.Fatal("headline without feasible config accepted")
+	}
+}
+
+func TestRunFig3RejectsEmptySequence(t *testing.T) {
+	bad := QuickScale()
+	bad.KT = 9
+	if _, err := RunFig3(kfusion.DefaultConfig(), bad, 1); err == nil {
+		t.Fatal("invalid scale accepted")
+	}
+}
+
+func TestFig2OptionsDefaults(t *testing.T) {
+	opts := DefaultFig2Options()
+	if opts.AccuracyLimit != 0.05 {
+		t.Fatalf("accuracy limit %v", opts.AccuracyLimit)
+	}
+	if opts.Scale.Frames == 0 || opts.RandomSamples == 0 {
+		t.Fatal("incomplete defaults")
+	}
+}
+
+var _ = hypermapper.RuntimeAccuracy

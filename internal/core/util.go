@@ -1,0 +1,6 @@
+package core
+
+import "math/rand"
+
+// newRng builds a deterministic rand source for experiment baselines.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

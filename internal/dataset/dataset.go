@@ -1,0 +1,136 @@
+// Package dataset defines the RGB-D sequence abstraction SLAMBench-style
+// benchmarking consumes, in-memory synthetic sequences rendered from SDF
+// scenes (the ICL-NUIM analogue), and serialisation: a compact binary
+// ".slam" frame format plus TUM-format trajectory I/O.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"slamgo/internal/camera"
+	"slamgo/internal/imgproc"
+	"slamgo/internal/math3"
+	"slamgo/internal/sdf"
+	"slamgo/internal/synth"
+)
+
+// Frame is one RGB-D sample with its timestamp and (when known) ground
+// truth pose.
+type Frame struct {
+	Index       int
+	Time        float64
+	Depth       *imgproc.DepthMap
+	RGB         *imgproc.RGB // may be nil; the SLAM pipeline only needs depth
+	GroundTruth math3.SE3
+	HasGT       bool
+}
+
+// Sequence is a finite RGB-D stream with known intrinsics.
+type Sequence interface {
+	// Name identifies the sequence (e.g. "lr_kt0_syn").
+	Name() string
+	// Intrinsics of every frame.
+	Intrinsics() camera.Intrinsics
+	// Len is the number of frames.
+	Len() int
+	// Frame returns frame i. Implementations may render lazily.
+	Frame(i int) (*Frame, error)
+}
+
+// GroundTruth extracts the ground-truth trajectory of a sequence, when
+// every frame carries one.
+func GroundTruth(s Sequence) ([]math3.SE3, []float64, error) {
+	poses := make([]math3.SE3, s.Len())
+	times := make([]float64, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		f, err := s.Frame(i)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !f.HasGT {
+			return nil, nil, fmt.Errorf("dataset: frame %d has no ground truth", i)
+		}
+		poses[i] = f.GroundTruth
+		times[i] = f.Time
+	}
+	return poses, times, nil
+}
+
+// MemorySequence holds fully materialised frames.
+type MemorySequence struct {
+	SeqName string
+	Intr    camera.Intrinsics
+	Frames  []*Frame
+}
+
+// Name implements Sequence.
+func (m *MemorySequence) Name() string { return m.SeqName }
+
+// Intrinsics implements Sequence.
+func (m *MemorySequence) Intrinsics() camera.Intrinsics { return m.Intr }
+
+// Len implements Sequence.
+func (m *MemorySequence) Len() int { return len(m.Frames) }
+
+// Frame implements Sequence.
+func (m *MemorySequence) Frame(i int) (*Frame, error) {
+	if i < 0 || i >= len(m.Frames) {
+		return nil, fmt.Errorf("dataset: frame %d out of range [0,%d)", i, len(m.Frames))
+	}
+	return m.Frames[i], nil
+}
+
+// SynthConfig parameterises synthetic sequence generation.
+type SynthConfig struct {
+	// Name labels the sequence.
+	Name string
+	// Scene is the SDF world to render (default: sdf.LivingRoom).
+	Scene sdf.Field
+	// Trajectory supplies the ground-truth camera path.
+	Trajectory []synth.TimedPose
+	// Intrinsics of the virtual sensor (default Kinect640 scaled).
+	Intrinsics camera.Intrinsics
+	// Noise perturbs rendered depth; use synth.NoNoise() for clean data.
+	Noise synth.NoiseModel
+	// Seed drives the noise; the same seed reproduces the same frames.
+	Seed int64
+	// WithRGB also renders shaded colour frames (slower; only needed for
+	// the GUI panes).
+	WithRGB bool
+}
+
+// Generate renders a synthetic sequence into memory.
+func Generate(cfg SynthConfig) (*MemorySequence, error) {
+	if cfg.Scene == nil {
+		cfg.Scene = sdf.LivingRoom()
+	}
+	if len(cfg.Trajectory) == 0 {
+		return nil, fmt.Errorf("dataset: empty trajectory")
+	}
+	if cfg.Intrinsics.Width == 0 {
+		cfg.Intrinsics = camera.Kinect640()
+	}
+	if err := cfg.Intrinsics.Validate(); err != nil {
+		return nil, err
+	}
+	r := synth.NewRenderer(cfg.Scene)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	seq := &MemorySequence{SeqName: cfg.Name, Intr: cfg.Intrinsics}
+	for i, tp := range cfg.Trajectory {
+		depth := r.RenderDepth(tp.Pose, cfg.Intrinsics)
+		cfg.Noise.Apply(depth, rng)
+		f := &Frame{
+			Index:       i,
+			Time:        tp.Time,
+			Depth:       depth,
+			GroundTruth: tp.Pose,
+			HasGT:       true,
+		}
+		if cfg.WithRGB {
+			f.RGB = r.RenderRGB(tp.Pose, cfg.Intrinsics)
+		}
+		seq.Frames = append(seq.Frames, f)
+	}
+	return seq, nil
+}

@@ -1,0 +1,264 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"slamgo/internal/camera"
+	"slamgo/internal/math3"
+	"slamgo/internal/sdf"
+	"slamgo/internal/synth"
+	"slamgo/internal/trajectory"
+)
+
+func smallSeq(t *testing.T) *MemorySequence {
+	t.Helper()
+	seq, err := LivingRoomKT(0, TestPresetOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+func TestGenerateProducesFrames(t *testing.T) {
+	seq := smallSeq(t)
+	if seq.Len() != 12 {
+		t.Fatalf("frames = %d", seq.Len())
+	}
+	if seq.Name() != "lr_kt0_syn" {
+		t.Fatalf("name = %q", seq.Name())
+	}
+	for i := 0; i < seq.Len(); i++ {
+		f, err := seq.Frame(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Index != i || !f.HasGT {
+			t.Fatalf("frame %d metadata wrong: %+v", i, f)
+		}
+		if f.Depth.ValidFraction() < 0.8 {
+			t.Fatalf("frame %d mostly invalid: %v", i, f.Depth.ValidFraction())
+		}
+	}
+	if _, err := seq.Frame(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := seq.Frame(99); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(SynthConfig{}); err == nil {
+		t.Fatal("empty trajectory accepted")
+	}
+}
+
+func TestGroundTruthExtraction(t *testing.T) {
+	seq := smallSeq(t)
+	poses, times, err := GroundTruth(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(poses) != seq.Len() || len(times) != seq.Len() {
+		t.Fatal("length mismatch")
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			t.Fatal("times not increasing")
+		}
+	}
+	// Missing ground truth is an error.
+	seq.Frames[3].HasGT = false
+	if _, _, err := GroundTruth(seq); err == nil {
+		t.Fatal("missing GT accepted")
+	}
+}
+
+func TestAllPresetsGenerate(t *testing.T) {
+	// The presets cover a fixed arc, so per-step motion scales with
+	// 1/frames; use enough frames for a trackable step size.
+	opts := TestPresetOptions()
+	opts.Frames = 36
+	for kt := 0; kt <= 3; kt++ {
+		seq, err := LivingRoomKT(kt, opts)
+		if err != nil {
+			t.Fatalf("kt%d: %v", kt, err)
+		}
+		f, err := seq.Frame(0)
+		if err != nil {
+			t.Fatalf("kt%d frame: %v", kt, err)
+		}
+		if f.Depth.ValidFraction() < 0.5 {
+			t.Fatalf("kt%d: scene barely visible (%v)", kt, f.Depth.ValidFraction())
+		}
+		// Inter-frame motion must be trackable.
+		poses, _, _ := GroundTruth(seq)
+		for i := 1; i < len(poses); i++ {
+			rel := poses[i-1].Inverse().Mul(poses[i])
+			if rel.TranslationNorm() > 0.35 || rel.RotationAngle() > 0.35 {
+				t.Fatalf("kt%d: step %d too large (%v m, %v rad)",
+					kt, i, rel.TranslationNorm(), rel.RotationAngle())
+			}
+		}
+	}
+	if _, err := LivingRoomKT(7, TestPresetOptions()); err == nil {
+		t.Fatal("kt7 accepted")
+	}
+}
+
+func TestPresetNoiseDeterminism(t *testing.T) {
+	opts := TestPresetOptions()
+	opts.Noisy = true
+	opts.Frames = 3
+	a, err := LivingRoomKT(0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LivingRoomKT(0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Frames {
+		fa, fb := a.Frames[i], b.Frames[i]
+		for j := range fa.Depth.Pix {
+			if fa.Depth.Pix[j] != fb.Depth.Pix[j] {
+				t.Fatal("same seed produced different frames")
+			}
+		}
+	}
+}
+
+func TestSlamRoundtrip(t *testing.T) {
+	seq := smallSeq(t)
+	var buf bytes.Buffer
+	if err := WriteSlam(&buf, seq); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSlam(&buf, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != seq.Len() {
+		t.Fatalf("frame count %d vs %d", got.Len(), seq.Len())
+	}
+	if got.Intrinsics() != seq.Intrinsics() {
+		t.Fatalf("intrinsics %v vs %v", got.Intrinsics(), seq.Intrinsics())
+	}
+	for i := 0; i < seq.Len(); i++ {
+		fa, _ := seq.Frame(i)
+		fb, _ := got.Frame(i)
+		if math.Abs(fa.Time-fb.Time) > 1e-12 {
+			t.Fatalf("frame %d time %v vs %v", i, fa.Time, fb.Time)
+		}
+		// Depth roundtrips through mm quantisation: ≤ 0.5 mm error.
+		for j := range fa.Depth.Pix {
+			d := float64(fa.Depth.Pix[j] - fb.Depth.Pix[j])
+			if math.Abs(d) > 6e-4 {
+				t.Fatalf("frame %d pix %d depth %v vs %v", i, j, fa.Depth.Pix[j], fb.Depth.Pix[j])
+			}
+		}
+		if !fb.GroundTruth.ApproxEq(fa.GroundTruth, 1e-9) {
+			t.Fatalf("frame %d pose mismatch", i)
+		}
+	}
+}
+
+func TestReadSlamRejectsGarbage(t *testing.T) {
+	if _, err := ReadSlam(strings.NewReader("not a slam file at all"), "x"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadSlam(strings.NewReader(""), "x"); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	// Truncated stream: valid header then nothing.
+	seq := smallSeq(t)
+	var buf bytes.Buffer
+	if err := WriteSlam(&buf, seq); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadSlam(bytes.NewReader(trunc), "x"); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestTUMRoundtrip(t *testing.T) {
+	tr := &trajectory.Trajectory{}
+	traj := synth.Orbit(math3.V3(0, 1, 0), 2, 1.5, 0, math.Pi, 10, 30)
+	for _, tp := range traj {
+		tr.Append(tp.Time, tp.Pose)
+	}
+	var buf bytes.Buffer
+	if err := WriteTUM(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTUM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("length %d vs %d", got.Len(), tr.Len())
+	}
+	for i := range tr.Poses {
+		a, b := tr.Poses[i], got.Poses[i]
+		if math.Abs(a.Time-b.Time) > 1e-6 {
+			t.Fatal("time mismatch")
+		}
+		if !b.T.T.ApproxEq(a.T.T, 1e-5) {
+			t.Fatal("translation mismatch")
+		}
+		if b.T.Quat().AngleTo(a.T.Quat()) > 1e-4 {
+			t.Fatal("rotation mismatch")
+		}
+	}
+}
+
+func TestReadTUMSkipsCommentsAndRejectsBadLines(t *testing.T) {
+	good := "# comment\n\n0.0 1 2 3 0 0 0 1\n"
+	tr, err := ReadTUM(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || !tr.Poses[0].T.T.ApproxEq(math3.V3(1, 2, 3), 1e-12) {
+		t.Fatalf("parsed %+v", tr)
+	}
+	if _, err := ReadTUM(strings.NewReader("1 2 3\n")); err == nil {
+		t.Fatal("short line accepted")
+	}
+	if _, err := ReadTUM(strings.NewReader("a b c d e f g h\n")); err == nil {
+		t.Fatal("non-numeric accepted")
+	}
+}
+
+func TestGenerateCleanSequenceTracksScene(t *testing.T) {
+	// A clean sequence around SimpleRoom has frame depth equal to the
+	// re-rendered depth (determinism check at the dataset level).
+	in := TestPresetOptions()
+	traj := synth.Orbit(math3.V3(0, 0.5, -0.5), 1.2, 1.2, 0.5, 0.6, 3, 30)
+	seq, err := Generate(SynthConfig{
+		Name:       "simple",
+		Scene:      sdf.SimpleRoom(),
+		Trajectory: traj,
+		Intrinsics: smallIntrinsics(in.Width, in.Height),
+		Noise:      synth.NoNoise(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := synth.NewRenderer(sdf.SimpleRoom())
+	for i, f := range seq.Frames {
+		want := r.RenderDepth(traj[i].Pose, seq.Intr)
+		for j := range want.Pix {
+			if want.Pix[j] != f.Depth.Pix[j] {
+				t.Fatalf("frame %d pixel %d differs", i, j)
+			}
+		}
+	}
+}
+
+func smallIntrinsics(w, h int) camera.Intrinsics {
+	return camera.Kinect640().ScaledTo(w, h)
+}

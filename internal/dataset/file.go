@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"slamgo/internal/camera"
+	"slamgo/internal/imgproc"
+	"slamgo/internal/math3"
+)
+
+// FileSequence streams frames from a .slam file on demand instead of
+// materialising the whole sequence in memory. Frame records have a fixed
+// size, so random access is a single seek.
+type FileSequence struct {
+	name   string
+	f      *os.File
+	mu     sync.Mutex
+	intr   camera.Intrinsics
+	frames int
+	// dataStart is the byte offset of frame 0; frameSize the record size.
+	dataStart int64
+	frameSize int64
+}
+
+// OpenSlam opens a .slam file for lazy frame access. The caller owns the
+// returned sequence and must Close it.
+func OpenSlam(path string) (*FileSequence, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FileSequence{name: path, f: f}
+	if err := fs.readHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return fs, nil
+}
+
+func (fs *FileSequence) readHeader() error {
+	magic := make([]byte, len(slamMagic))
+	if _, err := io.ReadFull(fs.f, magic); err != nil {
+		return fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if string(magic) != slamMagic {
+		return fmt.Errorf("dataset: bad magic %q", magic)
+	}
+	var w32, h32, n32 uint32
+	if err := binary.Read(fs.f, binary.LittleEndian, &w32); err != nil {
+		return err
+	}
+	if err := binary.Read(fs.f, binary.LittleEndian, &h32); err != nil {
+		return err
+	}
+	var fx, fy, cx, cy float64
+	for _, p := range []*float64{&fx, &fy, &cx, &cy} {
+		if err := binary.Read(fs.f, binary.LittleEndian, p); err != nil {
+			return err
+		}
+	}
+	if err := binary.Read(fs.f, binary.LittleEndian, &n32); err != nil {
+		return err
+	}
+	w, h := int(w32), int(h32)
+	if w <= 0 || h <= 0 || w*h > 1<<26 {
+		return fmt.Errorf("dataset: implausible resolution %dx%d", w, h)
+	}
+	fs.intr = camera.Intrinsics{Width: w, Height: h, Fx: fx, Fy: fy, Cx: cx, Cy: cy}
+	if err := fs.intr.Validate(); err != nil {
+		return err
+	}
+	fs.frames = int(n32)
+	pos, err := fs.f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return err
+	}
+	fs.dataStart = pos
+	fs.frameSize = 8*8 + int64(w*h)*2
+
+	// Sanity: the file must be large enough for the declared frames.
+	st, err := fs.f.Stat()
+	if err != nil {
+		return err
+	}
+	if need := fs.dataStart + int64(fs.frames)*fs.frameSize; st.Size() < need {
+		return fmt.Errorf("dataset: file truncated: %d bytes, need %d", st.Size(), need)
+	}
+	return nil
+}
+
+// Name implements Sequence.
+func (fs *FileSequence) Name() string { return fs.name }
+
+// Intrinsics implements Sequence.
+func (fs *FileSequence) Intrinsics() camera.Intrinsics { return fs.intr }
+
+// Len implements Sequence.
+func (fs *FileSequence) Len() int { return fs.frames }
+
+// Frame implements Sequence, seeking to and decoding frame i.
+func (fs *FileSequence) Frame(i int) (*Frame, error) {
+	if i < 0 || i >= fs.frames {
+		return nil, fmt.Errorf("dataset: frame %d out of range [0,%d)", i, fs.frames)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.f.Seek(fs.dataStart+int64(i)*fs.frameSize, io.SeekStart); err != nil {
+		return nil, err
+	}
+	var vals [8]float64
+	for j := range vals {
+		if err := binary.Read(fs.f, binary.LittleEndian, &vals[j]); err != nil {
+			return nil, fmt.Errorf("dataset: frame %d header: %w", i, err)
+		}
+	}
+	raw := make([]uint16, fs.intr.Width*fs.intr.Height)
+	if err := binary.Read(fs.f, binary.LittleEndian, raw); err != nil {
+		return nil, fmt.Errorf("dataset: frame %d depth: %w", i, err)
+	}
+	depth := imgproc.NewDepthMap(fs.intr.Width, fs.intr.Height)
+	imgproc.MmToM(raw, depth)
+	q := math3.Quat{W: vals[1], X: vals[2], Y: vals[3], Z: vals[4]}.Normalized()
+	return &Frame{
+		Index:       i,
+		Time:        vals[0],
+		Depth:       depth,
+		GroundTruth: math3.SE3From(q, math3.V3(vals[5], vals[6], vals[7])),
+		HasGT:       true,
+	}, nil
+}
+
+// Close releases the underlying file.
+func (fs *FileSequence) Close() error { return fs.f.Close() }

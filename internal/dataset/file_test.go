@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTempSlam(t *testing.T) (string, *MemorySequence) {
+	t.Helper()
+	seq := smallSeq(t)
+	path := filepath.Join(t.TempDir(), "seq.slam")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSlam(f, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, seq
+}
+
+func TestFileSequenceMatchesMemory(t *testing.T) {
+	path, seq := writeTempSlam(t)
+	fs, err := OpenSlam(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	if fs.Len() != seq.Len() {
+		t.Fatalf("len %d vs %d", fs.Len(), seq.Len())
+	}
+	if fs.Intrinsics() != seq.Intrinsics() {
+		t.Fatal("intrinsics mismatch")
+	}
+	// Random access, including out of order.
+	for _, i := range []int{5, 0, 11, 3, 5} {
+		fa, err := fs.Frame(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, _ := seq.Frame(i)
+		if math.Abs(fa.Time-fb.Time) > 1e-12 {
+			t.Fatalf("frame %d time mismatch", i)
+		}
+		if !fa.GroundTruth.ApproxEq(fb.GroundTruth, 1e-9) {
+			t.Fatalf("frame %d pose mismatch", i)
+		}
+		for j := range fa.Depth.Pix {
+			if math.Abs(float64(fa.Depth.Pix[j]-fb.Depth.Pix[j])) > 6e-4 {
+				t.Fatalf("frame %d pixel %d mismatch", i, j)
+			}
+		}
+	}
+	if _, err := fs.Frame(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := fs.Frame(99); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+}
+
+func TestFileSequenceConcurrentAccess(t *testing.T) {
+	path, _ := writeTempSlam(t)
+	fs, err := OpenSlam(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 20; i++ {
+				if _, err := fs.Frame((g + i) % fs.Len()); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOpenSlamRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "nope.slam")
+	if _, err := OpenSlam(missing); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	garbage := filepath.Join(dir, "garbage.slam")
+	if err := os.WriteFile(garbage, []byte("not a slam file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSlam(garbage); err == nil {
+		t.Fatal("garbage accepted")
+	}
+
+	// Truncated: valid header, missing frames.
+	path, _ := writeTempSlam(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.slam")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSlam(trunc); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}

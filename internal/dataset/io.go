@@ -1,0 +1,187 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"slamgo/internal/camera"
+	"slamgo/internal/imgproc"
+	"slamgo/internal/math3"
+	"slamgo/internal/trajectory"
+)
+
+// The .slam binary format stores a full sequence (intrinsics, per-frame
+// depth as uint16 millimetres, ground-truth poses) in one stream:
+//
+//	magic "SLAMGO01" | u32 width | u32 height | f64 fx fy cx cy | u32 n
+//	then per frame: f64 time | f64 qw qx qy qz tx ty tz | u16 depth[w*h]
+//
+// Depth is quantised to millimetres exactly as a real Kinect delivers it,
+// so reading a .slam file exercises the same mm→m conversion path as live
+// sensor input.
+
+const slamMagic = "SLAMGO01"
+
+// WriteSlam serialises a sequence.
+func WriteSlam(w io.Writer, s Sequence) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(slamMagic); err != nil {
+		return err
+	}
+	in := s.Intrinsics()
+	for _, v := range []uint32{uint32(in.Width), uint32(in.Height)} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, v := range []float64{in.Fx, in.Fy, in.Cx, in.Cy} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(s.Len())); err != nil {
+		return err
+	}
+	buf := make([]uint16, in.Width*in.Height)
+	for i := 0; i < s.Len(); i++ {
+		f, err := s.Frame(i)
+		if err != nil {
+			return err
+		}
+		q := f.GroundTruth.Quat()
+		t := f.GroundTruth.T
+		vals := []float64{f.Time, q.W, q.X, q.Y, q.Z, t.X, t.Y, t.Z}
+		for _, v := range vals {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		for j, d := range f.Depth.Pix {
+			mm := d * 1000
+			switch {
+			case mm <= 0:
+				buf[j] = 0
+			case mm > 65535:
+				buf[j] = 65535
+			default:
+				buf[j] = uint16(mm + 0.5)
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSlam parses a .slam stream into a memory sequence named name.
+func ReadSlam(r io.Reader, name string) (*MemorySequence, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(slamMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if string(magic) != slamMagic {
+		return nil, fmt.Errorf("dataset: bad magic %q", magic)
+	}
+	var w32, h32, n32 uint32
+	if err := binary.Read(br, binary.LittleEndian, &w32); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &h32); err != nil {
+		return nil, err
+	}
+	var fx, fy, cx, cy float64
+	for _, p := range []*float64{&fx, &fy, &cx, &cy} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if err := binary.Read(br, binary.LittleEndian, &n32); err != nil {
+		return nil, err
+	}
+	w, h, n := int(w32), int(h32), int(n32)
+	if w <= 0 || h <= 0 || w*h > 1<<26 {
+		return nil, fmt.Errorf("dataset: implausible resolution %dx%d", w, h)
+	}
+	in := camera.Intrinsics{Width: w, Height: h, Fx: fx, Fy: fy, Cx: cx, Cy: cy}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	seq := &MemorySequence{SeqName: name, Intr: in}
+	raw := make([]uint16, w*h)
+	for i := 0; i < n; i++ {
+		var vals [8]float64
+		for j := range vals {
+			if err := binary.Read(br, binary.LittleEndian, &vals[j]); err != nil {
+				return nil, fmt.Errorf("dataset: frame %d header: %w", i, err)
+			}
+		}
+		if err := binary.Read(br, binary.LittleEndian, raw); err != nil {
+			return nil, fmt.Errorf("dataset: frame %d depth: %w", i, err)
+		}
+		depth := imgproc.NewDepthMap(w, h)
+		imgproc.MmToM(raw, depth)
+		q := math3.Quat{W: vals[1], X: vals[2], Y: vals[3], Z: vals[4]}.Normalized()
+		seq.Frames = append(seq.Frames, &Frame{
+			Index:       i,
+			Time:        vals[0],
+			Depth:       depth,
+			GroundTruth: math3.SE3From(q, math3.V3(vals[5], vals[6], vals[7])),
+			HasGT:       true,
+		})
+	}
+	return seq, nil
+}
+
+// WriteTUM writes a trajectory in the TUM RGB-D benchmark text format:
+// "timestamp tx ty tz qx qy qz qw" per line.
+func WriteTUM(w io.Writer, tr *trajectory.Trajectory) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range tr.Poses {
+		q := p.T.Quat()
+		t := p.T.T
+		if _, err := fmt.Fprintf(bw, "%.6f %.6f %.6f %.6f %.6f %.6f %.6f %.6f\n",
+			p.Time, t.X, t.Y, t.Z, q.X, q.Y, q.Z, q.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTUM parses a TUM-format trajectory. Lines starting with '#' and
+// blank lines are skipped.
+func ReadTUM(r io.Reader) (*trajectory.Trajectory, error) {
+	tr := &trajectory.Trajectory{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 8 {
+			return nil, fmt.Errorf("dataset: TUM line %d has %d fields, want 8", lineNo, len(fields))
+		}
+		var v [8]float64
+		for i, f := range fields {
+			x, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: TUM line %d field %d: %w", lineNo, i, err)
+			}
+			v[i] = x
+		}
+		q := math3.Quat{W: v[7], X: v[4], Y: v[5], Z: v[6]}.Normalized()
+		tr.Append(v[0], math3.SE3From(q, math3.V3(v[1], v[2], v[3])))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

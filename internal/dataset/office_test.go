@@ -1,0 +1,54 @@
+package dataset
+
+import (
+	"testing"
+
+	"slamgo/internal/math3"
+	"slamgo/internal/sdf"
+)
+
+func TestOfficePresets(t *testing.T) {
+	opts := TestPresetOptions()
+	opts.Frames = 20
+	for kt := 0; kt <= 1; kt++ {
+		seq, err := OfficeKT(kt, opts)
+		if err != nil {
+			t.Fatalf("office kt%d: %v", kt, err)
+		}
+		f, err := seq.Frame(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Depth.ValidFraction() < 0.5 {
+			t.Fatalf("office kt%d barely visible: %v", kt, f.Depth.ValidFraction())
+		}
+		poses, _, err := GroundTruth(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(poses); i++ {
+			rel := poses[i-1].Inverse().Mul(poses[i])
+			if rel.TranslationNorm() > 0.4 {
+				t.Fatalf("office kt%d step %d too large: %v", kt, i, rel.TranslationNorm())
+			}
+		}
+	}
+	if _, err := OfficeKT(5, opts); err == nil {
+		t.Fatal("office kt5 accepted")
+	}
+}
+
+func TestOfficeSceneGeometry(t *testing.T) {
+	scene := sdf.Office()
+	// Desk top is solid, open space above it is free.
+	if d := scene.Distance(math3.V3(-1.1, 0.73, -2.0)); d >= 0 {
+		t.Fatalf("desk top should be solid: %v", d)
+	}
+	if d := scene.Distance(math3.V3(0, 1.5, 0.5)); d <= 0 {
+		t.Fatalf("room centre should be free: %v", d)
+	}
+	// Monitor slab is thin but solid.
+	if d := scene.Distance(math3.V3(1.1, 1.05, -2.25)); d >= 0 {
+		t.Fatalf("monitor should be solid: %v", d)
+	}
+}

@@ -1,0 +1,103 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"slamgo/internal/imgproc"
+)
+
+func randomProfile(r *rand.Rand) Profile {
+	return Profile{
+		Name:             "rnd",
+		GopsPeak:         0.1 + r.Float64()*10,
+		BandwidthGBs:     0.5 + r.Float64()*20,
+		StaticWatts:      r.Float64(),
+		DynamicWatts:     0.5 + r.Float64()*5,
+		FrameOverheadSec: r.Float64() * 0.02,
+	}
+}
+
+func TestQuickLatencyMonotoneInWork(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewModel(randomProfile(r))
+		ops := int64(r.Intn(1e9) + 1)
+		bytes := int64(r.Intn(1e9) + 1)
+		base := m.Latency(imgproc.Cost{Ops: ops, Bytes: bytes})
+		moreOps := m.Latency(imgproc.Cost{Ops: ops * 2, Bytes: bytes})
+		moreBytes := m.Latency(imgproc.Cost{Ops: ops, Bytes: bytes * 2})
+		return moreOps >= base && moreBytes >= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEnergyNonNegativeAndMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewModel(randomProfile(r))
+		ops := int64(r.Intn(1e8) + 1)
+		c1 := imgproc.Cost{Ops: ops, Bytes: ops}
+		c2 := imgproc.Cost{Ops: ops * 3, Bytes: ops * 3}
+		e1, e2 := m.Energy(c1), m.Energy(c2)
+		return e1 >= 0 && e2 >= e1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickExecuteFrameInvariants(t *testing.T) {
+	// Power is always between static and static+dynamic; energy equals
+	// power × window; deadline flag is consistent with latency.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomProfile(r)
+		m := NewModel(p)
+		c := imgproc.Cost{Ops: int64(r.Intn(5e8)), Bytes: int64(r.Intn(5e8))}
+		period := 1.0 / 30
+		st := m.ExecuteFrame(c, period)
+		if st.Latency < p.FrameOverheadSec {
+			return false
+		}
+		if st.MetDeadline != (st.Latency <= period) {
+			return false
+		}
+		maxPower := p.StaticWatts + p.DynamicWatts + 1e-9
+		if st.Power < p.StaticWatts-1e-9 || st.Power > maxPower {
+			return false
+		}
+		return st.Energy >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOperatingPointsOrderedTradeoff(t *testing.T) {
+	// Across the XU3's DVFS ladder, lower points are slower but burn
+	// less energy for the same work.
+	m := NewModel(OdroidXU3())
+	c := imgproc.Cost{Ops: 2e8, Bytes: 1e8}
+	var prevLat, prevEnergy float64
+	for i, name := range m.Points() {
+		mp, err := m.AtPoint(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat := mp.Latency(c)
+		e := mp.Energy(c)
+		if i > 0 {
+			if lat <= prevLat {
+				t.Fatalf("%s not slower than previous point", name)
+			}
+			if e >= prevEnergy {
+				t.Fatalf("%s not lower energy than previous point", name)
+			}
+		}
+		prevLat, prevEnergy = lat, e
+	}
+}

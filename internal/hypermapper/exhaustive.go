@@ -1,0 +1,61 @@
+package hypermapper
+
+import "fmt"
+
+// Exhaustive enumerates every point of a fully discrete space (all
+// parameters Ordinal or small Integer ranges). It exists to validate the
+// optimizer against ground truth on toy spaces and to run brute-force
+// sweeps when the space is small enough. An error is returned when the
+// space is continuous or larger than maxPoints.
+func Exhaustive(space *Space, maxPoints int) ([]Point, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if maxPoints <= 0 {
+		maxPoints = 100000
+	}
+	domains := make([][]float64, len(space.Params))
+	total := 1
+	for i, p := range space.Params {
+		switch p.Kind {
+		case Ordinal:
+			domains[i] = p.Choices
+		case Integer:
+			n := int(p.Max-p.Min) + 1
+			vals := make([]float64, n)
+			for k := 0; k < n; k++ {
+				vals[k] = p.Min + float64(k)
+			}
+			domains[i] = vals
+		default:
+			return nil, fmt.Errorf("hypermapper: parameter %q is continuous; cannot enumerate", p.Name)
+		}
+		total *= len(domains[i])
+		if total > maxPoints {
+			return nil, fmt.Errorf("hypermapper: space has >%d points", maxPoints)
+		}
+	}
+	out := make([]Point, 0, total)
+	idx := make([]int, len(domains))
+	for {
+		pt := make(Point, len(domains))
+		for d, k := range idx {
+			pt[d] = domains[d][k]
+		}
+		out = append(out, pt)
+		// Odometer increment.
+		d := 0
+		for d < len(idx) {
+			idx[d]++
+			if idx[d] < len(domains[d]) {
+				break
+			}
+			idx[d] = 0
+			d++
+		}
+		if d == len(idx) {
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package hypermapper
+
+import (
+	"math"
+	"testing"
+)
+
+func discreteSpace() *Space {
+	return &Space{Params: []Parameter{
+		{Name: "a", Kind: Ordinal, Choices: []float64{1, 2, 3}},
+		{Name: "b", Kind: Integer, Min: 0, Max: 4},
+		{Name: "c", Kind: Ordinal, Choices: []float64{10, 20}},
+	}}
+}
+
+func TestExhaustiveEnumeratesAll(t *testing.T) {
+	s := discreteSpace()
+	pts, err := Exhaustive(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3*5*2 {
+		t.Fatalf("points %d want 30", len(pts))
+	}
+	seen := map[string]bool{}
+	for _, pt := range pts {
+		k := s.Key(pt)
+		if seen[k] {
+			t.Fatalf("duplicate point %s", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestExhaustiveRejectsContinuous(t *testing.T) {
+	s := &Space{Params: []Parameter{{Name: "x", Kind: Real, Min: 0, Max: 1}}}
+	if _, err := Exhaustive(s, 0); err == nil {
+		t.Fatal("continuous space enumerated")
+	}
+}
+
+func TestExhaustiveRespectsCap(t *testing.T) {
+	if _, err := Exhaustive(discreteSpace(), 10); err == nil {
+		t.Fatal("cap ignored")
+	}
+}
+
+func TestOptimizerFindsNearExhaustiveOptimum(t *testing.T) {
+	// Validation against brute force: on a fully discrete space, the
+	// constrained optimizer's best feasible point must be within 25% of
+	// the true optimum runtime.
+	s := &Space{Params: []Parameter{
+		{Name: "volume_resolution", Kind: Ordinal, Choices: []float64{64, 96, 128, 192, 256}},
+		{Name: "compute_size_ratio", Kind: Ordinal, Choices: []float64{1, 2, 4, 8}},
+		{Name: "icp_iters", Kind: Integer, Min: 1, Max: 10},
+	}}
+	eval := func(pt Point) Metrics {
+		vr, csr, it := pt[0], pt[1], pt[2]
+		return Metrics{
+			Runtime: 1e-9*vr*vr*vr + 0.004*it/csr + 0.02/csr,
+			MaxATE:  0.012 + 4.0/vr + 0.012*csr + 0.08/it,
+			Power:   1,
+		}
+	}
+	const limit = 0.09
+
+	all, err := Exhaustive(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueBest := math.Inf(1)
+	for _, pt := range all {
+		m := eval(pt)
+		if m.MaxATE <= limit && m.Runtime < trueBest {
+			trueBest = m.Runtime
+		}
+	}
+
+	cfg := DefaultOptimizerConfig()
+	cfg.RandomSamples = 12
+	cfg.ActiveIterations = 6
+	cfg.BatchPerIteration = 4
+	cfg.CandidatePool = 500
+	cfg.ConstraintObjective = 1
+	cfg.ConstraintLimit = limit
+	cfg.Seed = 5
+	res, err := Optimize(s, eval, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := math.Inf(1)
+	for _, o := range res.Observations {
+		if o.M.MaxATE <= limit && o.M.Runtime < found {
+			found = o.M.Runtime
+		}
+	}
+	if found > trueBest*1.25 {
+		t.Fatalf("optimizer best %v vs exhaustive optimum %v", found, trueBest)
+	}
+}

@@ -1,0 +1,102 @@
+package hypermapper
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The HyperMapper tool persists every evaluated configuration as a CSV
+// row so runs can be analysed, resumed or merged. This file provides the
+// same capability: one column per parameter, then the metric columns.
+
+// metricColumns is the fixed metric header suffix.
+var metricColumns = []string{"runtime_s", "max_ate_m", "power_w", "energy_j", "failed"}
+
+// WriteObservations serialises observations as CSV with named parameter
+// columns.
+func WriteObservations(w io.Writer, space *Space, obs []Observation) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, space.Names()...), metricColumns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, o := range obs {
+		if len(o.X) != len(space.Params) {
+			return fmt.Errorf("hypermapper: observation %d has %d values, space has %d",
+				i, len(o.X), len(space.Params))
+		}
+		row := make([]string, 0, len(header))
+		for _, v := range o.X {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		failed := "0"
+		if o.M.Failed {
+			failed = "1"
+		}
+		row = append(row,
+			strconv.FormatFloat(o.M.Runtime, 'g', -1, 64),
+			strconv.FormatFloat(o.M.MaxATE, 'g', -1, 64),
+			strconv.FormatFloat(o.M.Power, 'g', -1, 64),
+			strconv.FormatFloat(o.M.Energy, 'g', -1, 64),
+			failed,
+		)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadObservations parses a CSV produced by WriteObservations, validating
+// the header against the space.
+func ReadObservations(r io.Reader, space *Space) ([]Observation, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("hypermapper: reading header: %w", err)
+	}
+	want := append(append([]string{}, space.Names()...), metricColumns...)
+	if len(header) != len(want) {
+		return nil, fmt.Errorf("hypermapper: header has %d columns, want %d", len(header), len(want))
+	}
+	for i := range want {
+		if header[i] != want[i] {
+			return nil, fmt.Errorf("hypermapper: column %d is %q, want %q", i, header[i], want[i])
+		}
+	}
+	np := len(space.Params)
+	var out []Observation
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		line++
+		vals := make([]float64, len(row))
+		for i, s := range row {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("hypermapper: line %d column %d: %w", line, i, err)
+			}
+			vals[i] = v
+		}
+		out = append(out, Observation{
+			X: Point(vals[:np]),
+			M: Metrics{
+				Runtime: vals[np],
+				MaxATE:  vals[np+1],
+				Power:   vals[np+2],
+				Energy:  vals[np+3],
+				Failed:  vals[np+4] != 0,
+			},
+		})
+	}
+	return out, nil
+}

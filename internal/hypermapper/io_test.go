@@ -1,0 +1,78 @@
+package hypermapper
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestObservationsRoundtrip(t *testing.T) {
+	s := testSpace()
+	eval := syntheticEvaluator(s)
+	rng := rand.New(rand.NewSource(2))
+	var obs []Observation
+	for _, pt := range s.SampleN(25, rng) {
+		obs = append(obs, Observation{X: pt, M: eval(pt)})
+	}
+	obs[3].M.Failed = true
+
+	var buf bytes.Buffer
+	if err := WriteObservations(&buf, s, obs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadObservations(&buf, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(obs) {
+		t.Fatalf("count %d vs %d", len(got), len(obs))
+	}
+	for i := range obs {
+		for d := range obs[i].X {
+			if got[i].X[d] != obs[i].X[d] {
+				t.Fatalf("obs %d param %d: %v vs %v", i, d, got[i].X[d], obs[i].X[d])
+			}
+		}
+		if got[i].M != obs[i].M {
+			t.Fatalf("obs %d metrics: %+v vs %+v", i, got[i].M, obs[i].M)
+		}
+	}
+}
+
+func TestReadObservationsValidatesHeader(t *testing.T) {
+	s := testSpace()
+	bad := "a,b,c\n1,2,3\n"
+	if _, err := ReadObservations(strings.NewReader(bad), s); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	// Right width, wrong names.
+	cols := make([]string, len(s.Params)+5)
+	for i := range cols {
+		cols[i] = "x"
+	}
+	if _, err := ReadObservations(strings.NewReader(strings.Join(cols, ",")+"\n"), s); err == nil {
+		t.Fatal("wrong names accepted")
+	}
+}
+
+func TestReadObservationsRejectsGarbageValues(t *testing.T) {
+	s := testSpace()
+	var buf bytes.Buffer
+	if err := WriteObservations(&buf, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.String() + "1,2,0.1,5,not_a_number,0,0,0,0\n"
+	if _, err := ReadObservations(strings.NewReader(data), s); err == nil {
+		t.Fatal("garbage value accepted")
+	}
+}
+
+func TestWriteObservationsValidatesWidth(t *testing.T) {
+	s := testSpace()
+	var buf bytes.Buffer
+	bad := []Observation{{X: Point{1}}}
+	if err := WriteObservations(&buf, s, bad); err == nil {
+		t.Fatal("short point accepted")
+	}
+}

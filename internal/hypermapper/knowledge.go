@@ -1,0 +1,71 @@
+package hypermapper
+
+import (
+	"errors"
+	"math/rand"
+
+	"slamgo/internal/rf"
+)
+
+// Labeler assigns a class index to a configuration's metrics; classes are
+// named by the parallel class list (e.g. "fast+accurate" / "other").
+type Labeler func(Metrics) int
+
+// PaperClasses builds the three-way labelling of Figure 2 (right):
+// configurations are graded by which of the paper's three targets they
+// meet — accurate (max ATE < ateLimit), fast (≥ fpsLimit), power
+// efficient (< powerLimit). The class is the count-coded combination.
+func PaperClasses(ateLimit, fpsLimit, powerLimit float64) (Labeler, []string) {
+	names := []string{
+		"none",
+		"accurate",
+		"fast",
+		"accurate+fast",
+		"efficient",
+		"accurate+efficient",
+		"fast+efficient",
+		"accurate+fast+efficient",
+	}
+	label := func(m Metrics) int {
+		if m.Failed {
+			return 0
+		}
+		idx := 0
+		if m.MaxATE < ateLimit {
+			idx |= 1
+		}
+		if m.Runtime > 0 && 1/m.Runtime >= fpsLimit {
+			idx |= 2
+		}
+		if m.Power < powerLimit {
+			idx |= 4
+		}
+		return idx
+	}
+	return label, names
+}
+
+// Knowledge fits a shallow decision tree over evaluated configurations,
+// returning the tree and its extracted rules — the paper's "knowledge"
+// output that tells a system designer which parameter regions meet which
+// targets.
+func Knowledge(space *Space, obs []Observation, label Labeler, classNames []string, maxDepth int) (*rf.ClassificationTree, []rf.Rule, error) {
+	if len(obs) == 0 {
+		return nil, nil, errors.New("hypermapper: no observations for knowledge extraction")
+	}
+	if maxDepth < 1 {
+		maxDepth = 3
+	}
+	var X [][]float64
+	var y []int
+	for _, o := range obs {
+		X = append(X, o.X)
+		y = append(y, label(o.M))
+	}
+	tree, err := rf.FitClassification(X, y, classNames,
+		rf.TreeConfig{MaxDepth: maxDepth, MinLeaf: 2}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		return nil, nil, err
+	}
+	return tree, tree.Rules(space.Names()), nil
+}

@@ -1,0 +1,363 @@
+package hypermapper
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"slamgo/internal/rf"
+)
+
+// Evaluator measures one configuration (runs the SLAM pipeline on the
+// modelled device). It is the expensive black box the DSE minimises calls
+// to.
+type Evaluator func(Point) Metrics
+
+// OptimizerConfig controls the two-phase exploration of Figure 2:
+// random sampling to seed the model, then active learning.
+type OptimizerConfig struct {
+	// RandomSamples seeds the surrogate (paper: "random sampling of the
+	// space"). Latin hypercube is used for coverage.
+	RandomSamples int
+	// ActiveIterations is the number of model-guided rounds.
+	ActiveIterations int
+	// BatchPerIteration evaluates the top-B acquisition candidates per
+	// round.
+	BatchPerIteration int
+	// CandidatePool is how many unevaluated candidates are scored by the
+	// surrogate per round.
+	CandidatePool int
+	// Objectives defines the dominance space (default RuntimeAccuracy).
+	Objectives Objectives
+	// Forest configures the per-objective surrogate models.
+	Forest rf.ForestConfig
+	// ExplorationWeight trades predicted-dominance exploitation against
+	// ensemble-uncertainty exploration in the acquisition score.
+	ExplorationWeight float64
+	// ConstraintObjective, together with ConstraintLimit, switches the
+	// acquisition into the paper's constrained mode: minimise
+	// objective 0 subject to objective[ConstraintObjective] ≤ limit
+	// (e.g. runtime s.t. max ATE ≤ 0.05 m). Zero value (with
+	// ConstraintLimit == 0) keeps the unconstrained hypervolume mode.
+	ConstraintObjective int
+	// ConstraintLimit is the feasibility bound for the constrained mode.
+	ConstraintLimit float64
+	// Seed drives every stochastic choice.
+	Seed int64
+	// Log, when non-nil, receives progress lines.
+	Log func(string)
+}
+
+// constrained reports whether the constrained acquisition is active.
+func (c OptimizerConfig) constrained() bool {
+	return c.ConstraintLimit > 0 && c.ConstraintObjective > 0
+}
+
+// DefaultOptimizerConfig returns the configuration used by the bundled
+// experiments.
+func DefaultOptimizerConfig() OptimizerConfig {
+	return OptimizerConfig{
+		RandomSamples:     20,
+		ActiveIterations:  6,
+		BatchPerIteration: 5,
+		CandidatePool:     2000,
+		Objectives:        RuntimeAccuracy,
+		Forest:            rf.DefaultForestConfig(),
+		ExplorationWeight: 0.1,
+		Seed:              1,
+	}
+}
+
+// Result is the outcome of one DSE run.
+type Result struct {
+	// Observations holds every evaluated configuration in order.
+	Observations []Observation
+	// RandomPhase is the count of observations from the random phase
+	// (Observations[:RandomPhase] were random, the rest active).
+	RandomPhase int
+	// Front is the final Pareto front.
+	Front []Observation
+}
+
+// Optimize runs the full random + active-learning exploration.
+func Optimize(space *Space, eval Evaluator, cfg OptimizerConfig) (*Result, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if eval == nil {
+		return nil, errors.New("hypermapper: nil evaluator")
+	}
+	if cfg.Objectives == nil {
+		cfg.Objectives = RuntimeAccuracy
+	}
+	if cfg.RandomSamples < 2 {
+		return nil, errors.New("hypermapper: need ≥2 random samples")
+	}
+	if cfg.BatchPerIteration < 1 {
+		cfg.BatchPerIteration = 1
+	}
+	if cfg.CandidatePool < cfg.BatchPerIteration {
+		cfg.CandidatePool = cfg.BatchPerIteration * 10
+	}
+	if cfg.Forest.Tree.MTry <= 0 {
+		// DSE spaces are low-dimensional; full-feature splits make the
+		// surrogate far stronger than the d/3 regression default.
+		cfg.Forest.Tree.MTry = len(space.Params)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	logf := func(format string, args ...any) {
+		if cfg.Log != nil {
+			cfg.Log(fmt.Sprintf(format, args...))
+		}
+	}
+
+	res := &Result{}
+	seen := map[string]bool{}
+
+	// --- Phase 1: stratified random sampling.
+	for _, pt := range space.LatinHypercube(cfg.RandomSamples, rng) {
+		k := space.Key(pt)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		res.Observations = append(res.Observations, Observation{X: pt, M: eval(pt)})
+	}
+	res.RandomPhase = len(res.Observations)
+	logf("random phase: %d evaluations", res.RandomPhase)
+
+	// --- Phase 2: active learning.
+	for iter := 0; iter < cfg.ActiveIterations; iter++ {
+		models, ok := fitSurrogates(res.Observations, cfg)
+		if !ok {
+			logf("iteration %d: not enough successful runs to fit surrogates", iter)
+			break
+		}
+		front := ParetoFront(res.Observations, cfg.Objectives)
+		ref := referencePoint(res.Observations, cfg.Objectives)
+
+		// Candidate pool: half random, half mutations of front members
+		// (HyperMapper similarly mixes global and local proposals).
+		var candidates []Point
+		for i := 0; i < cfg.CandidatePool/2; i++ {
+			candidates = append(candidates, space.Sample(rng))
+		}
+		if len(front) > 0 {
+			for i := 0; i < cfg.CandidatePool-cfg.CandidatePool/2; i++ {
+				base := front[rng.Intn(len(front))].X
+				candidates = append(candidates, space.Mutate(base, 1+rng.Intn(2), rng))
+			}
+		}
+
+		// Predict every unseen candidate once.
+		type cand struct {
+			pt   Point
+			opt  []float64 // optimistic objective estimate
+			unc  float64
+			used bool
+		}
+		var pool []cand
+		for _, c := range candidates {
+			if seen[space.Key(c)] {
+				continue
+			}
+			opt, unc := predictOptimistic(c, models, cfg)
+			pool = append(pool, cand{pt: c, opt: opt, unc: unc})
+		}
+		if len(pool) == 0 {
+			break
+		}
+
+		// Greedy hypervolume-conditioned batch: each pick is scored
+		// against the front *plus the batch's previous optimistic picks*,
+		// so one iteration spreads across the front instead of piling
+		// into a single predicted-good corner.
+		predFront := make([][]float64, 0, len(front)+cfg.BatchPerIteration)
+		for _, fo := range front {
+			predFront = append(predFront, cfg.Objectives(fo.M))
+		}
+		for b := 0; b < cfg.BatchPerIteration; b++ {
+			bi := -1
+			bestScore := math.Inf(-1)
+			// Alternate exploitation (predicted hypervolume gain) with
+			// pure exploration (maximum surrogate disagreement): the
+			// surrogate is only trustworthy near evaluated points, so a
+			// batch must also buy information in unexplored regions.
+			explore := b%2 == 1
+			for i := range pool {
+				if pool[i].used {
+					continue
+				}
+				var s float64
+				switch {
+				case explore:
+					s = pool[i].unc
+				case cfg.constrained():
+					s = constrainedAcquisition(pool[i].opt, pool[i].unc, res.Observations, cfg)
+				default:
+					s = acquisition(pool[i].opt, pool[i].unc, predFront, ref)
+				}
+				if s > bestScore {
+					bestScore = s
+					bi = i
+				}
+			}
+			if bi < 0 {
+				break
+			}
+			pool[bi].used = true
+			pt := pool[bi].pt
+			k := space.Key(pt)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			res.Observations = append(res.Observations, Observation{X: pt, M: eval(pt)})
+			predFront = append(predFront, pool[bi].opt)
+		}
+		logf("active iteration %d: %d total evaluations", iter, len(res.Observations))
+	}
+
+	res.Front = ParetoFront(res.Observations, cfg.Objectives)
+	return res, nil
+}
+
+// surrogate bundles one forest per objective dimension.
+type surrogate struct {
+	forests []*rf.Forest
+}
+
+func fitSurrogates(obs []Observation, cfg OptimizerConfig) (*surrogate, bool) {
+	var X [][]float64
+	var ys [][]float64
+	for _, o := range obs {
+		if o.M.Failed {
+			continue
+		}
+		objs := cfg.Objectives(o.M)
+		if ys == nil {
+			ys = make([][]float64, len(objs))
+		}
+		X = append(X, o.X)
+		for i, v := range objs {
+			ys[i] = append(ys[i], v)
+		}
+	}
+	if len(X) < 5 {
+		return nil, false
+	}
+	s := &surrogate{}
+	for _, y := range ys {
+		fcfg := cfg.Forest
+		fcfg.Seed = cfg.Seed + int64(len(s.forests)) + 17
+		f, err := rf.FitForest(X, y, fcfg)
+		if err != nil {
+			return nil, false
+		}
+		s.forests = append(s.forests, f)
+	}
+	return s, true
+}
+
+// referencePoint derives the hypervolume reference from the worst
+// observed value per objective (scaled out slightly).
+func referencePoint(obs []Observation, objectives Objectives) []float64 {
+	var ref []float64
+	for _, o := range obs {
+		if o.M.Failed {
+			continue
+		}
+		v := objectives(o.M)
+		if ref == nil {
+			ref = append([]float64(nil), v...)
+			continue
+		}
+		for i := range v {
+			if v[i] > ref[i] {
+				ref[i] = v[i]
+			}
+		}
+	}
+	for i := range ref {
+		ref[i] *= 1.1
+	}
+	return ref
+}
+
+// constrainedAcquisition implements the paper's feasibility-constrained
+// search: predicted improvement of the primary objective over the best
+// currently feasible observation, for candidates predicted feasible;
+// infeasible predictions are scored by how close they come to the bound.
+func constrainedAcquisition(opt []float64, unc float64, obs []Observation, cfg OptimizerConfig) float64 {
+	limit := cfg.ConstraintLimit
+	ci := cfg.ConstraintObjective
+	bestFeasible := math.Inf(1)
+	for _, o := range obs {
+		if o.M.Failed {
+			continue
+		}
+		v := cfg.Objectives(o.M)
+		if v[ci] <= limit && v[0] < bestFeasible {
+			bestFeasible = v[0]
+		}
+	}
+	if opt[ci] <= limit {
+		if math.IsInf(bestFeasible, 1) {
+			// Nothing feasible yet: any predicted-feasible point is gold.
+			return 1000 - opt[0] + 0.05*unc
+		}
+		return (bestFeasible - opt[0]) + 0.05*unc
+	}
+	// Predicted infeasible: mildly reward near-boundary exploration.
+	return -(opt[ci] - limit) + 0.02*unc
+}
+
+// predictOptimistic returns the surrogate's optimistic objective vector
+// (mean − w·std per objective) and the summed uncertainty.
+func predictOptimistic(pt Point, s *surrogate, cfg OptimizerConfig) ([]float64, float64) {
+	opt := make([]float64, len(s.forests))
+	var unc float64
+	for i, f := range s.forests {
+		m, std := f.PredictWithStd(pt)
+		opt[i] = m - cfg.ExplorationWeight*std
+		unc += std
+	}
+	return opt, unc
+}
+
+// acquisition scores an optimistic objective estimate by the hypervolume
+// it would add to the (predicted) front — an EHVI-style criterion — with
+// a small uncertainty bonus. For >2 objectives it falls back to
+// dominance counting.
+func acquisition(opt []float64, unc float64, frontPts [][]float64, ref []float64) float64 {
+	if len(frontPts) == 0 || ref == nil {
+		return unc
+	}
+	if len(opt) == 2 {
+		base := hv2D(frontPts, ref)
+		with := hv2D(append(frontPts, opt), ref)
+		gain := with - base
+		// Normalise against the reference box so the uncertainty bonus
+		// stays on a comparable scale.
+		box := ref[0] * ref[1]
+		if box > 0 {
+			gain /= box
+		}
+		return gain + 0.01*unc
+	}
+	score := 0.0
+	dominatedByAny := false
+	for _, fv := range frontPts {
+		if Dominates(opt, fv) {
+			score += 1
+		}
+		if Dominates(fv, opt) {
+			dominatedByAny = true
+		}
+	}
+	if !dominatedByAny {
+		score += 0.5
+	}
+	return score + 0.05*unc
+}

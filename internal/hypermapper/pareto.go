@@ -1,0 +1,160 @@
+package hypermapper
+
+import "sort"
+
+// Metrics are the objectives SLAMBench measures per configuration. All
+// are minimised except where a constraint says otherwise.
+type Metrics struct {
+	// Runtime is mean seconds per frame on the modelled device.
+	Runtime float64
+	// MaxATE is the accuracy objective (metres, the paper's "Max ATE").
+	MaxATE float64
+	// Power is mean watts on the modelled device.
+	Power float64
+	// Energy is total joules for the sequence.
+	Energy float64
+	// Failed marks configurations whose run lost tracking or errored;
+	// they are excluded from fronts and best-config selection.
+	Failed bool
+}
+
+// Observation pairs a configuration with its measured metrics.
+type Observation struct {
+	X Point
+	M Metrics
+}
+
+// Objectives maps metrics to the minimisation vector used for dominance.
+type Objectives func(Metrics) []float64
+
+// RuntimeAccuracy is the Figure 2 objective pair.
+func RuntimeAccuracy(m Metrics) []float64 { return []float64{m.Runtime, m.MaxATE} }
+
+// RuntimeAccuracyPower is the full tri-objective space.
+func RuntimeAccuracyPower(m Metrics) []float64 { return []float64{m.Runtime, m.MaxATE, m.Power} }
+
+// Dominates reports whether a Pareto-dominates b (all objectives ≤, at
+// least one strictly <).
+func Dominates(a, b []float64) bool {
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// ParetoFront extracts the non-dominated subset of obs under the given
+// objectives, sorted by the first objective. Failed observations are
+// skipped.
+func ParetoFront(obs []Observation, objectives Objectives) []Observation {
+	var valid []Observation
+	for _, o := range obs {
+		if !o.M.Failed {
+			valid = append(valid, o)
+		}
+	}
+	var front []Observation
+	for i, a := range valid {
+		dominated := false
+		oa := objectives(a.M)
+		for j, b := range valid {
+			if i == j {
+				continue
+			}
+			if Dominates(objectives(b.M), oa) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, a)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		return objectives(front[i].M)[0] < objectives(front[j].M)[0]
+	})
+	return front
+}
+
+// Constraint filters observations for best-configuration queries.
+type Constraint func(Metrics) bool
+
+// AccuracyLimit builds the paper's feasibility constraint: max ATE below
+// the limit (0.05 m in Figure 2).
+func AccuracyLimit(limit float64) Constraint {
+	return func(m Metrics) bool { return !m.Failed && m.MaxATE <= limit }
+}
+
+// And conjoins constraints.
+func And(cs ...Constraint) Constraint {
+	return func(m Metrics) bool {
+		for _, c := range cs {
+			if !c(m) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Best returns the feasible observation minimising key, and whether any
+// feasible observation exists.
+func Best(obs []Observation, feasible Constraint, key func(Metrics) float64) (Observation, bool) {
+	found := false
+	var best Observation
+	for _, o := range obs {
+		if o.M.Failed || (feasible != nil && !feasible(o.M)) {
+			continue
+		}
+		if !found || key(o.M) < key(best.M) {
+			best = o
+			found = true
+		}
+	}
+	return best, found
+}
+
+// HypervolumeProxy computes a simple quality indicator of a 2-objective
+// front: the area dominated below a reference point. Used in tests and
+// logs to show active learning beats random sampling.
+func HypervolumeProxy(front []Observation, objectives Objectives, ref []float64) float64 {
+	var pts [][]float64
+	for _, o := range front {
+		pts = append(pts, objectives(o.M))
+	}
+	return hv2D(pts, ref)
+}
+
+// hv2D computes the dominated area of 2-objective minimisation points
+// below reference ref.
+func hv2D(points [][]float64, ref []float64) float64 {
+	type p2 struct{ x, y float64 }
+	var pts []p2
+	for _, v := range points {
+		if v[0] >= ref[0] || v[1] >= ref[1] {
+			continue
+		}
+		pts = append(pts, p2{v[0], v[1]})
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+	area := 0.0
+	prevX := pts[0].x
+	bestY := pts[0].y
+	for _, p := range pts[1:] {
+		area += (p.x - prevX) * (ref[1] - bestY)
+		if p.y < bestY {
+			bestY = p.y
+		}
+		prevX = p.x
+	}
+	area += (ref[0] - prevX) * (ref[1] - bestY)
+	return area
+}

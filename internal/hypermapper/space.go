@@ -1,0 +1,257 @@
+// Package hypermapper reproduces the paper's design-space-exploration
+// engine: multi-objective optimisation of algorithmic parameters via
+// random sampling followed by active learning over random-forest
+// surrogates, with Pareto-front extraction, feasibility constraints and
+// decision-tree knowledge extraction (Figure 2).
+package hypermapper
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Kind classifies a parameter's domain.
+type Kind int
+
+// Parameter domains.
+const (
+	// Ordinal parameters take one of an explicit ordered value list
+	// (e.g. volume resolution ∈ {64, 96, 128, 192, 256}).
+	Ordinal Kind = iota
+	// Integer parameters span [Min, Max] at integer steps.
+	Integer
+	// Real parameters span [Min, Max] continuously.
+	Real
+)
+
+// Parameter is one tunable dimension of the design space.
+type Parameter struct {
+	Name     string
+	Kind     Kind
+	Min, Max float64   // Integer, Real
+	Choices  []float64 // Ordinal
+}
+
+// Validate reports malformed domains.
+func (p Parameter) Validate() error {
+	switch p.Kind {
+	case Ordinal:
+		if len(p.Choices) == 0 {
+			return fmt.Errorf("hypermapper: ordinal %q has no choices", p.Name)
+		}
+		for i := 1; i < len(p.Choices); i++ {
+			if p.Choices[i] <= p.Choices[i-1] {
+				return fmt.Errorf("hypermapper: ordinal %q choices not strictly increasing", p.Name)
+			}
+		}
+	case Integer, Real:
+		if p.Max < p.Min {
+			return fmt.Errorf("hypermapper: %q has Max < Min", p.Name)
+		}
+	default:
+		return fmt.Errorf("hypermapper: %q has unknown kind %d", p.Name, p.Kind)
+	}
+	return nil
+}
+
+// Sample draws a uniform value from the domain.
+func (p Parameter) Sample(rng *rand.Rand) float64 {
+	switch p.Kind {
+	case Ordinal:
+		return p.Choices[rng.Intn(len(p.Choices))]
+	case Integer:
+		lo, hi := int(p.Min), int(p.Max)
+		return float64(lo + rng.Intn(hi-lo+1))
+	default:
+		return p.Min + rng.Float64()*(p.Max-p.Min)
+	}
+}
+
+// Nearest snaps an arbitrary value onto the domain.
+func (p Parameter) Nearest(v float64) float64 {
+	switch p.Kind {
+	case Ordinal:
+		best := p.Choices[0]
+		bd := math.Abs(v - best)
+		for _, c := range p.Choices[1:] {
+			if d := math.Abs(v - c); d < bd {
+				best, bd = c, d
+			}
+		}
+		return best
+	case Integer:
+		r := math.Round(v)
+		if r < p.Min {
+			r = p.Min
+		}
+		if r > p.Max {
+			r = p.Max
+		}
+		return r
+	default:
+		if v < p.Min {
+			return p.Min
+		}
+		if v > p.Max {
+			return p.Max
+		}
+		return v
+	}
+}
+
+// Mutate perturbs a value to a neighbouring one (local-search move).
+func (p Parameter) Mutate(v float64, rng *rand.Rand) float64 {
+	switch p.Kind {
+	case Ordinal:
+		// Step one position up or down in the choice list.
+		idx := 0
+		for i, c := range p.Choices {
+			if c == p.Nearest(v) {
+				idx = i
+				break
+			}
+		}
+		if rng.Intn(2) == 0 {
+			idx--
+		} else {
+			idx++
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(p.Choices) {
+			idx = len(p.Choices) - 1
+		}
+		return p.Choices[idx]
+	case Integer:
+		step := math.Max(1, math.Round((p.Max-p.Min)/10))
+		return p.Nearest(v + step*float64(rng.Intn(3)-1))
+	default:
+		span := (p.Max - p.Min) * 0.1
+		return p.Nearest(v + rng.NormFloat64()*span)
+	}
+}
+
+// Point is one configuration: a value per parameter, in space order.
+type Point []float64
+
+// Clone copies a point.
+func (pt Point) Clone() Point { return append(Point(nil), pt...) }
+
+// Space is the full design space.
+type Space struct {
+	Params []Parameter
+}
+
+// Validate checks every parameter and name uniqueness.
+func (s *Space) Validate() error {
+	if len(s.Params) == 0 {
+		return errors.New("hypermapper: empty space")
+	}
+	seen := map[string]bool{}
+	for _, p := range s.Params {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("hypermapper: duplicate parameter %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	return nil
+}
+
+// Names returns the parameter names in order.
+func (s *Space) Names() []string {
+	out := make([]string, len(s.Params))
+	for i, p := range s.Params {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Index returns the position of a named parameter, or -1.
+func (s *Space) Index(name string) int {
+	for i, p := range s.Params {
+		if p.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Sample draws one uniform random point.
+func (s *Space) Sample(rng *rand.Rand) Point {
+	pt := make(Point, len(s.Params))
+	for i, p := range s.Params {
+		pt[i] = p.Sample(rng)
+	}
+	return pt
+}
+
+// SampleN draws n uniform points.
+func (s *Space) SampleN(n int, rng *rand.Rand) []Point {
+	out := make([]Point, n)
+	for i := range out {
+		out[i] = s.Sample(rng)
+	}
+	return out
+}
+
+// LatinHypercube draws n stratified points: each dimension is split into
+// n strata sampled exactly once, giving better coverage than uniform
+// sampling for the initial DSE phase.
+func (s *Space) LatinHypercube(n int, rng *rand.Rand) []Point {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Point, n)
+	for i := range out {
+		out[i] = make(Point, len(s.Params))
+	}
+	for d, p := range s.Params {
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			u := (float64(perm[i]) + rng.Float64()) / float64(n)
+			var v float64
+			switch p.Kind {
+			case Ordinal:
+				idx := int(u * float64(len(p.Choices)))
+				if idx >= len(p.Choices) {
+					idx = len(p.Choices) - 1
+				}
+				v = p.Choices[idx]
+			case Integer:
+				v = p.Nearest(p.Min + u*(p.Max-p.Min))
+			default:
+				v = p.Min + u*(p.Max-p.Min)
+			}
+			out[i][d] = v
+		}
+	}
+	return out
+}
+
+// Mutate returns a copy of pt with k parameters locally perturbed.
+func (s *Space) Mutate(pt Point, k int, rng *rand.Rand) Point {
+	out := pt.Clone()
+	if k < 1 {
+		k = 1
+	}
+	for i := 0; i < k; i++ {
+		d := rng.Intn(len(s.Params))
+		out[d] = s.Params[d].Mutate(out[d], rng)
+	}
+	return out
+}
+
+// Key renders a point as a deduplication key.
+func (s *Space) Key(pt Point) string {
+	out := ""
+	for i, v := range pt {
+		out += fmt.Sprintf("%s=%.6g;", s.Params[i].Name, v)
+	}
+	return out
+}

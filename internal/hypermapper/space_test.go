@@ -1,0 +1,176 @@
+package hypermapper
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testSpace() *Space {
+	return &Space{Params: []Parameter{
+		{Name: "volume_resolution", Kind: Ordinal, Choices: []float64{64, 96, 128, 192, 256}},
+		{Name: "compute_size_ratio", Kind: Ordinal, Choices: []float64{1, 2, 4, 8}},
+		{Name: "mu", Kind: Real, Min: 0.01, Max: 0.3},
+		{Name: "icp_iters", Kind: Integer, Min: 1, Max: 20},
+	}}
+}
+
+func TestSpaceValidate(t *testing.T) {
+	if err := testSpace().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Space{}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty space accepted")
+	}
+	dup := testSpace()
+	dup.Params = append(dup.Params, dup.Params[0])
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	unsorted := &Space{Params: []Parameter{
+		{Name: "x", Kind: Ordinal, Choices: []float64{2, 1}},
+	}}
+	if err := unsorted.Validate(); err == nil {
+		t.Fatal("unsorted ordinal accepted")
+	}
+	empty := &Space{Params: []Parameter{{Name: "x", Kind: Ordinal}}}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty ordinal accepted")
+	}
+	inv := &Space{Params: []Parameter{{Name: "x", Kind: Real, Min: 2, Max: 1}}}
+	if err := inv.Validate(); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestSampleInDomain(t *testing.T) {
+	s := testSpace()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		pt := s.Sample(rng)
+		checkInDomain(t, s, pt)
+	}
+}
+
+func checkInDomain(t *testing.T, s *Space, pt Point) {
+	t.Helper()
+	if len(pt) != len(s.Params) {
+		t.Fatalf("point dims %d", len(pt))
+	}
+	for d, p := range s.Params {
+		v := pt[d]
+		switch p.Kind {
+		case Ordinal:
+			found := false
+			for _, c := range p.Choices {
+				if c == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s=%v not a choice", p.Name, v)
+			}
+		case Integer:
+			if v != float64(int(v)) || v < p.Min || v > p.Max {
+				t.Fatalf("%s=%v not integer in range", p.Name, v)
+			}
+		default:
+			if v < p.Min || v > p.Max {
+				t.Fatalf("%s=%v out of range", p.Name, v)
+			}
+		}
+	}
+}
+
+func TestLatinHypercubeCoverage(t *testing.T) {
+	s := testSpace()
+	rng := rand.New(rand.NewSource(2))
+	pts := s.LatinHypercube(40, rng)
+	if len(pts) != 40 {
+		t.Fatalf("n = %d", len(pts))
+	}
+	for _, pt := range pts {
+		checkInDomain(t, s, pt)
+	}
+	// Every ordinal choice of the first parameter must appear at least
+	// once in 40 stratified samples over 5 choices.
+	seen := map[float64]bool{}
+	for _, pt := range pts {
+		seen[pt[0]] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("LHS covered %d/5 volume resolutions", len(seen))
+	}
+	if s.LatinHypercube(0, rng) != nil {
+		t.Fatal("n=0 should be nil")
+	}
+}
+
+func TestNearestAndMutate(t *testing.T) {
+	s := testSpace()
+	p0 := s.Params[0]
+	if got := p0.Nearest(100); got != 96 {
+		t.Fatalf("nearest(100) = %v", got)
+	}
+	if got := p0.Nearest(1000); got != 256 {
+		t.Fatalf("nearest(1000) = %v", got)
+	}
+	pr := s.Params[2]
+	if got := pr.Nearest(-5); got != 0.01 {
+		t.Fatalf("real clamp %v", got)
+	}
+	pi := s.Params[3]
+	if got := pi.Nearest(7.6); got != 8 {
+		t.Fatalf("integer round %v", got)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	pt := s.Sample(rng)
+	for i := 0; i < 200; i++ {
+		m := s.Mutate(pt, 2, rng)
+		checkInDomain(t, s, m)
+	}
+	// Ordinal mutation moves at most one position.
+	for i := 0; i < 100; i++ {
+		v := p0.Mutate(128, rng)
+		if v != 96 && v != 128 && v != 192 {
+			t.Fatalf("ordinal mutate jumped to %v", v)
+		}
+	}
+}
+
+func TestIndexAndNames(t *testing.T) {
+	s := testSpace()
+	if s.Index("mu") != 2 {
+		t.Fatalf("Index(mu) = %d", s.Index("mu"))
+	}
+	if s.Index("nope") != -1 {
+		t.Fatal("missing name found")
+	}
+	names := s.Names()
+	if len(names) != 4 || names[0] != "volume_resolution" {
+		t.Fatalf("names %v", names)
+	}
+}
+
+func TestKeyDistinguishesPoints(t *testing.T) {
+	s := testSpace()
+	rng := rand.New(rand.NewSource(4))
+	a := s.Sample(rng)
+	b := s.Sample(rng)
+	if s.Key(a) == s.Key(b) && s.Key(a) != "" {
+		// Extremely unlikely collision for different points.
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+			}
+		}
+		if !same {
+			t.Fatal("distinct points share a key")
+		}
+	}
+	if s.Key(a) != s.Key(a.Clone()) {
+		t.Fatal("clone changed key")
+	}
+}

@@ -1,0 +1,98 @@
+package imgproc
+
+import "math"
+
+// BilateralFilter applies the edge-preserving bilateral filter KinectFusion
+// uses to denoise raw depth before tracking. spatialSigma is in pixels,
+// rangeSigma in metres, radius in pixels (the kernel is (2r+1)²).
+//
+// Invalid pixels neither contribute nor receive values. The returned Cost
+// reflects the per-pixel kernel evaluation work, which scales with the
+// kernel area — exactly the knob the paper's DSE explores indirectly via
+// the compute-size ratio.
+func BilateralFilter(src *DepthMap, radius int, spatialSigma, rangeSigma float64) (*DepthMap, Cost) {
+	if radius < 0 {
+		radius = 0
+	}
+	dst := NewDepthMap(src.Width, src.Height)
+	if radius == 0 {
+		copy(dst.Pix, src.Pix)
+		return dst, Cost{Ops: int64(len(src.Pix)), Bytes: int64(len(src.Pix) * 8)}
+	}
+
+	// Precompute the spatial Gaussian.
+	size := 2*radius + 1
+	spatial := make([]float64, size*size)
+	inv2ss := 1 / (2 * spatialSigma * spatialSigma)
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			d2 := float64(dx*dx + dy*dy)
+			spatial[(dy+radius)*size+(dx+radius)] = math.Exp(-d2 * inv2ss)
+		}
+	}
+	inv2rs := 1 / (2 * rangeSigma * rangeSigma)
+
+	var ops int64
+	for y := 0; y < src.Height; y++ {
+		for x := 0; x < src.Width; x++ {
+			center := src.At(x, y)
+			if center <= 0 {
+				continue
+			}
+			var sum, wsum float64
+			for dy := -radius; dy <= radius; dy++ {
+				yy := y + dy
+				if yy < 0 || yy >= src.Height {
+					continue
+				}
+				for dx := -radius; dx <= radius; dx++ {
+					xx := x + dx
+					if xx < 0 || xx >= src.Width {
+						continue
+					}
+					v := src.At(xx, yy)
+					if v <= 0 {
+						continue
+					}
+					diff := float64(v - center)
+					w := spatial[(dy+radius)*size+(dx+radius)] * math.Exp(-diff*diff*inv2rs)
+					sum += w * float64(v)
+					wsum += w
+					ops += 6
+				}
+			}
+			if wsum > 0 {
+				dst.Set(x, y, float32(sum/wsum))
+			}
+		}
+	}
+	return dst, Cost{Ops: ops, Bytes: int64(src.Width * src.Height * 4 * (size*size + 1))}
+}
+
+// Pyramid holds the multi-resolution depth, vertex and normal maps the ICP
+// tracker consumes. Level 0 is the finest.
+type Pyramid struct {
+	Depth    []*DepthMap
+	Vertices []*VertexMap
+	Normals  []*NormalMap
+}
+
+// Levels returns the number of pyramid levels.
+func (p *Pyramid) Levels() int { return len(p.Depth) }
+
+// BuildDepthPyramid constructs an n-level depth pyramid via validity-aware
+// half-sampling with the given discontinuity band (metres).
+func BuildDepthPyramid(base *DepthMap, levels int, band float32) ([]*DepthMap, Cost) {
+	if levels < 1 {
+		levels = 1
+	}
+	out := make([]*DepthMap, levels)
+	out[0] = base
+	var cost Cost
+	for l := 1; l < levels; l++ {
+		d, c := HalfSampleDepth(out[l-1], band)
+		out[l] = d
+		cost.Add(c)
+	}
+	return out, cost
+}

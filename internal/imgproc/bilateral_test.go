@@ -1,0 +1,128 @@
+package imgproc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBilateralConstantImageUnchanged(t *testing.T) {
+	src := NewDepthMap(16, 16)
+	for i := range src.Pix {
+		src.Pix[i] = 3
+	}
+	dst, cost := BilateralFilter(src, 2, 4, 0.1)
+	for i, v := range dst.Pix {
+		if math.Abs(float64(v-3)) > 1e-6 {
+			t.Fatalf("pixel %d drifted: %v", i, v)
+		}
+	}
+	if cost.Ops <= 0 {
+		t.Fatal("no cost recorded")
+	}
+}
+
+func TestBilateralRadiusZeroCopies(t *testing.T) {
+	src := NewDepthMap(4, 4)
+	src.Set(2, 2, 1.5)
+	dst, _ := BilateralFilter(src, 0, 1, 0.1)
+	if dst.At(2, 2) != 1.5 || dst.At(0, 0) != 0 {
+		t.Fatal("radius 0 should copy")
+	}
+}
+
+func TestBilateralDenoisesButKeepsEdges(t *testing.T) {
+	// Step edge at x=8: left plane z=1, right plane z=2, plus noise.
+	r := rand.New(rand.NewSource(2))
+	src := NewDepthMap(16, 16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			base := float32(1.0)
+			if x >= 8 {
+				base = 2.0
+			}
+			src.Set(x, y, base+float32(r.NormFloat64())*0.005)
+		}
+	}
+	dst, _ := BilateralFilter(src, 2, 2, 0.05)
+
+	// Noise on the flat region must shrink.
+	varOf := func(d *DepthMap, x0, x1 int) float64 {
+		var sum, sum2 float64
+		n := 0
+		for y := 2; y < 14; y++ {
+			for x := x0; x < x1; x++ {
+				v := float64(d.At(x, y))
+				sum += v
+				sum2 += v * v
+				n++
+			}
+		}
+		mean := sum / float64(n)
+		return sum2/float64(n) - mean*mean
+	}
+	if varOf(dst, 2, 6) >= varOf(src, 2, 6) {
+		t.Fatal("filter did not reduce noise variance")
+	}
+	// The edge must remain sharp: pixel at x=7 stays near 1, x=8 near 2.
+	if math.Abs(float64(dst.At(7, 8))-1) > 0.05 {
+		t.Fatalf("left of edge moved: %v", dst.At(7, 8))
+	}
+	if math.Abs(float64(dst.At(8, 8))-2) > 0.05 {
+		t.Fatalf("right of edge moved: %v", dst.At(8, 8))
+	}
+}
+
+func TestBilateralSkipsInvalid(t *testing.T) {
+	src := NewDepthMap(8, 8)
+	src.Set(4, 4, 2)
+	// Lone valid pixel surrounded by invalid ones keeps its value and
+	// invalid pixels stay invalid.
+	dst, _ := BilateralFilter(src, 2, 2, 0.1)
+	if math.Abs(float64(dst.At(4, 4))-2) > 1e-6 {
+		t.Fatalf("lone pixel changed: %v", dst.At(4, 4))
+	}
+	if dst.At(0, 0) != 0 {
+		t.Fatal("invalid pixel gained a value")
+	}
+}
+
+func TestBilateralCostGrowsWithRadius(t *testing.T) {
+	src := NewDepthMap(32, 32)
+	for i := range src.Pix {
+		src.Pix[i] = 1
+	}
+	_, c1 := BilateralFilter(src, 1, 2, 0.1)
+	_, c3 := BilateralFilter(src, 3, 2, 0.1)
+	if c3.Ops <= c1.Ops {
+		t.Fatalf("cost should grow with radius: r1=%d r3=%d", c1.Ops, c3.Ops)
+	}
+}
+
+func TestBuildDepthPyramid(t *testing.T) {
+	base := NewDepthMap(64, 48)
+	for i := range base.Pix {
+		base.Pix[i] = 2
+	}
+	pyr, cost := BuildDepthPyramid(base, 3, 0.1)
+	if len(pyr) != 3 {
+		t.Fatalf("levels = %d", len(pyr))
+	}
+	if pyr[0] != base {
+		t.Fatal("level 0 must alias the base")
+	}
+	if pyr[1].Width != 32 || pyr[2].Width != 16 {
+		t.Fatalf("pyramid widths: %d, %d", pyr[1].Width, pyr[2].Width)
+	}
+	if pyr[2].At(8, 6) != 2 {
+		t.Fatalf("coarse value: %v", pyr[2].At(8, 6))
+	}
+	if cost.Ops <= 0 {
+		t.Fatal("no cost")
+	}
+	// Degenerate level count clamps to 1.
+	pyr1, _ := BuildDepthPyramid(base, 0, 0.1)
+	if len(pyr1) != 1 {
+		t.Fatalf("clamped levels = %d", len(pyr1))
+	}
+}

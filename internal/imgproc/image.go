@@ -1,0 +1,287 @@
+// Package imgproc provides the dense image containers and low-level
+// kernels of the KinectFusion front-end: depth maps, RGB images, vertex
+// and normal maps, bilateral filtering and pyramid construction.
+//
+// Kernels report their arithmetic cost (see the Cost type) so the device
+// performance/power model can convert algorithmic work into simulated
+// latency and energy for hardware we do not physically have.
+package imgproc
+
+import (
+	"fmt"
+
+	"slamgo/internal/math3"
+)
+
+// DepthMap is a dense float32 depth image in metres. Zero or negative
+// values mean "no measurement" (the Kinect convention).
+type DepthMap struct {
+	Width, Height int
+	Pix           []float32
+}
+
+// NewDepthMap allocates a zeroed depth map.
+func NewDepthMap(w, h int) *DepthMap {
+	return &DepthMap{Width: w, Height: h, Pix: make([]float32, w*h)}
+}
+
+// At returns the depth at (x, y).
+func (d *DepthMap) At(x, y int) float32 { return d.Pix[y*d.Width+x] }
+
+// Set stores depth v at (x, y).
+func (d *DepthMap) Set(x, y int, v float32) { d.Pix[y*d.Width+x] = v }
+
+// Valid reports whether the pixel holds a usable measurement.
+func (d *DepthMap) Valid(x, y int) bool { return d.At(x, y) > 0 }
+
+// Clone returns a deep copy.
+func (d *DepthMap) Clone() *DepthMap {
+	out := NewDepthMap(d.Width, d.Height)
+	copy(out.Pix, d.Pix)
+	return out
+}
+
+// ValidFraction returns the fraction of pixels holding a measurement.
+func (d *DepthMap) ValidFraction() float64 {
+	n := 0
+	for _, v := range d.Pix {
+		if v > 0 {
+			n++
+		}
+	}
+	if len(d.Pix) == 0 {
+		return 0
+	}
+	return float64(n) / float64(len(d.Pix))
+}
+
+// MinMax returns the smallest and largest valid depth, or (0,0) when the
+// map holds no valid pixels.
+func (d *DepthMap) MinMax() (min, max float32) {
+	first := true
+	for _, v := range d.Pix {
+		if v <= 0 {
+			continue
+		}
+		if first {
+			min, max = v, v
+			first = false
+			continue
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// RGB is an 8-bit three-channel colour image.
+type RGB struct {
+	Width, Height int
+	Pix           []uint8 // len = 3*Width*Height, interleaved RGB
+}
+
+// NewRGB allocates a black image.
+func NewRGB(w, h int) *RGB {
+	return &RGB{Width: w, Height: h, Pix: make([]uint8, 3*w*h)}
+}
+
+// At returns the colour at (x, y).
+func (im *RGB) At(x, y int) (r, g, b uint8) {
+	i := 3 * (y*im.Width + x)
+	return im.Pix[i], im.Pix[i+1], im.Pix[i+2]
+}
+
+// Set stores a colour at (x, y).
+func (im *RGB) Set(x, y int, r, g, b uint8) {
+	i := 3 * (y*im.Width + x)
+	im.Pix[i], im.Pix[i+1], im.Pix[i+2] = r, g, b
+}
+
+// VertexMap stores one camera-frame 3D point per pixel. Invalid pixels
+// hold the zero vector with Valid=false.
+type VertexMap struct {
+	Width, Height int
+	Points        []math3.Vec3
+	Mask          []bool
+}
+
+// NewVertexMap allocates an all-invalid vertex map.
+func NewVertexMap(w, h int) *VertexMap {
+	return &VertexMap{
+		Width: w, Height: h,
+		Points: make([]math3.Vec3, w*h),
+		Mask:   make([]bool, w*h),
+	}
+}
+
+// At returns the point and validity at (x, y).
+func (m *VertexMap) At(x, y int) (math3.Vec3, bool) {
+	i := y*m.Width + x
+	return m.Points[i], m.Mask[i]
+}
+
+// Set stores a valid point at (x, y).
+func (m *VertexMap) Set(x, y int, p math3.Vec3) {
+	i := y*m.Width + x
+	m.Points[i] = p
+	m.Mask[i] = true
+}
+
+// Invalidate marks (x, y) as holding no data.
+func (m *VertexMap) Invalidate(x, y int) {
+	i := y*m.Width + x
+	m.Points[i] = math3.Vec3{}
+	m.Mask[i] = false
+}
+
+// ValidCount returns the number of valid pixels.
+func (m *VertexMap) ValidCount() int {
+	n := 0
+	for _, ok := range m.Mask {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// NormalMap stores one unit normal per pixel, mirroring VertexMap layout.
+type NormalMap = VertexMap
+
+// NewNormalMap allocates an all-invalid normal map.
+func NewNormalMap(w, h int) *NormalMap { return NewVertexMap(w, h) }
+
+// Cost records the arithmetic work a kernel performed: floating-point
+// operations and bytes moved. The device model consumes these.
+type Cost struct {
+	Ops   int64
+	Bytes int64
+}
+
+// Add accumulates another cost.
+func (c *Cost) Add(o Cost) {
+	c.Ops += o.Ops
+	c.Bytes += o.Bytes
+}
+
+// String implements fmt.Stringer.
+func (c Cost) String() string {
+	return fmt.Sprintf("Cost{%.2f Mops, %.2f MB}", float64(c.Ops)/1e6, float64(c.Bytes)/1e6)
+}
+
+// MmToM converts a raw millimetre depth image (as delivered by a Kinect
+// sensor) to metres in place and reports the kernel cost.
+func MmToM(raw []uint16, out *DepthMap) Cost {
+	n := len(out.Pix)
+	if len(raw) != n {
+		panic(fmt.Sprintf("imgproc: MmToM size mismatch %d vs %d", len(raw), n))
+	}
+	for i, v := range raw {
+		out.Pix[i] = float32(v) / 1000
+	}
+	return Cost{Ops: int64(n), Bytes: int64(n * 6)}
+}
+
+// HalfSampleDepth downsamples a depth map by 2× using a validity-aware
+// box filter: only valid pixels within a depth band around the block's
+// reference value contribute (this mirrors KinectFusion's half-sampling
+// kernel, which avoids averaging across depth discontinuities).
+func HalfSampleDepth(src *DepthMap, band float32) (*DepthMap, Cost) {
+	w, h := src.Width/2, src.Height/2
+	dst := NewDepthMap(w, h)
+	var ops int64
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			ref := src.At(2*x, 2*y)
+			var sum float32
+			var cnt int
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					v := src.At(2*x+dx, 2*y+dy)
+					if v <= 0 {
+						continue
+					}
+					if ref > 0 && absf32(v-ref) > band {
+						continue
+					}
+					sum += v
+					cnt++
+				}
+			}
+			if cnt > 0 {
+				dst.Set(x, y, sum/float32(cnt))
+			}
+			ops += 8
+		}
+	}
+	return dst, Cost{Ops: ops, Bytes: int64(w * h * 4 * 5)}
+}
+
+func absf32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// DepthToVertexMap back-projects every valid depth pixel into a
+// camera-frame point cloud.
+func DepthToVertexMap(d *DepthMap, backProject func(u, v, depth float64) math3.Vec3) (*VertexMap, Cost) {
+	vm := NewVertexMap(d.Width, d.Height)
+	for y := 0; y < d.Height; y++ {
+		for x := 0; x < d.Width; x++ {
+			z := d.At(x, y)
+			if z <= 0 {
+				continue
+			}
+			vm.Set(x, y, backProject(float64(x), float64(y), float64(z)))
+		}
+	}
+	return vm, Cost{
+		Ops:   int64(d.Width * d.Height * 6),
+		Bytes: int64(d.Width * d.Height * (4 + 24)),
+	}
+}
+
+// VertexToNormalMap computes per-pixel normals from central differences
+// of the vertex map (the standard KinectFusion normal kernel). Normals
+// point towards the camera (-Z half-space).
+func VertexToNormalMap(vm *VertexMap) (*NormalMap, Cost) {
+	nm := NewNormalMap(vm.Width, vm.Height)
+	for y := 0; y < vm.Height; y++ {
+		for x := 0; x < vm.Width; x++ {
+			if x == 0 || y == 0 || x == vm.Width-1 || y == vm.Height-1 {
+				continue
+			}
+			c, ok := vm.At(x, y)
+			if !ok {
+				continue
+			}
+			r, okR := vm.At(x+1, y)
+			l, okL := vm.At(x-1, y)
+			d, okD := vm.At(x, y+1)
+			u, okU := vm.At(x, y-1)
+			if !okR || !okL || !okD || !okU {
+				continue
+			}
+			n := r.Sub(l).Cross(d.Sub(u))
+			if n.Norm() < 1e-12 {
+				continue
+			}
+			n = n.Normalized()
+			// Orient towards the viewer.
+			if n.Dot(c) > 0 {
+				n = n.Neg()
+			}
+			nm.Set(x, y, n)
+		}
+	}
+	return nm, Cost{
+		Ops:   int64(vm.Width * vm.Height * 30),
+		Bytes: int64(vm.Width * vm.Height * 24 * 5),
+	}
+}

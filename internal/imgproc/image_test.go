@@ -1,0 +1,275 @@
+package imgproc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"slamgo/internal/camera"
+	"slamgo/internal/math3"
+)
+
+func TestDepthMapBasics(t *testing.T) {
+	d := NewDepthMap(4, 3)
+	if d.Valid(1, 1) {
+		t.Fatal("fresh map has valid pixels")
+	}
+	d.Set(1, 1, 2.5)
+	if d.At(1, 1) != 2.5 || !d.Valid(1, 1) {
+		t.Fatal("set/get failed")
+	}
+	c := d.Clone()
+	c.Set(1, 1, 9)
+	if d.At(1, 1) != 2.5 {
+		t.Fatal("clone aliases source")
+	}
+	if got := d.ValidFraction(); math.Abs(got-1.0/12.0) > 1e-12 {
+		t.Fatalf("ValidFraction = %v", got)
+	}
+}
+
+func TestDepthMapMinMax(t *testing.T) {
+	d := NewDepthMap(3, 1)
+	min, max := d.MinMax()
+	if min != 0 || max != 0 {
+		t.Fatal("empty map min/max should be 0")
+	}
+	d.Set(0, 0, 3)
+	d.Set(2, 0, 1.5)
+	min, max = d.MinMax()
+	if min != 1.5 || max != 3 {
+		t.Fatalf("min=%v max=%v", min, max)
+	}
+}
+
+func TestRGBSetAt(t *testing.T) {
+	im := NewRGB(2, 2)
+	im.Set(1, 0, 10, 20, 30)
+	r, g, b := im.At(1, 0)
+	if r != 10 || g != 20 || b != 30 {
+		t.Fatalf("got %d %d %d", r, g, b)
+	}
+	r, g, b = im.At(0, 1)
+	if r != 0 || g != 0 || b != 0 {
+		t.Fatal("untouched pixel not black")
+	}
+}
+
+func TestVertexMapValidity(t *testing.T) {
+	vm := NewVertexMap(3, 3)
+	if vm.ValidCount() != 0 {
+		t.Fatal("fresh map has valid pixels")
+	}
+	vm.Set(1, 2, math3.V3(1, 2, 3))
+	p, ok := vm.At(1, 2)
+	if !ok || p != math3.V3(1, 2, 3) {
+		t.Fatal("set/get failed")
+	}
+	vm.Invalidate(1, 2)
+	if _, ok := vm.At(1, 2); ok {
+		t.Fatal("invalidate failed")
+	}
+}
+
+func TestMmToM(t *testing.T) {
+	raw := []uint16{0, 1000, 2500, 65535}
+	d := NewDepthMap(4, 1)
+	cost := MmToM(raw, d)
+	want := []float32{0, 1, 2.5, 65.535}
+	for i, w := range want {
+		if math.Abs(float64(d.Pix[i]-w)) > 1e-6 {
+			t.Fatalf("pix[%d] = %v want %v", i, d.Pix[i], w)
+		}
+	}
+	if cost.Ops <= 0 || cost.Bytes <= 0 {
+		t.Fatal("cost not recorded")
+	}
+}
+
+func TestMmToMSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on size mismatch")
+		}
+	}()
+	MmToM([]uint16{1, 2}, NewDepthMap(3, 1))
+}
+
+func TestHalfSampleDepth(t *testing.T) {
+	src := NewDepthMap(4, 4)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			src.Set(x, y, 2.0)
+		}
+	}
+	dst, cost := HalfSampleDepth(src, 0.1)
+	if dst.Width != 2 || dst.Height != 2 {
+		t.Fatalf("size %dx%d", dst.Width, dst.Height)
+	}
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 2; x++ {
+			if math.Abs(float64(dst.At(x, y)-2.0)) > 1e-6 {
+				t.Fatalf("constant image changed: %v", dst.At(x, y))
+			}
+		}
+	}
+	if cost.Ops <= 0 {
+		t.Fatal("no cost recorded")
+	}
+}
+
+func TestHalfSampleRespectsDiscontinuity(t *testing.T) {
+	src := NewDepthMap(2, 2)
+	src.Set(0, 0, 1.0) // reference
+	src.Set(1, 0, 5.0) // far outlier across an edge
+	src.Set(0, 1, 1.02)
+	src.Set(1, 1, 0.98)
+	dst, _ := HalfSampleDepth(src, 0.2)
+	got := float64(dst.At(0, 0))
+	if math.Abs(got-1.0) > 0.05 {
+		t.Fatalf("outlier leaked into average: %v", got)
+	}
+}
+
+func TestHalfSampleInvalidBlock(t *testing.T) {
+	src := NewDepthMap(2, 2) // all invalid
+	dst, _ := HalfSampleDepth(src, 0.1)
+	if dst.At(0, 0) != 0 {
+		t.Fatal("invalid block produced a depth")
+	}
+}
+
+func TestDepthToVertexMapAndBack(t *testing.T) {
+	in := camera.Kinect640().ScaledTo(32, 24)
+	d := NewDepthMap(32, 24)
+	r := rand.New(rand.NewSource(1))
+	for y := 0; y < 24; y++ {
+		for x := 0; x < 32; x++ {
+			if r.Float64() < 0.1 {
+				continue // leave some holes
+			}
+			d.Set(x, y, 1+float32(r.Float64()*3))
+		}
+	}
+	vm, cost := DepthToVertexMap(d, in.BackProject)
+	if cost.Ops <= 0 {
+		t.Fatal("no cost")
+	}
+	for y := 0; y < 24; y++ {
+		for x := 0; x < 32; x++ {
+			p, ok := vm.At(x, y)
+			if d.Valid(x, y) != ok {
+				t.Fatal("validity mismatch")
+			}
+			if !ok {
+				continue
+			}
+			if math.Abs(p.Z-float64(d.At(x, y))) > 1e-6 {
+				t.Fatalf("Z mismatch at (%d,%d): %v vs %v", x, y, p.Z, d.At(x, y))
+			}
+			// Note: the visibility flag may be false for border pixels
+			// due to floating-point jitter, so only coordinates are
+			// checked here.
+			uv, _ := in.Project(p)
+			if math.Abs(uv.X-float64(x)) > 1e-6 || math.Abs(uv.Y-float64(y)) > 1e-6 {
+				t.Fatalf("reprojection mismatch at (%d,%d): %v", x, y, uv)
+			}
+		}
+	}
+}
+
+func TestVertexToNormalMapPlane(t *testing.T) {
+	// A fronto-parallel plane at z=2 must give normals ≈ (0,0,-1)
+	// (pointing back at the camera).
+	in := camera.Kinect640().ScaledTo(32, 24)
+	d := NewDepthMap(32, 24)
+	for i := range d.Pix {
+		d.Pix[i] = 2
+	}
+	vm, _ := DepthToVertexMap(d, in.BackProject)
+	nm, cost := VertexToNormalMap(vm)
+	if cost.Ops <= 0 {
+		t.Fatal("no cost")
+	}
+	n, ok := nm.At(16, 12)
+	if !ok {
+		t.Fatal("centre normal invalid")
+	}
+	if !n.ApproxEq(math3.V3(0, 0, -1), 1e-6) {
+		t.Fatalf("plane normal = %v", n)
+	}
+	// Border pixels have no normal.
+	if _, ok := nm.At(0, 0); ok {
+		t.Fatal("border normal should be invalid")
+	}
+}
+
+func TestNormalsAreUnit(t *testing.T) {
+	in := camera.Kinect640().ScaledTo(64, 48)
+	d := NewDepthMap(64, 48)
+	r := rand.New(rand.NewSource(9))
+	for y := 0; y < 48; y++ {
+		for x := 0; x < 64; x++ {
+			// Smooth slanted surface with mild noise.
+			d.Set(x, y, float32(1.5+0.01*float64(x)+0.005*float64(y)+r.Float64()*1e-4))
+		}
+	}
+	vm, _ := DepthToVertexMap(d, in.BackProject)
+	nm, _ := VertexToNormalMap(vm)
+	checked := 0
+	for y := 1; y < 47; y++ {
+		for x := 1; x < 63; x++ {
+			n, ok := nm.At(x, y)
+			if !ok {
+				continue
+			}
+			if math.Abs(n.Norm()-1) > 1e-9 {
+				t.Fatalf("normal not unit at (%d,%d): %v", x, y, n)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no normals computed")
+	}
+}
+
+func TestCostAdd(t *testing.T) {
+	c := Cost{Ops: 1, Bytes: 2}
+	c.Add(Cost{Ops: 10, Bytes: 20})
+	if c.Ops != 11 || c.Bytes != 22 {
+		t.Fatalf("cost add: %+v", c)
+	}
+	if c.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestQuickHalfSamplePreservesRange(t *testing.T) {
+	// Half-sampled valid depths stay within [min, max] of the source.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := NewDepthMap(8, 8)
+		for i := range src.Pix {
+			if r.Float64() < 0.2 {
+				continue
+			}
+			src.Pix[i] = 0.5 + float32(r.Float64())*4
+		}
+		min, max := src.MinMax()
+		dst, _ := HalfSampleDepth(src, 10)
+		for _, v := range dst.Pix {
+			if v <= 0 {
+				continue
+			}
+			if v < min-1e-6 || v > max+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

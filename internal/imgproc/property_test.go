@@ -1,0 +1,96 @@
+package imgproc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"slamgo/internal/math3"
+)
+
+func randomSparseDepth(r *rand.Rand, w, h int) *DepthMap {
+	d := NewDepthMap(w, h)
+	for i := range d.Pix {
+		if r.Float64() < 0.3 {
+			continue
+		}
+		d.Pix[i] = 0.5 + float32(r.Float64())*4
+	}
+	return d
+}
+
+func TestQuickBilateralPreservesValidityMask(t *testing.T) {
+	// The filter never invents measurements and never discards them.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := randomSparseDepth(r, 16, 12)
+		dst, _ := BilateralFilter(src, 1+r.Intn(3), 1+r.Float64()*4, 0.01+r.Float64()*0.3)
+		for i := range src.Pix {
+			if (src.Pix[i] > 0) != (dst.Pix[i] > 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBilateralBounded(t *testing.T) {
+	// Output depths stay within the global [min, max] of the input
+	// (weighted averages cannot extrapolate).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := randomSparseDepth(r, 16, 12)
+		min, max := src.MinMax()
+		dst, _ := BilateralFilter(src, 2, 3, 0.2)
+		for _, v := range dst.Pix {
+			if v <= 0 {
+				continue
+			}
+			if v < min-1e-6 || v > max+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPyramidLevelsHalve(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := randomSparseDepth(r, 32, 24)
+		pyr, _ := BuildDepthPyramid(src, 3, 0.1)
+		return pyr[1].Width == 16 && pyr[1].Height == 12 &&
+			pyr[2].Width == 8 && pyr[2].Height == 6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVertexMapValidityMatchesDepth(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := randomSparseDepth(r, 10, 8)
+		vm, _ := DepthToVertexMap(src, func(u, v, d float64) math3.Vec3 {
+			return math3.V3(u, v, d)
+		})
+		for y := 0; y < src.Height; y++ {
+			for x := 0; x < src.Width; x++ {
+				_, ok := vm.At(x, y)
+				if ok != src.Valid(x, y) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

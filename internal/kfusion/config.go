@@ -1,0 +1,164 @@
+// Package kfusion implements the complete KinectFusion dense SLAM
+// pipeline (Newcombe et al., ISMAR 2011) in pure Go: depth preprocessing,
+// multi-scale point-to-plane ICP tracking against a ray-cast model, TSDF
+// volumetric integration and surface ray-casting.
+//
+// The Config type exposes exactly the algorithmic parameter space the
+// paper's HyperMapper design-space exploration tunes: volume resolution,
+// compute-size ratio, mu distance, ICP convergence threshold, per-level
+// pyramid iterations, and integration/tracking/rendering rates.
+package kfusion
+
+import (
+	"fmt"
+
+	"slamgo/internal/math3"
+)
+
+// Config is the full algorithmic configuration of the pipeline.
+type Config struct {
+	// ComputeSizeRatio divides the input resolution before any
+	// processing (1, 2, 4 or 8). Higher ratios are dramatically faster
+	// and less accurate — one axis of the paper's trade-off.
+	ComputeSizeRatio int
+
+	// VolumeResolution is the TSDF grid resolution per side (voxels).
+	VolumeResolution int
+
+	// VolumeSize is the TSDF cube edge length in metres.
+	VolumeSize float64
+
+	// VolumeCenter positions the reconstruction cube in the world.
+	VolumeCenter math3.Vec3
+
+	// Mu is the TSDF truncation band in metres.
+	Mu float64
+
+	// ICPThreshold is the convergence threshold on the pose-update twist
+	// norm (the DSE's "icp threshold" parameter).
+	ICPThreshold float64
+
+	// PyramidIterations holds the maximum ICP iterations per pyramid
+	// level, finest first (KinectFusion default {10, 5, 4}).
+	PyramidIterations [3]int
+
+	// IntegrationRate integrates every Nth frame (1 = every frame).
+	IntegrationRate int
+
+	// TrackingRate tracks every Nth frame; untracked frames reuse the
+	// previous pose (1 = every frame).
+	TrackingRate int
+
+	// RenderingRate re-raycasts the model reference every Nth integrated
+	// frame (1 = every frame).
+	RenderingRate int
+
+	// BilateralRadius is the denoising kernel radius in pixels; 0
+	// disables filtering.
+	BilateralRadius int
+	// BilateralSpatialSigma is the spatial Gaussian σ (pixels).
+	BilateralSpatialSigma float64
+	// BilateralRangeSigma is the range Gaussian σ (metres).
+	BilateralRangeSigma float64
+
+	// ICPDistThreshold gates correspondences by distance (metres).
+	ICPDistThreshold float64
+	// ICPNormalThreshold gates correspondences by normal angle (radians).
+	ICPNormalThreshold float64
+
+	// MaxWeight caps TSDF integration weights.
+	MaxWeight float32
+
+	// TrackRMSEThreshold declares tracking failure above this residual.
+	TrackRMSEThreshold float64
+	// MinInlierFraction declares tracking failure when fewer than this
+	// fraction of pixels found correspondences.
+	MinInlierFraction float64
+
+	// PyramidDiscontinuity is the depth band for validity-aware
+	// half-sampling (metres).
+	PyramidDiscontinuity float32
+}
+
+// DefaultConfig mirrors the stock KinectFusion configuration SLAMBench
+// ships (its "default" point in Figure 2): 256³ volume, compute ratio 2,
+// mu 0.1, pyramid {10,5,4}, integrate every frame.
+func DefaultConfig() Config {
+	return Config{
+		ComputeSizeRatio:      2,
+		VolumeResolution:      256,
+		VolumeSize:            5.6,
+		VolumeCenter:          math3.V3(0, 1.3, 0),
+		Mu:                    0.1,
+		ICPThreshold:          1e-5,
+		PyramidIterations:     [3]int{10, 5, 4},
+		IntegrationRate:       1,
+		TrackingRate:          1,
+		RenderingRate:         1,
+		BilateralRadius:       2,
+		BilateralSpatialSigma: 4.0,
+		BilateralRangeSigma:   0.1,
+		ICPDistThreshold:      0.1,
+		ICPNormalThreshold:    0.8,
+		MaxWeight:             100,
+		TrackRMSEThreshold:    0.05,
+		MinInlierFraction:     0.10,
+		PyramidDiscontinuity:  0.1,
+	}
+}
+
+// Validate reports descriptive errors for out-of-domain configurations.
+func (c Config) Validate() error {
+	switch c.ComputeSizeRatio {
+	case 1, 2, 4, 8:
+	default:
+		return fmt.Errorf("kfusion: compute size ratio %d not in {1,2,4,8}", c.ComputeSizeRatio)
+	}
+	if c.VolumeResolution < 16 || c.VolumeResolution > 1024 {
+		return fmt.Errorf("kfusion: volume resolution %d out of [16,1024]", c.VolumeResolution)
+	}
+	if c.VolumeSize <= 0 {
+		return fmt.Errorf("kfusion: volume size %g must be positive", c.VolumeSize)
+	}
+	if c.Mu <= 0 {
+		return fmt.Errorf("kfusion: mu %g must be positive", c.Mu)
+	}
+	if c.ICPThreshold < 0 {
+		return fmt.Errorf("kfusion: ICP threshold %g must be non-negative", c.ICPThreshold)
+	}
+	for i, it := range c.PyramidIterations {
+		if it < 0 || it > 100 {
+			return fmt.Errorf("kfusion: pyramid iterations[%d]=%d out of [0,100]", i, it)
+		}
+	}
+	if c.PyramidIterations[0]+c.PyramidIterations[1]+c.PyramidIterations[2] == 0 {
+		return fmt.Errorf("kfusion: all pyramid levels disabled")
+	}
+	if c.IntegrationRate < 1 {
+		return fmt.Errorf("kfusion: integration rate %d must be ≥1", c.IntegrationRate)
+	}
+	if c.TrackingRate < 1 {
+		return fmt.Errorf("kfusion: tracking rate %d must be ≥1", c.TrackingRate)
+	}
+	if c.RenderingRate < 1 {
+		return fmt.Errorf("kfusion: rendering rate %d must be ≥1", c.RenderingRate)
+	}
+	if c.MaxWeight <= 0 {
+		return fmt.Errorf("kfusion: max weight %g must be positive", c.MaxWeight)
+	}
+	return nil
+}
+
+// pyramidLevels returns how many pyramid levels carry iterations.
+func (c Config) pyramidLevels() int {
+	levels := 0
+	for i, it := range c.PyramidIterations {
+		if it > 0 {
+			levels = i + 1
+		}
+	}
+	if levels == 0 {
+		levels = 1
+	}
+	return levels
+}

@@ -1,0 +1,289 @@
+package kfusion
+
+import (
+	"fmt"
+	"time"
+
+	"slamgo/internal/camera"
+	"slamgo/internal/icp"
+	"slamgo/internal/imgproc"
+	"slamgo/internal/math3"
+	"slamgo/internal/tsdf"
+)
+
+// Kernel identifies one pipeline stage for cost accounting.
+type Kernel int
+
+// Pipeline stages, in execution order.
+const (
+	KernelPreprocess Kernel = iota
+	KernelTrack
+	KernelIntegrate
+	KernelRaycast
+	kernelCount
+)
+
+// String implements fmt.Stringer.
+func (k Kernel) String() string {
+	switch k {
+	case KernelPreprocess:
+		return "preprocess"
+	case KernelTrack:
+		return "track"
+	case KernelIntegrate:
+		return "integrate"
+	case KernelRaycast:
+		return "raycast"
+	}
+	return fmt.Sprintf("kernel(%d)", int(k))
+}
+
+// FrameResult reports everything the benchmarking harness needs about one
+// processed frame.
+type FrameResult struct {
+	Index   int
+	Pose    math3.SE3
+	Tracked bool
+	// Attempted is false when the tracking rate skipped this frame.
+	Attempted bool
+	// Integrated records whether the frame was fused into the volume.
+	Integrated bool
+	// ICP carries the tracker diagnostics of the last (finest) level.
+	ICP icp.Result
+	// KernelCosts holds the per-stage arithmetic cost.
+	KernelCosts [4]imgproc.Cost
+	// KernelTimes holds the per-stage wall-clock time of this process.
+	KernelTimes [4]time.Duration
+}
+
+// TotalCost sums the per-kernel costs.
+func (r *FrameResult) TotalCost() imgproc.Cost {
+	var c imgproc.Cost
+	for _, k := range r.KernelCosts {
+		c.Add(k)
+	}
+	return c
+}
+
+// TotalTime sums the per-kernel wall times.
+func (r *FrameResult) TotalTime() time.Duration {
+	var t time.Duration
+	for _, k := range r.KernelTimes {
+		t += k
+	}
+	return t
+}
+
+// Pipeline is the stateful KinectFusion system.
+type Pipeline struct {
+	cfg     Config
+	inFull  camera.Intrinsics // sensor resolution
+	in      camera.Intrinsics // compute resolution (after size ratio)
+	volume  *tsdf.Volume
+	pose    math3.SE3
+	hasRef  bool
+	ref     icp.Reference
+	frameNo int
+	// integratedSinceRaycast counts integrations since the last model
+	// raycast, for the rendering-rate knob.
+	integratedSinceRaycast int
+	failures               int
+}
+
+// New builds a pipeline for a sensor with the given intrinsics, starting
+// from initialPose (camera-to-world of the first frame).
+func New(cfg Config, sensor camera.Intrinsics, initialPose math3.SE3) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sensor.Validate(); err != nil {
+		return nil, err
+	}
+	compute := sensor.ScaledTo(
+		sensor.Width/cfg.ComputeSizeRatio,
+		sensor.Height/cfg.ComputeSizeRatio,
+	)
+	if compute.Width < 8 || compute.Height < 8 {
+		return nil, fmt.Errorf("kfusion: compute resolution %dx%d too small", compute.Width, compute.Height)
+	}
+	origin := cfg.VolumeCenter.Sub(math3.Splat3(cfg.VolumeSize / 2))
+	p := &Pipeline{
+		cfg:    cfg,
+		inFull: sensor,
+		in:     compute,
+		volume: tsdf.New(cfg.VolumeResolution, cfg.VolumeSize, origin),
+		pose:   initialPose,
+	}
+	return p, nil
+}
+
+// Config returns the active configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Pose returns the current camera-to-world estimate.
+func (p *Pipeline) Pose() math3.SE3 { return p.pose }
+
+// Volume exposes the reconstruction for rendering and mesh export.
+func (p *Pipeline) Volume() *tsdf.Volume { return p.volume }
+
+// ComputeIntrinsics returns the post-downsampling intrinsics.
+func (p *Pipeline) ComputeIntrinsics() camera.Intrinsics { return p.in }
+
+// TrackingFailures counts frames whose ICP was rejected.
+func (p *Pipeline) TrackingFailures() int { return p.failures }
+
+// Reference returns the current model raycast (world-frame vertex and
+// normal maps) used as the tracking reference, and whether one exists
+// yet. The GUI renders this as its 3D model pane.
+func (p *Pipeline) Reference() (icp.Reference, bool) { return p.ref, p.hasRef }
+
+// ProcessFrame runs the full pipeline on one depth image (at sensor
+// resolution) and returns the per-frame result.
+func (p *Pipeline) ProcessFrame(depth *imgproc.DepthMap) (*FrameResult, error) {
+	if depth.Width != p.inFull.Width || depth.Height != p.inFull.Height {
+		return nil, fmt.Errorf("kfusion: frame is %dx%d, sensor is %dx%d",
+			depth.Width, depth.Height, p.inFull.Width, p.inFull.Height)
+	}
+	res := &FrameResult{Index: p.frameNo}
+
+	// --- Preprocess: downsample, denoise, pyramid, vertex/normal maps.
+	t0 := time.Now()
+	pyr, cost := p.preprocess(depth)
+	res.KernelCosts[KernelPreprocess] = cost
+	res.KernelTimes[KernelPreprocess] = time.Since(t0)
+
+	first := p.frameNo == 0
+
+	// --- Track.
+	if !first && p.hasRef && p.frameNo%p.cfg.TrackingRate == 0 {
+		res.Attempted = true
+		t0 = time.Now()
+		tracked, icpRes, cost := p.track(pyr)
+		res.KernelCosts[KernelTrack] = cost
+		res.KernelTimes[KernelTrack] = time.Since(t0)
+		res.ICP = icpRes
+		res.Tracked = tracked
+		if tracked {
+			p.pose = icpRes.Pose
+		} else {
+			p.failures++
+		}
+	} else if first || p.hasRef {
+		// First frame (defines the map) or a frame skipped by the
+		// tracking rate (pose deliberately reused): not lost. A frame
+		// with no model reference at all stays untracked.
+		res.Tracked = true
+	}
+	res.Pose = p.pose
+
+	// --- Integrate.
+	shouldIntegrate := p.frameNo%p.cfg.IntegrationRate == 0 && (res.Tracked || first)
+	if shouldIntegrate {
+		t0 = time.Now()
+		c := p.volume.Integrate(pyr.Depth[0], p.pose, p.in, p.cfg.Mu, p.cfg.MaxWeight)
+		res.KernelCosts[KernelIntegrate] = c
+		res.KernelTimes[KernelIntegrate] = time.Since(t0)
+		res.Integrated = true
+		p.integratedSinceRaycast++
+	}
+
+	// --- Raycast the model to refresh the tracking reference.
+	if res.Integrated && (p.integratedSinceRaycast >= p.cfg.RenderingRate || !p.hasRef) {
+		t0 = time.Now()
+		rc := p.volume.Raycast(p.pose, p.in, p.cfg.Mu, 0.1, p.cfg.VolumeSize*1.8)
+		res.KernelCosts[KernelRaycast] = rc.Cost
+		res.KernelTimes[KernelRaycast] = time.Since(t0)
+		p.ref = icp.Reference{
+			Vertices: rc.Vertices,
+			Normals:  rc.Normals,
+			Pose:     p.pose,
+			Intr:     p.in,
+		}
+		p.hasRef = true
+		p.integratedSinceRaycast = 0
+	}
+
+	p.frameNo++
+	return res, nil
+}
+
+// preprocessed holds the multi-scale maps of the current frame.
+type preprocessed struct {
+	Depth    []*imgproc.DepthMap
+	Vertices []*imgproc.VertexMap
+	Normals  []*imgproc.NormalMap
+	Intr     []camera.Intrinsics
+}
+
+func (p *Pipeline) preprocess(depth *imgproc.DepthMap) (*preprocessed, imgproc.Cost) {
+	var total imgproc.Cost
+
+	// Downsample to compute resolution (ratio is a power of two).
+	work := depth
+	for r := p.cfg.ComputeSizeRatio; r > 1; r /= 2 {
+		var c imgproc.Cost
+		work, c = imgproc.HalfSampleDepth(work, p.cfg.PyramidDiscontinuity)
+		total.Add(c)
+	}
+
+	// Bilateral denoise at compute resolution.
+	filtered, c := imgproc.BilateralFilter(
+		work, p.cfg.BilateralRadius, p.cfg.BilateralSpatialSigma, p.cfg.BilateralRangeSigma,
+	)
+	total.Add(c)
+
+	levels := p.cfg.pyramidLevels()
+	depths, c := imgproc.BuildDepthPyramid(filtered, levels, p.cfg.PyramidDiscontinuity)
+	total.Add(c)
+
+	pp := &preprocessed{Depth: depths}
+	for l, d := range depths {
+		in := p.in.Downsample(l)
+		vm, c1 := imgproc.DepthToVertexMap(d, in.BackProject)
+		nm, c2 := imgproc.VertexToNormalMap(vm)
+		total.Add(c1)
+		total.Add(c2)
+		pp.Vertices = append(pp.Vertices, vm)
+		pp.Normals = append(pp.Normals, nm)
+		pp.Intr = append(pp.Intr, in)
+	}
+	return pp, total
+}
+
+// track runs coarse-to-fine ICP against the model reference.
+func (p *Pipeline) track(pyr *preprocessed) (bool, icp.Result, imgproc.Cost) {
+	var total imgproc.Cost
+	pose := p.pose
+	var last icp.Result
+	ran := false
+	for level := len(pyr.Depth) - 1; level >= 0; level-- {
+		iters := p.cfg.PyramidIterations[level]
+		if iters <= 0 {
+			continue
+		}
+		params := icp.Params{
+			MaxIterations:        iters,
+			ConvergenceThreshold: p.cfg.ICPThreshold,
+			DistThreshold:        p.cfg.ICPDistThreshold,
+			NormalThreshold:      p.cfg.ICPNormalThreshold,
+			Damping:              1e-6,
+		}
+		frame := icp.Frame{Vertices: pyr.Vertices[level], Normals: pyr.Normals[level]}
+		r := icp.Solve(p.ref, frame, pose, params)
+		total.Add(r.Cost)
+		pose = r.Pose
+		last = r
+		ran = true
+	}
+	if !ran {
+		return false, last, total
+	}
+
+	// Quality gate: reject divergent or under-constrained tracks.
+	finest := pyr.Vertices[0]
+	minInliers := int(p.cfg.MinInlierFraction * float64(finest.Width*finest.Height))
+	if last.RMSE > p.cfg.TrackRMSEThreshold || last.Inliers < minInliers {
+		return false, last, total
+	}
+	return true, last, total
+}

@@ -1,0 +1,367 @@
+package kfusion
+
+import (
+	"math"
+	"testing"
+
+	"slamgo/internal/camera"
+	"slamgo/internal/dataset"
+	"slamgo/internal/imgproc"
+	"slamgo/internal/math3"
+	"slamgo/internal/sdf"
+	"slamgo/internal/synth"
+	"slamgo/internal/trajectory"
+)
+
+// testConfig returns a configuration small enough for fast unit tests.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ComputeSizeRatio = 1
+	cfg.VolumeResolution = 64
+	cfg.VolumeSize = 4.5
+	cfg.VolumeCenter = math3.V3(0, 1.1, 0)
+	cfg.Mu = 0.15
+	cfg.BilateralRadius = 1
+	return cfg
+}
+
+// testSequence renders a short clean orbit in the SimpleRoom scene.
+func testSequence(t *testing.T, frames int) *dataset.MemorySequence {
+	t.Helper()
+	in := camera.Kinect640().ScaledTo(80, 60)
+	traj := synth.Orbit(math3.V3(0, 0.5, -0.5), 1.3, 1.3, 0.4, 0.5, frames, 30)
+	seq, err := dataset.Generate(dataset.SynthConfig{
+		Name:       "simple_orbit",
+		Scene:      sdf.SimpleRoom(),
+		Trajectory: traj,
+		Intrinsics: in,
+		Noise:      synth.NoNoise(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+// runPipeline processes a whole sequence and returns estimated and
+// ground-truth trajectories.
+func runPipeline(t *testing.T, cfg Config, seq *dataset.MemorySequence) (est, gt *trajectory.Trajectory, results []*FrameResult) {
+	t.Helper()
+	f0, _ := seq.Frame(0)
+	p, err := New(cfg, seq.Intrinsics(), f0.GroundTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est = &trajectory.Trajectory{}
+	gt = &trajectory.Trajectory{}
+	for i := 0; i < seq.Len(); i++ {
+		f, _ := seq.Frame(i)
+		r, err := p.ProcessFrame(f.Depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+		est.Append(f.Time, r.Pose)
+		gt.Append(f.Time, f.GroundTruth)
+	}
+	return est, gt, results
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.ComputeSizeRatio = 3 },
+		func(c *Config) { c.VolumeResolution = 8 },
+		func(c *Config) { c.VolumeSize = 0 },
+		func(c *Config) { c.Mu = -1 },
+		func(c *Config) { c.ICPThreshold = -1 },
+		func(c *Config) { c.PyramidIterations = [3]int{0, 0, 0} },
+		func(c *Config) { c.PyramidIterations = [3]int{-1, 5, 4} },
+		func(c *Config) { c.IntegrationRate = 0 },
+		func(c *Config) { c.TrackingRate = 0 },
+		func(c *Config) { c.RenderingRate = 0 },
+		func(c *Config) { c.MaxWeight = 0 },
+	}
+	for i, mutate := range cases {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestPyramidLevels(t *testing.T) {
+	c := DefaultConfig()
+	if c.pyramidLevels() != 3 {
+		t.Fatalf("default levels %d", c.pyramidLevels())
+	}
+	c.PyramidIterations = [3]int{10, 0, 0}
+	if c.pyramidLevels() != 1 {
+		t.Fatalf("single level %d", c.pyramidLevels())
+	}
+	c.PyramidIterations = [3]int{10, 0, 4}
+	if c.pyramidLevels() != 3 {
+		t.Fatalf("sparse levels %d", c.pyramidLevels())
+	}
+}
+
+func TestNewRejectsBadInputs(t *testing.T) {
+	in := camera.Kinect640()
+	if _, err := New(Config{}, in, math3.SE3Identity()); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	cfg := DefaultConfig()
+	bad := camera.Intrinsics{}
+	if _, err := New(cfg, bad, math3.SE3Identity()); err == nil {
+		t.Fatal("zero intrinsics accepted")
+	}
+	cfg.ComputeSizeRatio = 8
+	tiny := camera.Kinect640().ScaledTo(32, 24)
+	if _, err := New(cfg, tiny, math3.SE3Identity()); err == nil {
+		t.Fatal("sub-8px compute resolution accepted")
+	}
+}
+
+func TestPipelineTracksCleanSequence(t *testing.T) {
+	seq := testSequence(t, 15)
+	est, gt, results := runPipeline(t, testConfig(), seq)
+
+	for i, r := range results {
+		if !r.Tracked {
+			t.Fatalf("frame %d lost tracking (rmse=%v inliers=%d)", i, r.ICP.RMSE, r.ICP.Inliers)
+		}
+	}
+	st, err := trajectory.ATE(est, gt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Max > 0.05 {
+		t.Fatalf("max ATE %v m too large for clean sequence", st.Max)
+	}
+}
+
+func TestPipelineFrameMetadata(t *testing.T) {
+	seq := testSequence(t, 4)
+	_, _, results := runPipeline(t, testConfig(), seq)
+
+	r0 := results[0]
+	if r0.Attempted {
+		t.Fatal("first frame should not attempt ICP")
+	}
+	if !r0.Integrated {
+		t.Fatal("first frame must integrate")
+	}
+	if r0.KernelCosts[KernelIntegrate].Ops <= 0 {
+		t.Fatal("integration cost missing")
+	}
+	if r0.KernelCosts[KernelRaycast].Ops <= 0 {
+		t.Fatal("raycast cost missing")
+	}
+	if r0.KernelCosts[KernelPreprocess].Ops <= 0 {
+		t.Fatal("preprocess cost missing")
+	}
+	r1 := results[1]
+	if !r1.Attempted || r1.KernelCosts[KernelTrack].Ops <= 0 {
+		t.Fatal("second frame should track")
+	}
+	if r1.TotalCost().Ops <= r1.KernelCosts[KernelTrack].Ops {
+		t.Fatal("total cost should include all kernels")
+	}
+	if r1.TotalTime() <= 0 {
+		t.Fatal("wall time missing")
+	}
+}
+
+func TestTrackingRateSkipsFrames(t *testing.T) {
+	seq := testSequence(t, 8)
+	cfg := testConfig()
+	cfg.TrackingRate = 2
+	_, _, results := runPipeline(t, cfg, seq)
+	for i, r := range results {
+		if i == 0 {
+			continue
+		}
+		wantAttempt := i%2 == 0
+		if r.Attempted != wantAttempt {
+			t.Fatalf("frame %d attempted=%v want %v", i, r.Attempted, wantAttempt)
+		}
+	}
+}
+
+func TestIntegrationRateSkipsFrames(t *testing.T) {
+	seq := testSequence(t, 8)
+	cfg := testConfig()
+	cfg.IntegrationRate = 3
+	_, _, results := runPipeline(t, cfg, seq)
+	for i, r := range results {
+		wantIntegrate := i%3 == 0
+		if r.Integrated != wantIntegrate {
+			t.Fatalf("frame %d integrated=%v want %v", i, r.Integrated, wantIntegrate)
+		}
+	}
+}
+
+func TestComputeSizeRatioShrinksWork(t *testing.T) {
+	in := camera.Kinect640().ScaledTo(160, 120)
+	traj := synth.Orbit(math3.V3(0, 0.5, -0.5), 1.3, 1.3, 0.4, 0.1, 2, 30)
+	seq, err := dataset.Generate(dataset.SynthConfig{
+		Name: "csr", Scene: sdf.SimpleRoom(), Trajectory: traj,
+		Intrinsics: in, Noise: synth.NoNoise(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costAt := func(ratio int) int64 {
+		cfg := testConfig()
+		cfg.ComputeSizeRatio = ratio
+		_, _, results := runPipeline(t, cfg, &dataset.MemorySequence{
+			SeqName: seq.SeqName, Intr: seq.Intr, Frames: seq.Frames,
+		})
+		return results[1].KernelCosts[KernelTrack].Ops +
+			results[1].KernelCosts[KernelPreprocess].Ops
+	}
+	c1, c4 := costAt(1), costAt(4)
+	if c4*4 > c1 {
+		t.Fatalf("ratio 4 should cut front-end cost ≥4×: %d vs %d", c1, c4)
+	}
+}
+
+func TestVolumeResolutionScalesIntegrationCost(t *testing.T) {
+	seq := testSequence(t, 2)
+	costAt := func(res int) int64 {
+		cfg := testConfig()
+		cfg.VolumeResolution = res
+		_, _, results := runPipeline(t, cfg, seq)
+		return results[0].KernelCosts[KernelIntegrate].Ops
+	}
+	c64, c128 := costAt(64), costAt(128)
+	if c128 < c64*7 {
+		t.Fatalf("doubling resolution should ≈8× integration: %d vs %d", c64, c128)
+	}
+}
+
+func TestTrackingFailureOnBlankFrame(t *testing.T) {
+	seq := testSequence(t, 3)
+	f0, _ := seq.Frame(0)
+	p, err := New(testConfig(), seq.Intrinsics(), f0.GroundTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ProcessFrame(f0.Depth); err != nil {
+		t.Fatal(err)
+	}
+	poseBefore := p.Pose()
+	blank := imgproc.NewDepthMap(seq.Intr.Width, seq.Intr.Height)
+	r, err := p.ProcessFrame(blank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tracked {
+		t.Fatal("blank frame reported as tracked")
+	}
+	if r.Integrated {
+		t.Fatal("blank frame must not be integrated")
+	}
+	if p.TrackingFailures() != 1 {
+		t.Fatalf("failures = %d", p.TrackingFailures())
+	}
+	if !p.Pose().ApproxEq(poseBefore, 1e-12) {
+		t.Fatal("failed frame moved the pose")
+	}
+}
+
+func TestProcessFrameSizeMismatch(t *testing.T) {
+	seq := testSequence(t, 2)
+	f0, _ := seq.Frame(0)
+	p, _ := New(testConfig(), seq.Intrinsics(), f0.GroundTruth)
+	wrong := imgproc.NewDepthMap(10, 10)
+	if _, err := p.ProcessFrame(wrong); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestRenderingRateDefersRaycast(t *testing.T) {
+	seq := testSequence(t, 6)
+	cfg := testConfig()
+	cfg.RenderingRate = 3
+	_, _, results := runPipeline(t, cfg, seq)
+	raycasts := 0
+	for _, r := range results {
+		if r.KernelCosts[KernelRaycast].Ops > 0 {
+			raycasts++
+		}
+	}
+	// Frame 0 raycasts (bootstrap); afterwards every 3rd integration.
+	if raycasts >= len(results) {
+		t.Fatalf("rendering rate ignored: %d raycasts in %d frames", raycasts, len(results))
+	}
+	if raycasts == 0 {
+		t.Fatal("no raycasts at all")
+	}
+}
+
+func TestMeshExportFromPipeline(t *testing.T) {
+	seq := testSequence(t, 5)
+	cfg := testConfig()
+	_, _, _ = runPipelineKeep(t, cfg, seq, func(p *Pipeline) {
+		m := p.Volume().ExtractMesh()
+		if len(m.Triangles) == 0 {
+			t.Fatal("reconstruction produced no surface")
+		}
+		// The floor (y≈0) must be part of the reconstruction.
+		foundFloor := false
+		for _, tri := range m.Triangles {
+			if math.Abs(tri.A.Y) < 0.1 {
+				foundFloor = true
+				break
+			}
+		}
+		if !foundFloor {
+			t.Fatal("floor missing from reconstruction")
+		}
+	})
+}
+
+// runPipelineKeep is runPipeline plus a callback with the final pipeline.
+func runPipelineKeep(t *testing.T, cfg Config, seq *dataset.MemorySequence, fn func(*Pipeline)) (est, gt *trajectory.Trajectory, results []*FrameResult) {
+	t.Helper()
+	f0, _ := seq.Frame(0)
+	p, err := New(cfg, seq.Intrinsics(), f0.GroundTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est = &trajectory.Trajectory{}
+	gt = &trajectory.Trajectory{}
+	for i := 0; i < seq.Len(); i++ {
+		f, _ := seq.Frame(i)
+		r, err := p.ProcessFrame(f.Depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+		est.Append(f.Time, r.Pose)
+		gt.Append(f.Time, f.GroundTruth)
+	}
+	fn(p)
+	return est, gt, results
+}
+
+func TestKernelString(t *testing.T) {
+	names := map[Kernel]string{
+		KernelPreprocess: "preprocess",
+		KernelTrack:      "track",
+		KernelIntegrate:  "integrate",
+		KernelRaycast:    "raycast",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d → %q want %q", k, k.String(), want)
+		}
+	}
+	if Kernel(99).String() == "" {
+		t.Fatal("unknown kernel has empty name")
+	}
+}

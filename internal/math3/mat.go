@@ -1,0 +1,256 @@
+package math3
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat3 is a row-major 3×3 matrix.
+type Mat3 struct {
+	M [3][3]float64
+}
+
+// Identity3 returns the 3×3 identity matrix.
+func Identity3() Mat3 {
+	var m Mat3
+	m.M[0][0], m.M[1][1], m.M[2][2] = 1, 1, 1
+	return m
+}
+
+// Mat3FromRows builds a matrix whose rows are r0, r1, r2.
+func Mat3FromRows(r0, r1, r2 Vec3) Mat3 {
+	return Mat3{M: [3][3]float64{
+		{r0.X, r0.Y, r0.Z},
+		{r1.X, r1.Y, r1.Z},
+		{r2.X, r2.Y, r2.Z},
+	}}
+}
+
+// Mat3FromCols builds a matrix whose columns are c0, c1, c2.
+func Mat3FromCols(c0, c1, c2 Vec3) Mat3 {
+	return Mat3{M: [3][3]float64{
+		{c0.X, c1.X, c2.X},
+		{c0.Y, c1.Y, c2.Y},
+		{c0.Z, c1.Z, c2.Z},
+	}}
+}
+
+// Row returns row i as a vector.
+func (m Mat3) Row(i int) Vec3 { return Vec3{m.M[i][0], m.M[i][1], m.M[i][2]} }
+
+// Col returns column j as a vector.
+func (m Mat3) Col(j int) Vec3 { return Vec3{m.M[0][j], m.M[1][j], m.M[2][j]} }
+
+// MulVec returns m·v.
+func (m Mat3) MulVec(v Vec3) Vec3 {
+	return Vec3{
+		m.M[0][0]*v.X + m.M[0][1]*v.Y + m.M[0][2]*v.Z,
+		m.M[1][0]*v.X + m.M[1][1]*v.Y + m.M[1][2]*v.Z,
+		m.M[2][0]*v.X + m.M[2][1]*v.Y + m.M[2][2]*v.Z,
+	}
+}
+
+// Mul returns the matrix product m·n.
+func (m Mat3) Mul(n Mat3) Mat3 {
+	var out Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			s := 0.0
+			for k := 0; k < 3; k++ {
+				s += m.M[i][k] * n.M[k][j]
+			}
+			out.M[i][j] = s
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m Mat3) Transpose() Mat3 {
+	var out Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			out.M[i][j] = m.M[j][i]
+		}
+	}
+	return out
+}
+
+// Scale returns s·m.
+func (m Mat3) Scale(s float64) Mat3 {
+	var out Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			out.M[i][j] = m.M[i][j] * s
+		}
+	}
+	return out
+}
+
+// Add returns m + n.
+func (m Mat3) Add(n Mat3) Mat3 {
+	var out Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			out.M[i][j] = m.M[i][j] + n.M[i][j]
+		}
+	}
+	return out
+}
+
+// Det returns the determinant of m.
+func (m Mat3) Det() float64 {
+	return m.M[0][0]*(m.M[1][1]*m.M[2][2]-m.M[1][2]*m.M[2][1]) -
+		m.M[0][1]*(m.M[1][0]*m.M[2][2]-m.M[1][2]*m.M[2][0]) +
+		m.M[0][2]*(m.M[1][0]*m.M[2][1]-m.M[1][1]*m.M[2][0])
+}
+
+// Inverse returns m⁻¹ and whether m was invertible. A singular matrix
+// returns (Identity3, false).
+func (m Mat3) Inverse() (Mat3, bool) {
+	d := m.Det()
+	if math.Abs(d) < 1e-15 {
+		return Identity3(), false
+	}
+	inv := 1 / d
+	var out Mat3
+	out.M[0][0] = (m.M[1][1]*m.M[2][2] - m.M[1][2]*m.M[2][1]) * inv
+	out.M[0][1] = (m.M[0][2]*m.M[2][1] - m.M[0][1]*m.M[2][2]) * inv
+	out.M[0][2] = (m.M[0][1]*m.M[1][2] - m.M[0][2]*m.M[1][1]) * inv
+	out.M[1][0] = (m.M[1][2]*m.M[2][0] - m.M[1][0]*m.M[2][2]) * inv
+	out.M[1][1] = (m.M[0][0]*m.M[2][2] - m.M[0][2]*m.M[2][0]) * inv
+	out.M[1][2] = (m.M[0][2]*m.M[1][0] - m.M[0][0]*m.M[1][2]) * inv
+	out.M[2][0] = (m.M[1][0]*m.M[2][1] - m.M[1][1]*m.M[2][0]) * inv
+	out.M[2][1] = (m.M[0][1]*m.M[2][0] - m.M[0][0]*m.M[2][1]) * inv
+	out.M[2][2] = (m.M[0][0]*m.M[1][1] - m.M[0][1]*m.M[1][0]) * inv
+	return out, true
+}
+
+// Trace returns the sum of the diagonal entries.
+func (m Mat3) Trace() float64 { return m.M[0][0] + m.M[1][1] + m.M[2][2] }
+
+// ApproxEq reports whether every entry of m and n differs by at most tol.
+func (m Mat3) ApproxEq(n Mat3, tol float64) bool {
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if math.Abs(m.M[i][j]-n.M[i][j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsRotation reports whether m is (approximately) a proper rotation:
+// orthonormal with determinant +1.
+func (m Mat3) IsRotation(tol float64) bool {
+	if math.Abs(m.Det()-1) > tol {
+		return false
+	}
+	return m.Mul(m.Transpose()).ApproxEq(Identity3(), tol)
+}
+
+// Skew returns the skew-symmetric cross-product matrix [v]ₓ such that
+// Skew(v).MulVec(w) == v.Cross(w).
+func Skew(v Vec3) Mat3 {
+	return Mat3{M: [3][3]float64{
+		{0, -v.Z, v.Y},
+		{v.Z, 0, -v.X},
+		{-v.Y, v.X, 0},
+	}}
+}
+
+// Outer returns the outer product v·wᵀ.
+func Outer(v, w Vec3) Mat3 {
+	return Mat3{M: [3][3]float64{
+		{v.X * w.X, v.X * w.Y, v.X * w.Z},
+		{v.Y * w.X, v.Y * w.Y, v.Y * w.Z},
+		{v.Z * w.X, v.Z * w.Y, v.Z * w.Z},
+	}}
+}
+
+// String implements fmt.Stringer.
+func (m Mat3) String() string {
+	return fmt.Sprintf("[%g %g %g; %g %g %g; %g %g %g]",
+		m.M[0][0], m.M[0][1], m.M[0][2],
+		m.M[1][0], m.M[1][1], m.M[1][2],
+		m.M[2][0], m.M[2][1], m.M[2][2])
+}
+
+// Mat4 is a row-major 4×4 matrix (homogeneous transforms and projections).
+type Mat4 struct {
+	M [4][4]float64
+}
+
+// Identity4 returns the 4×4 identity matrix.
+func Identity4() Mat4 {
+	var m Mat4
+	m.M[0][0], m.M[1][1], m.M[2][2], m.M[3][3] = 1, 1, 1, 1
+	return m
+}
+
+// Mul returns the matrix product m·n.
+func (m Mat4) Mul(n Mat4) Mat4 {
+	var out Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			s := 0.0
+			for k := 0; k < 4; k++ {
+				s += m.M[i][k] * n.M[k][j]
+			}
+			out.M[i][j] = s
+		}
+	}
+	return out
+}
+
+// MulVec returns m·v.
+func (m Mat4) MulVec(v Vec4) Vec4 {
+	return Vec4{
+		m.M[0][0]*v.X + m.M[0][1]*v.Y + m.M[0][2]*v.Z + m.M[0][3]*v.W,
+		m.M[1][0]*v.X + m.M[1][1]*v.Y + m.M[1][2]*v.Z + m.M[1][3]*v.W,
+		m.M[2][0]*v.X + m.M[2][1]*v.Y + m.M[2][2]*v.Z + m.M[2][3]*v.W,
+		m.M[3][0]*v.X + m.M[3][1]*v.Y + m.M[3][2]*v.Z + m.M[3][3]*v.W,
+	}
+}
+
+// TransformPoint applies the homogeneous transform to a 3D point (w=1).
+func (m Mat4) TransformPoint(p Vec3) Vec3 {
+	return Vec3{
+		m.M[0][0]*p.X + m.M[0][1]*p.Y + m.M[0][2]*p.Z + m.M[0][3],
+		m.M[1][0]*p.X + m.M[1][1]*p.Y + m.M[1][2]*p.Z + m.M[1][3],
+		m.M[2][0]*p.X + m.M[2][1]*p.Y + m.M[2][2]*p.Z + m.M[2][3],
+	}
+}
+
+// TransformDir applies only the rotational part of the transform (w=0).
+func (m Mat4) TransformDir(d Vec3) Vec3 {
+	return Vec3{
+		m.M[0][0]*d.X + m.M[0][1]*d.Y + m.M[0][2]*d.Z,
+		m.M[1][0]*d.X + m.M[1][1]*d.Y + m.M[1][2]*d.Z,
+		m.M[2][0]*d.X + m.M[2][1]*d.Y + m.M[2][2]*d.Z,
+	}
+}
+
+// Transpose returns mᵀ.
+func (m Mat4) Transpose() Mat4 {
+	var out Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			out.M[i][j] = m.M[j][i]
+		}
+	}
+	return out
+}
+
+// ApproxEq reports whether every entry of m and n differs by at most tol.
+func (m Mat4) ApproxEq(n Mat4, tol float64) bool {
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if math.Abs(m.M[i][j]-n.M[i][j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,159 @@
+package math3
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomMat3(r *rand.Rand) Mat3 {
+	var m Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			m.M[i][j] = r.Float64()*4 - 2
+		}
+	}
+	return m
+}
+
+func randomRotation(r *rand.Rand) Mat3 {
+	axis := V3(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
+	return QuatFromAxisAngle(axis, r.Float64()*2*math.Pi).Mat3()
+}
+
+func TestMat3Identity(t *testing.T) {
+	id := Identity3()
+	v := V3(1, 2, 3)
+	if got := id.MulVec(v); got != v {
+		t.Fatalf("I·v = %v", got)
+	}
+	if !id.Mul(id).ApproxEq(id, 0) {
+		t.Fatal("I·I ≠ I")
+	}
+	almostEq(t, id.Det(), 1, 0, "det(I)")
+	almostEq(t, id.Trace(), 3, 0, "tr(I)")
+}
+
+func TestMat3RowColConstruction(t *testing.T) {
+	m := Mat3FromRows(V3(1, 2, 3), V3(4, 5, 6), V3(7, 8, 9))
+	if m.Row(1) != V3(4, 5, 6) {
+		t.Fatalf("Row: %v", m.Row(1))
+	}
+	if m.Col(2) != V3(3, 6, 9) {
+		t.Fatalf("Col: %v", m.Col(2))
+	}
+	n := Mat3FromCols(m.Col(0), m.Col(1), m.Col(2))
+	if !m.ApproxEq(n, 0) {
+		t.Fatal("FromCols(Col i) ≠ m")
+	}
+}
+
+func TestMat3InverseRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		m := randomMat3(r)
+		inv, ok := m.Inverse()
+		if !ok {
+			continue // singular draw, fine
+		}
+		if !m.Mul(inv).ApproxEq(Identity3(), 1e-8) {
+			t.Fatalf("m·m⁻¹ ≠ I for %v", m)
+		}
+	}
+}
+
+func TestMat3InverseSingular(t *testing.T) {
+	var z Mat3
+	if _, ok := z.Inverse(); ok {
+		t.Fatal("zero matrix reported invertible")
+	}
+	// Rank-1 matrix.
+	m := Outer(V3(1, 2, 3), V3(4, 5, 6))
+	if _, ok := m.Inverse(); ok {
+		t.Fatal("rank-1 matrix reported invertible")
+	}
+}
+
+func TestMat3TransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomMat3(r)
+		return m.Transpose().Transpose().ApproxEq(m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMat3DetProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := randomMat3(r), randomMat3(r)
+		lhs := m.Mul(n).Det()
+		rhs := m.Det() * n.Det()
+		return math.Abs(lhs-rhs) < 1e-6*(1+math.Abs(rhs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkewMatchesCross(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v, w := smallVec(r), smallVec(r)
+		return Skew(v).MulVec(w).ApproxEq(v.Cross(w), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotationIsRotation(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		R := randomRotation(r)
+		if !R.IsRotation(1e-9) {
+			t.Fatalf("random rotation fails IsRotation: %v", R)
+		}
+	}
+	if Identity3().Scale(2).IsRotation(1e-9) {
+		t.Fatal("2I accepted as rotation")
+	}
+}
+
+func TestMat4Basics(t *testing.T) {
+	id := Identity4()
+	p := V3(1, 2, 3)
+	if got := id.TransformPoint(p); got != p {
+		t.Fatalf("I·p = %v", got)
+	}
+	// Translation-only transform.
+	tr := Identity4()
+	tr.M[0][3], tr.M[1][3], tr.M[2][3] = 10, 20, 30
+	if got := tr.TransformPoint(p); got != V3(11, 22, 33) {
+		t.Fatalf("translate: %v", got)
+	}
+	if got := tr.TransformDir(p); got != p {
+		t.Fatalf("dir ignores translation: %v", got)
+	}
+	if !tr.Mul(id).ApproxEq(tr, 0) {
+		t.Fatal("T·I ≠ T")
+	}
+	if !tr.Transpose().Transpose().ApproxEq(tr, 0) {
+		t.Fatal("Mat4 transpose involution")
+	}
+	v := id.MulVec(V4(1, 2, 3, 4))
+	if v != V4(1, 2, 3, 4) {
+		t.Fatalf("I·v4 = %v", v)
+	}
+}
+
+func TestMat3AddScale(t *testing.T) {
+	m := Identity3()
+	got := m.Add(m).Scale(0.5)
+	if !got.ApproxEq(m, 1e-15) {
+		t.Fatalf("(I+I)/2 = %v", got)
+	}
+}

@@ -1,0 +1,147 @@
+package math3
+
+import "math"
+
+// Quat is a unit quaternion (w + xi + yj + zk) representing a 3D rotation.
+type Quat struct {
+	W, X, Y, Z float64
+}
+
+// QuatIdentity returns the identity rotation.
+func QuatIdentity() Quat { return Quat{W: 1} }
+
+// QuatFromAxisAngle builds the quaternion rotating by angle (radians)
+// around axis. A zero axis yields the identity.
+func QuatFromAxisAngle(axis Vec3, angle float64) Quat {
+	n := axis.Norm()
+	if n < Epsilon {
+		return QuatIdentity()
+	}
+	s := math.Sin(angle/2) / n
+	return Quat{
+		W: math.Cos(angle / 2),
+		X: axis.X * s,
+		Y: axis.Y * s,
+		Z: axis.Z * s,
+	}
+}
+
+// QuatFromMat3 converts a rotation matrix to a quaternion (Shepperd's
+// method, numerically stable for all rotations).
+func QuatFromMat3(m Mat3) Quat {
+	t := m.Trace()
+	var q Quat
+	switch {
+	case t > 0:
+		s := math.Sqrt(t+1) * 2
+		q.W = 0.25 * s
+		q.X = (m.M[2][1] - m.M[1][2]) / s
+		q.Y = (m.M[0][2] - m.M[2][0]) / s
+		q.Z = (m.M[1][0] - m.M[0][1]) / s
+	case m.M[0][0] > m.M[1][1] && m.M[0][0] > m.M[2][2]:
+		s := math.Sqrt(1+m.M[0][0]-m.M[1][1]-m.M[2][2]) * 2
+		q.W = (m.M[2][1] - m.M[1][2]) / s
+		q.X = 0.25 * s
+		q.Y = (m.M[0][1] + m.M[1][0]) / s
+		q.Z = (m.M[0][2] + m.M[2][0]) / s
+	case m.M[1][1] > m.M[2][2]:
+		s := math.Sqrt(1+m.M[1][1]-m.M[0][0]-m.M[2][2]) * 2
+		q.W = (m.M[0][2] - m.M[2][0]) / s
+		q.X = (m.M[0][1] + m.M[1][0]) / s
+		q.Y = 0.25 * s
+		q.Z = (m.M[1][2] + m.M[2][1]) / s
+	default:
+		s := math.Sqrt(1+m.M[2][2]-m.M[0][0]-m.M[1][1]) * 2
+		q.W = (m.M[1][0] - m.M[0][1]) / s
+		q.X = (m.M[0][2] + m.M[2][0]) / s
+		q.Y = (m.M[1][2] + m.M[2][1]) / s
+		q.Z = 0.25 * s
+	}
+	return q.Normalized()
+}
+
+// Mat3 converts the quaternion to a rotation matrix.
+func (q Quat) Mat3() Mat3 {
+	x2, y2, z2 := q.X+q.X, q.Y+q.Y, q.Z+q.Z
+	xx, yy, zz := q.X*x2, q.Y*y2, q.Z*z2
+	xy, xz, yz := q.X*y2, q.X*z2, q.Y*z2
+	wx, wy, wz := q.W*x2, q.W*y2, q.W*z2
+	return Mat3{M: [3][3]float64{
+		{1 - (yy + zz), xy - wz, xz + wy},
+		{xy + wz, 1 - (xx + zz), yz - wx},
+		{xz - wy, yz + wx, 1 - (xx + yy)},
+	}}
+}
+
+// Mul returns the Hamilton product q·r (apply r first, then q).
+func (q Quat) Mul(r Quat) Quat {
+	return Quat{
+		W: q.W*r.W - q.X*r.X - q.Y*r.Y - q.Z*r.Z,
+		X: q.W*r.X + q.X*r.W + q.Y*r.Z - q.Z*r.Y,
+		Y: q.W*r.Y - q.X*r.Z + q.Y*r.W + q.Z*r.X,
+		Z: q.W*r.Z + q.X*r.Y - q.Y*r.X + q.Z*r.W,
+	}
+}
+
+// Conjugate returns the quaternion conjugate (the inverse for unit
+// quaternions).
+func (q Quat) Conjugate() Quat { return Quat{q.W, -q.X, -q.Y, -q.Z} }
+
+// Norm returns the quaternion magnitude.
+func (q Quat) Norm() float64 {
+	return math.Sqrt(q.W*q.W + q.X*q.X + q.Y*q.Y + q.Z*q.Z)
+}
+
+// Normalized returns q scaled to unit norm. A degenerate (near-zero)
+// quaternion becomes the identity.
+func (q Quat) Normalized() Quat {
+	n := q.Norm()
+	if n < Epsilon {
+		return QuatIdentity()
+	}
+	return Quat{q.W / n, q.X / n, q.Y / n, q.Z / n}
+}
+
+// Rotate applies the rotation to vector v.
+func (q Quat) Rotate(v Vec3) Vec3 {
+	// v' = v + 2·u×(u×v + w·v), u = (x,y,z)
+	u := Vec3{q.X, q.Y, q.Z}
+	t := u.Cross(v).Scale(2)
+	return v.Add(t.Scale(q.W)).Add(u.Cross(t))
+}
+
+// Slerp spherically interpolates from q to r by t ∈ [0,1].
+func (q Quat) Slerp(r Quat, t float64) Quat {
+	cosTheta := q.W*r.W + q.X*r.X + q.Y*r.Y + q.Z*r.Z
+	// Take the short arc.
+	if cosTheta < 0 {
+		r = Quat{-r.W, -r.X, -r.Y, -r.Z}
+		cosTheta = -cosTheta
+	}
+	if cosTheta > 1-1e-10 {
+		// Nearly identical: fall back to normalised lerp.
+		return Quat{
+			q.W + t*(r.W-q.W),
+			q.X + t*(r.X-q.X),
+			q.Y + t*(r.Y-q.Y),
+			q.Z + t*(r.Z-q.Z),
+		}.Normalized()
+	}
+	theta := math.Acos(Clamp(cosTheta, -1, 1))
+	sinTheta := math.Sin(theta)
+	a := math.Sin((1-t)*theta) / sinTheta
+	b := math.Sin(t*theta) / sinTheta
+	return Quat{
+		a*q.W + b*r.W,
+		a*q.X + b*r.X,
+		a*q.Y + b*r.Y,
+		a*q.Z + b*r.Z,
+	}.Normalized()
+}
+
+// AngleTo returns the absolute rotation angle (radians) between q and r.
+func (q Quat) AngleTo(r Quat) float64 {
+	d := q.Conjugate().Mul(r).Normalized()
+	w := Clamp(math.Abs(d.W), 0, 1)
+	return 2 * math.Acos(w)
+}

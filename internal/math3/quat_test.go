@@ -1,0 +1,153 @@
+package math3
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomQuat(r *rand.Rand) Quat {
+	axis := V3(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
+	return QuatFromAxisAngle(axis, r.Float64()*2*math.Pi)
+}
+
+func TestQuatIdentityRotation(t *testing.T) {
+	q := QuatIdentity()
+	v := V3(1, 2, 3)
+	if got := q.Rotate(v); !got.ApproxEq(v, 1e-12) {
+		t.Fatalf("identity rotate: %v", got)
+	}
+	if !q.Mat3().ApproxEq(Identity3(), 1e-12) {
+		t.Fatal("identity Mat3")
+	}
+}
+
+func TestQuatAxisAngle90(t *testing.T) {
+	// 90° about Z maps X to Y.
+	q := QuatFromAxisAngle(V3(0, 0, 1), math.Pi/2)
+	got := q.Rotate(V3(1, 0, 0))
+	if !got.ApproxEq(V3(0, 1, 0), 1e-12) {
+		t.Fatalf("Rz(90)·x = %v", got)
+	}
+	// Zero axis yields identity.
+	if QuatFromAxisAngle(Vec3{}, 1) != QuatIdentity() {
+		t.Fatal("zero axis not identity")
+	}
+}
+
+func TestQuatMat3Roundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		q := randomQuat(r)
+		q2 := QuatFromMat3(q.Mat3())
+		// q and -q represent the same rotation.
+		d := math.Min(
+			math.Abs(q.W-q2.W)+math.Abs(q.X-q2.X)+math.Abs(q.Y-q2.Y)+math.Abs(q.Z-q2.Z),
+			math.Abs(q.W+q2.W)+math.Abs(q.X+q2.X)+math.Abs(q.Y+q2.Y)+math.Abs(q.Z+q2.Z),
+		)
+		if d > 1e-9 {
+			t.Fatalf("roundtrip mismatch %v vs %v (d=%g)", q, q2, d)
+		}
+	}
+}
+
+func TestQuatMat3RoundtripEdgeRotations(t *testing.T) {
+	// 180° rotations exercise every branch of Shepperd's method.
+	for _, axis := range []Vec3{V3(1, 0, 0), V3(0, 1, 0), V3(0, 0, 1), V3(1, 1, 1)} {
+		q := QuatFromAxisAngle(axis, math.Pi)
+		R := q.Mat3()
+		q2 := QuatFromMat3(R)
+		if !q2.Mat3().ApproxEq(R, 1e-9) {
+			t.Fatalf("180° about %v: matrices disagree", axis)
+		}
+	}
+}
+
+func TestQuatMulComposition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q1, q2 := randomQuat(r), randomQuat(r)
+		v := smallVec(r)
+		lhs := q1.Mul(q2).Rotate(v)
+		rhs := q1.Rotate(q2.Rotate(v))
+		return lhs.ApproxEq(rhs, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuatConjugateInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomQuat(r)
+		v := smallVec(r)
+		return q.Conjugate().Rotate(q.Rotate(v)).ApproxEq(v, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuatRotatePreservesNorm(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomQuat(r)
+		v := smallVec(r)
+		return math.Abs(q.Rotate(v).Norm()-v.Norm()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuatSlerpEndpoints(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		q1, q2 := randomQuat(r), randomQuat(r)
+		s0 := q1.Slerp(q2, 0)
+		s1 := q1.Slerp(q2, 1)
+		v := smallVec(r)
+		if !s0.Rotate(v).ApproxEq(q1.Rotate(v), 1e-9) {
+			t.Fatal("slerp(0) ≠ q1")
+		}
+		if !s1.Rotate(v).ApproxEq(q2.Rotate(v), 1e-9) {
+			t.Fatal("slerp(1) ≠ q2")
+		}
+	}
+}
+
+func TestQuatSlerpHalfAngle(t *testing.T) {
+	q0 := QuatIdentity()
+	q1 := QuatFromAxisAngle(V3(0, 0, 1), math.Pi/2)
+	mid := q0.Slerp(q1, 0.5)
+	want := QuatFromAxisAngle(V3(0, 0, 1), math.Pi/4)
+	v := V3(1, 0, 0)
+	if !mid.Rotate(v).ApproxEq(want.Rotate(v), 1e-9) {
+		t.Fatalf("slerp midpoint: %v", mid.Rotate(v))
+	}
+}
+
+func TestQuatSlerpNearIdentical(t *testing.T) {
+	q := QuatFromAxisAngle(V3(1, 0, 0), 0.3)
+	q2 := QuatFromAxisAngle(V3(1, 0, 0), 0.3+1e-12)
+	s := q.Slerp(q2, 0.5)
+	almostEq(t, s.Norm(), 1, 1e-12, "slerp stays unit near-identical")
+}
+
+func TestQuatAngleTo(t *testing.T) {
+	q0 := QuatIdentity()
+	q1 := QuatFromAxisAngle(V3(0, 1, 0), 0.75)
+	almostEq(t, q0.AngleTo(q1), 0.75, 1e-9, "AngleTo")
+	almostEq(t, q1.AngleTo(q1), 0, 1e-6, "AngleTo self")
+	// Antipodal representation gives the same angle.
+	q1n := Quat{-q1.W, -q1.X, -q1.Y, -q1.Z}
+	almostEq(t, q0.AngleTo(q1n), 0.75, 1e-9, "AngleTo antipodal")
+}
+
+func TestQuatNormalizedDegenerate(t *testing.T) {
+	if got := (Quat{}).Normalized(); got != QuatIdentity() {
+		t.Fatalf("zero quat normalises to %v", got)
+	}
+}

@@ -1,0 +1,147 @@
+package math3
+
+import (
+	"fmt"
+	"math"
+)
+
+// SE3 is a rigid-body transform (rotation + translation). By slamgo
+// convention it maps points from the local (camera) frame into the parent
+// (world) frame: p_world = R·p_local + T.
+type SE3 struct {
+	R Mat3
+	T Vec3
+}
+
+// SE3Identity returns the identity transform.
+func SE3Identity() SE3 { return SE3{R: Identity3()} }
+
+// SE3From builds an SE(3) from a quaternion rotation and translation.
+func SE3From(q Quat, t Vec3) SE3 { return SE3{R: q.Mat3(), T: t} }
+
+// Apply maps a point through the transform: R·p + T.
+func (s SE3) Apply(p Vec3) Vec3 { return s.R.MulVec(p).Add(s.T) }
+
+// ApplyDir maps a direction (rotation only): R·d.
+func (s SE3) ApplyDir(d Vec3) Vec3 { return s.R.MulVec(d) }
+
+// Mul composes transforms: (s·o).Apply(p) == s.Apply(o.Apply(p)).
+func (s SE3) Mul(o SE3) SE3 {
+	return SE3{R: s.R.Mul(o.R), T: s.R.MulVec(o.T).Add(s.T)}
+}
+
+// Inverse returns the inverse transform.
+func (s SE3) Inverse() SE3 {
+	rt := s.R.Transpose()
+	return SE3{R: rt, T: rt.MulVec(s.T).Neg()}
+}
+
+// Mat4 returns the homogeneous 4×4 form of the transform.
+func (s SE3) Mat4() Mat4 {
+	m := Identity4()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			m.M[i][j] = s.R.M[i][j]
+		}
+	}
+	m.M[0][3], m.M[1][3], m.M[2][3] = s.T.X, s.T.Y, s.T.Z
+	return m
+}
+
+// Quat returns the rotation part as a quaternion.
+func (s SE3) Quat() Quat { return QuatFromMat3(s.R) }
+
+// TranslationNorm returns |T|, the translation magnitude.
+func (s SE3) TranslationNorm() float64 { return s.T.Norm() }
+
+// RotationAngle returns the absolute rotation angle of R in radians.
+func (s SE3) RotationAngle() float64 {
+	c := Clamp((s.R.Trace()-1)/2, -1, 1)
+	return math.Acos(c)
+}
+
+// ApproxEq reports whether both transforms agree entry-wise within tol.
+func (s SE3) ApproxEq(o SE3, tol float64) bool {
+	return s.R.ApproxEq(o.R, tol) && s.T.ApproxEq(o.T, tol)
+}
+
+// Orthonormalized re-projects R onto SO(3) via Gram-Schmidt, guarding
+// against drift after long chains of composed estimates.
+func (s SE3) Orthonormalized() SE3 {
+	x := s.R.Col(0).Normalized()
+	y := s.R.Col(1)
+	y = y.Sub(x.Scale(x.Dot(y))).Normalized()
+	z := x.Cross(y)
+	return SE3{R: Mat3FromCols(x, y, z), T: s.T}
+}
+
+// String implements fmt.Stringer.
+func (s SE3) String() string {
+	q := s.Quat()
+	return fmt.Sprintf("SE3{t=(%.4f %.4f %.4f) q=(%.4f %.4f %.4f %.4f)}",
+		s.T.X, s.T.Y, s.T.Z, q.W, q.X, q.Y, q.Z)
+}
+
+// ExpSE3 is the exponential map from a 6-vector twist ξ = (v, ω) — the
+// translational then rotational generator coefficients — to an SE(3)
+// transform. This is the standard parametrisation used by the ICP solver:
+// small pose updates live in the Lie algebra se(3).
+func ExpSE3(xi [6]float64) SE3 {
+	v := Vec3{xi[0], xi[1], xi[2]}
+	w := Vec3{xi[3], xi[4], xi[5]}
+	theta := w.Norm()
+
+	wx := Skew(w)
+	wx2 := wx.Mul(wx)
+
+	var R, V Mat3
+	if theta < 1e-9 {
+		// Second-order Taylor expansion around theta=0.
+		R = Identity3().Add(wx).Add(wx2.Scale(0.5))
+		V = Identity3().Add(wx.Scale(0.5)).Add(wx2.Scale(1.0 / 6.0))
+	} else {
+		t2 := theta * theta
+		a := math.Sin(theta) / theta
+		b := (1 - math.Cos(theta)) / t2
+		c := (theta - math.Sin(theta)) / (t2 * theta)
+		R = Identity3().Add(wx.Scale(a)).Add(wx2.Scale(b))
+		V = Identity3().Add(wx.Scale(b)).Add(wx2.Scale(c))
+	}
+	return SE3{R: R, T: V.MulVec(v)}.Orthonormalized()
+}
+
+// LogSE3 is the logarithmic map from SE(3) to its twist coordinates,
+// inverse of ExpSE3 for rotations below π.
+func LogSE3(s SE3) [6]float64 {
+	theta := s.RotationAngle()
+	var w Vec3
+	if theta < 1e-9 {
+		w = Vec3{
+			(s.R.M[2][1] - s.R.M[1][2]) / 2,
+			(s.R.M[0][2] - s.R.M[2][0]) / 2,
+			(s.R.M[1][0] - s.R.M[0][1]) / 2,
+		}
+	} else {
+		k := theta / (2 * math.Sin(theta))
+		w = Vec3{
+			(s.R.M[2][1] - s.R.M[1][2]) * k,
+			(s.R.M[0][2] - s.R.M[2][0]) * k,
+			(s.R.M[1][0] - s.R.M[0][1]) * k,
+		}
+	}
+
+	wx := Skew(w)
+	wx2 := wx.Mul(wx)
+	var Vinv Mat3
+	if theta < 1e-9 {
+		Vinv = Identity3().Add(wx.Scale(-0.5)).Add(wx2.Scale(1.0 / 12.0))
+	} else {
+		t2 := theta * theta
+		b := (1 - math.Cos(theta)) / t2
+		a := math.Sin(theta) / theta
+		coef := (1 - a/(2*b)) / t2
+		Vinv = Identity3().Add(wx.Scale(-0.5)).Add(wx2.Scale(coef))
+	}
+	v := Vinv.MulVec(s.T)
+	return [6]float64{v.X, v.Y, v.Z, w.X, w.Y, w.Z}
+}

@@ -1,0 +1,159 @@
+package math3
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSE3(r *rand.Rand) SE3 {
+	return SE3{
+		R: randomRotation(r),
+		T: smallVec(r),
+	}
+}
+
+func TestSE3IdentityApply(t *testing.T) {
+	id := SE3Identity()
+	p := V3(4, 5, 6)
+	if got := id.Apply(p); got != p {
+		t.Fatalf("I·p = %v", got)
+	}
+}
+
+func TestSE3InverseRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSE3(r)
+		p := smallVec(r)
+		return s.Inverse().Apply(s.Apply(p)).ApproxEq(p, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSE3MulAssociativeAction(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSE3(r), randomSE3(r)
+		p := smallVec(r)
+		return a.Mul(b).Apply(p).ApproxEq(a.Apply(b.Apply(p)), 1e-8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSE3InverseComposesToIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		s := randomSE3(r)
+		if !s.Mul(s.Inverse()).ApproxEq(SE3Identity(), 1e-9) {
+			t.Fatal("s·s⁻¹ ≠ I")
+		}
+		if !s.Inverse().Mul(s).ApproxEq(SE3Identity(), 1e-9) {
+			t.Fatal("s⁻¹·s ≠ I")
+		}
+	}
+}
+
+func TestSE3Mat4Agrees(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 100; i++ {
+		s := randomSE3(r)
+		p := smallVec(r)
+		if !s.Mat4().TransformPoint(p).ApproxEq(s.Apply(p), 1e-9) {
+			t.Fatal("Mat4 path disagrees with Apply")
+		}
+		if !s.Mat4().TransformDir(p).ApproxEq(s.ApplyDir(p), 1e-9) {
+			t.Fatal("Mat4 dir disagrees with ApplyDir")
+		}
+	}
+}
+
+func TestSE3RotationAngle(t *testing.T) {
+	s := SE3From(QuatFromAxisAngle(V3(1, 0, 0), 0.6), V3(1, 2, 3))
+	almostEq(t, s.RotationAngle(), 0.6, 1e-9, "rotation angle")
+	almostEq(t, s.TranslationNorm(), math.Sqrt(14), 1e-12, "translation norm")
+}
+
+func TestSE3Orthonormalized(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	s := randomSE3(r)
+	// Perturb the rotation slightly.
+	s.R.M[0][0] += 1e-4
+	s.R.M[1][2] -= 1e-4
+	o := s.Orthonormalized()
+	if !o.R.IsRotation(1e-9) {
+		t.Fatal("orthonormalised matrix is not a rotation")
+	}
+	if !o.R.ApproxEq(s.R, 1e-2) {
+		t.Fatal("orthonormalisation moved the rotation too far")
+	}
+}
+
+func TestExpLogRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 300; i++ {
+		var xi [6]float64
+		for j := range xi {
+			xi[j] = r.Float64()*2 - 1
+		}
+		s := ExpSE3(xi)
+		back := LogSE3(s)
+		for j := range xi {
+			if math.Abs(back[j]-xi[j]) > 1e-6 {
+				t.Fatalf("exp/log roundtrip: xi=%v back=%v", xi, back)
+			}
+		}
+	}
+}
+
+func TestExpSE3SmallAngle(t *testing.T) {
+	// Tiny twist: exp ≈ I + ξ^.
+	xi := [6]float64{1e-8, -2e-8, 3e-8, 1e-9, -1e-9, 2e-9}
+	s := ExpSE3(xi)
+	if !s.R.ApproxEq(Identity3(), 1e-7) {
+		t.Fatal("small-angle rotation not near identity")
+	}
+	if !s.T.ApproxEq(V3(1e-8, -2e-8, 3e-8), 1e-12) {
+		t.Fatalf("small-angle translation: %v", s.T)
+	}
+}
+
+func TestExpSE3PureTranslation(t *testing.T) {
+	s := ExpSE3([6]float64{1, 2, 3, 0, 0, 0})
+	if !s.R.ApproxEq(Identity3(), 1e-12) {
+		t.Fatal("pure translation rotated")
+	}
+	if !s.T.ApproxEq(V3(1, 2, 3), 1e-12) {
+		t.Fatalf("pure translation T=%v", s.T)
+	}
+}
+
+func TestExpSE3PureRotation(t *testing.T) {
+	s := ExpSE3([6]float64{0, 0, 0, 0, 0, math.Pi / 2})
+	want := QuatFromAxisAngle(V3(0, 0, 1), math.Pi/2).Mat3()
+	if !s.R.ApproxEq(want, 1e-9) {
+		t.Fatalf("pure rotation R=%v", s.R)
+	}
+	if s.T.Norm() > 1e-12 {
+		t.Fatalf("pure rotation translated: %v", s.T)
+	}
+}
+
+func TestSE3ExpPreservesRotationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var xi [6]float64
+		for j := range xi {
+			xi[j] = r.Float64()*4 - 2
+		}
+		return ExpSE3(xi).R.IsRotation(1e-8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package math3
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution
+// within numerical tolerance.
+var ErrSingular = errors.New("math3: singular system")
+
+// Sym6 is a symmetric 6×6 system accumulated from point-to-plane ICP
+// residuals: the normal equations JᵀJ·x = Jᵀr. Only the upper triangle of
+// A is stored logically; Add fills both halves for simplicity.
+type Sym6 struct {
+	A [6][6]float64
+	B [6]float64
+	// Count and Error track how many residuals were accumulated and their
+	// summed squared error, used for convergence and quality checks.
+	Count int
+	Error float64
+}
+
+// AddRow accumulates one residual row: A += J·Jᵀ, B += J·e.
+func (s *Sym6) AddRow(j [6]float64, e float64) {
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 6; c++ {
+			s.A[r][c] += j[r] * j[c]
+		}
+		s.B[r] += j[r] * e
+	}
+	s.Count++
+	s.Error += e * e
+}
+
+// Merge adds another accumulator into s (used by parallel reductions).
+func (s *Sym6) Merge(o *Sym6) {
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 6; c++ {
+			s.A[r][c] += o.A[r][c]
+		}
+		s.B[r] += o.B[r]
+	}
+	s.Count += o.Count
+	s.Error += o.Error
+}
+
+// Reset zeroes the accumulator for reuse.
+func (s *Sym6) Reset() {
+	*s = Sym6{}
+}
+
+// Solve computes x with A·x = B via LDLᵀ decomposition with diagonal
+// damping lambda (Levenberg style; pass 0 for plain Gauss-Newton).
+func (s *Sym6) Solve(lambda float64) ([6]float64, error) {
+	var a [6][6]float64
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 6; c++ {
+			a[r][c] = s.A[r][c]
+		}
+		a[r][r] += lambda
+	}
+	return solveLDLT6(a, s.B)
+}
+
+// solveLDLT6 solves a symmetric positive semi-definite 6×6 system using
+// LDLᵀ factorisation with partial tolerance checks.
+func solveLDLT6(a [6][6]float64, b [6]float64) ([6]float64, error) {
+	const n = 6
+	var L [n][n]float64
+	var D [n]float64
+
+	scale := 0.0
+	for i := 0; i < n; i++ {
+		if v := math.Abs(a[i][i]); v > scale {
+			scale = v
+		}
+	}
+	if scale == 0 {
+		return [6]float64{}, ErrSingular
+	}
+	tol := scale * 1e-13
+
+	for j := 0; j < n; j++ {
+		d := a[j][j]
+		for k := 0; k < j; k++ {
+			d -= L[j][k] * L[j][k] * D[k]
+		}
+		if math.Abs(d) < tol {
+			return [6]float64{}, ErrSingular
+		}
+		D[j] = d
+		L[j][j] = 1
+		for i := j + 1; i < n; i++ {
+			v := a[i][j]
+			for k := 0; k < j; k++ {
+				v -= L[i][k] * L[j][k] * D[k]
+			}
+			L[i][j] = v / d
+		}
+	}
+
+	// Forward solve L·y = b.
+	var y [n]float64
+	for i := 0; i < n; i++ {
+		y[i] = b[i]
+		for k := 0; k < i; k++ {
+			y[i] -= L[i][k] * y[k]
+		}
+	}
+	// Diagonal solve D·z = y.
+	for i := 0; i < n; i++ {
+		y[i] /= D[i]
+	}
+	// Back solve Lᵀ·x = z.
+	var x [n]float64
+	for i := n - 1; i >= 0; i-- {
+		x[i] = y[i]
+		for k := i + 1; k < n; k++ {
+			x[i] -= L[k][i] * x[k]
+		}
+	}
+	for i := 0; i < n; i++ {
+		if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+			return [6]float64{}, ErrSingular
+		}
+	}
+	return x, nil
+}
+
+// SolveSym3 solves a symmetric 3×3 system A·x = b (used by the Umeyama
+// alignment and small fitting problems). Returns ErrSingular when A is
+// rank-deficient.
+func SolveSym3(a Mat3, b Vec3) (Vec3, error) {
+	inv, ok := a.Inverse()
+	if !ok {
+		return Vec3{}, ErrSingular
+	}
+	return inv.MulVec(b), nil
+}

@@ -1,0 +1,123 @@
+package math3
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSym6SolveKnownSystem(t *testing.T) {
+	// Build A = JᵀJ, B = Jᵀ(J·x*) from random rows so x* is recoverable.
+	r := rand.New(rand.NewSource(2))
+	want := [6]float64{0.5, -1, 2, 0.25, -0.75, 1.5}
+	var s Sym6
+	for i := 0; i < 100; i++ {
+		var j [6]float64
+		for k := range j {
+			j[k] = r.NormFloat64()
+		}
+		e := 0.0
+		for k := range j {
+			e += j[k] * want[k]
+		}
+		s.AddRow(j, e)
+	}
+	got, err := s.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range want {
+		if math.Abs(got[k]-want[k]) > 1e-9 {
+			t.Fatalf("x[%d] = %v, want %v", k, got[k], want[k])
+		}
+	}
+	if s.Count != 100 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+}
+
+func TestSym6SolveSingular(t *testing.T) {
+	var s Sym6
+	// Only one residual direction: rank-1 system.
+	s.AddRow([6]float64{1, 0, 0, 0, 0, 0}, 1)
+	if _, err := s.Solve(0); err == nil {
+		t.Fatal("rank-1 system solved without error")
+	}
+	// Damping regularises it.
+	if _, err := s.Solve(1e-3); err != nil {
+		t.Fatalf("damped solve failed: %v", err)
+	}
+}
+
+func TestSym6SolveEmpty(t *testing.T) {
+	var s Sym6
+	if _, err := s.Solve(0); err == nil {
+		t.Fatal("empty system solved without error")
+	}
+}
+
+func TestSym6Merge(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	rows := make([][6]float64, 60)
+	errs := make([]float64, 60)
+	for i := range rows {
+		for k := range rows[i] {
+			rows[i][k] = r.NormFloat64()
+		}
+		errs[i] = r.NormFloat64()
+	}
+	var whole Sym6
+	for i := range rows {
+		whole.AddRow(rows[i], errs[i])
+	}
+	var a, b Sym6
+	for i := 0; i < 30; i++ {
+		a.AddRow(rows[i], errs[i])
+	}
+	for i := 30; i < 60; i++ {
+		b.AddRow(rows[i], errs[i])
+	}
+	a.Merge(&b)
+	if a.Count != whole.Count {
+		t.Fatalf("merged count %d vs %d", a.Count, whole.Count)
+	}
+	if math.Abs(a.Error-whole.Error) > 1e-9 {
+		t.Fatalf("merged error %v vs %v", a.Error, whole.Error)
+	}
+	xa, err1 := a.Solve(0)
+	xw, err2 := whole.Solve(0)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("solve: %v %v", err1, err2)
+	}
+	for k := range xa {
+		if math.Abs(xa[k]-xw[k]) > 1e-9 {
+			t.Fatal("merged solution differs")
+		}
+	}
+}
+
+func TestSym6Reset(t *testing.T) {
+	var s Sym6
+	s.AddRow([6]float64{1, 1, 1, 1, 1, 1}, 2)
+	s.Reset()
+	if s.Count != 0 || s.Error != 0 || s.A[0][0] != 0 || s.B[0] != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestSolveSym3(t *testing.T) {
+	a := Mat3FromRows(V3(4, 1, 0), V3(1, 3, 1), V3(0, 1, 2))
+	want := V3(1, -2, 0.5)
+	b := a.MulVec(want)
+	got, err := SolveSym3(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ApproxEq(want, 1e-9) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	var zero Mat3
+	if _, err := SolveSym3(zero, b); err == nil {
+		t.Fatal("singular 3×3 solved")
+	}
+}

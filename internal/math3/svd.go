@@ -1,0 +1,142 @@
+package math3
+
+import "math"
+
+// Jacobi eigendecomposition and a small 3×3 SVD built on it. The SVD is
+// needed by the Umeyama trajectory alignment (ATE computation) and by the
+// rotation re-projection used in tests.
+
+// EigenSym3 computes the eigenvalues and eigenvectors of a symmetric 3×3
+// matrix using cyclic Jacobi rotations. Eigenvalues are returned in
+// descending order; eigenvectors are the corresponding columns of V.
+func EigenSym3(a Mat3) (vals Vec3, V Mat3) {
+	// Work on a copy; accumulate rotations in V.
+	m := a
+	V = Identity3()
+	for sweep := 0; sweep < 64; sweep++ {
+		off := math.Abs(m.M[0][1]) + math.Abs(m.M[0][2]) + math.Abs(m.M[1][2])
+		if off < 1e-15 {
+			break
+		}
+		for p := 0; p < 2; p++ {
+			for q := p + 1; q < 3; q++ {
+				if math.Abs(m.M[p][q]) < 1e-18 {
+					continue
+				}
+				theta := (m.M[q][q] - m.M[p][p]) / (2 * m.M[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+
+				// Apply Givens rotation G(p,q,θ) on both sides: m = GᵀmG.
+				var g Mat3
+				g = Identity3()
+				g.M[p][p], g.M[q][q] = c, c
+				g.M[p][q], g.M[q][p] = s, -s
+				m = g.Transpose().Mul(m).Mul(g)
+				V = V.Mul(g)
+			}
+		}
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	type pair struct {
+		val float64
+		vec Vec3
+	}
+	ps := []pair{
+		{m.M[0][0], V.Col(0)},
+		{m.M[1][1], V.Col(1)},
+		{m.M[2][2], V.Col(2)},
+	}
+	for i := 0; i < 2; i++ {
+		for j := i + 1; j < 3; j++ {
+			if ps[j].val > ps[i].val {
+				ps[i], ps[j] = ps[j], ps[i]
+			}
+		}
+	}
+	vals = Vec3{ps[0].val, ps[1].val, ps[2].val}
+	V = Mat3FromCols(ps[0].vec, ps[1].vec, ps[2].vec)
+	return vals, V
+}
+
+// SVD3 computes the singular value decomposition A = U·diag(s)·Vᵀ of a 3×3
+// matrix. Singular values are non-negative and descending. U and V are
+// orthogonal (not necessarily proper rotations).
+func SVD3(a Mat3) (U Mat3, s Vec3, V Mat3) {
+	// Eigendecompose AᵀA = V·diag(s²)·Vᵀ.
+	ata := a.Transpose().Mul(a)
+	vals, v := EigenSym3(ata)
+	s = Vec3{
+		math.Sqrt(math.Max(vals.X, 0)),
+		math.Sqrt(math.Max(vals.Y, 0)),
+		math.Sqrt(math.Max(vals.Z, 0)),
+	}
+	V = v
+
+	// U columns: A·vᵢ / sᵢ; rebuild degenerate columns orthogonally.
+	var ucols [3]Vec3
+	for i := 0; i < 3; i++ {
+		col := a.MulVec(V.Col(i))
+		var si float64
+		switch i {
+		case 0:
+			si = s.X
+		case 1:
+			si = s.Y
+		default:
+			si = s.Z
+		}
+		if si > 1e-12 {
+			ucols[i] = col.Scale(1 / si)
+		} else {
+			ucols[i] = Vec3{} // fixed up below
+		}
+	}
+	// Orthonormal completion for zero singular values.
+	if ucols[0].Norm() < 0.5 {
+		ucols[0] = V3(1, 0, 0)
+	}
+	ucols[0] = ucols[0].Normalized()
+	if ucols[1].Norm() < 0.5 {
+		ucols[1] = orthogonalTo(ucols[0])
+	}
+	ucols[1] = ucols[1].Sub(ucols[0].Scale(ucols[0].Dot(ucols[1]))).Normalized()
+	c2 := ucols[0].Cross(ucols[1])
+	if ucols[2].Norm() < 0.5 || ucols[2].Dot(c2) < 0.999 {
+		// Preserve sign when the computed column is valid but flipped.
+		if ucols[2].Norm() >= 0.5 && ucols[2].Dot(c2) < 0 {
+			ucols[2] = c2.Neg()
+		} else if ucols[2].Norm() < 0.5 {
+			ucols[2] = c2
+		}
+	}
+	ucols[2] = ucols[2].Normalized()
+	U = Mat3FromCols(ucols[0], ucols[1], ucols[2])
+	return U, s, V
+}
+
+// orthogonalTo returns any unit vector orthogonal to v.
+func orthogonalTo(v Vec3) Vec3 {
+	if math.Abs(v.X) < math.Abs(v.Y) && math.Abs(v.X) < math.Abs(v.Z) {
+		return v.Cross(V3(1, 0, 0)).Normalized()
+	}
+	if math.Abs(v.Y) < math.Abs(v.Z) {
+		return v.Cross(V3(0, 1, 0)).Normalized()
+	}
+	return v.Cross(V3(0, 0, 1)).Normalized()
+}
+
+// NearestRotation projects an arbitrary 3×3 matrix onto SO(3): the closest
+// proper rotation in Frobenius norm (Kabsch/Procrustes projection).
+func NearestRotation(a Mat3) Mat3 {
+	U, _, V := SVD3(a)
+	R := U.Mul(V.Transpose())
+	if R.Det() < 0 {
+		// Flip the axis of the smallest singular value (third column).
+		f := Identity3()
+		f.M[2][2] = -1
+		R = U.Mul(f).Mul(V.Transpose())
+	}
+	return R
+}

@@ -1,0 +1,117 @@
+package math3
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEigenSym3Diagonal(t *testing.T) {
+	d := Mat3{M: [3][3]float64{{3, 0, 0}, {0, 7, 0}, {0, 0, 1}}}
+	vals, V := EigenSym3(d)
+	if !vals.ApproxEq(V3(7, 3, 1), 1e-10) {
+		t.Fatalf("eigenvalues %v", vals)
+	}
+	// Eigenvectors are signed unit axes.
+	for i := 0; i < 3; i++ {
+		v := V.Col(i)
+		almostEq(t, v.Norm(), 1, 1e-9, "unit eigenvector")
+	}
+}
+
+func TestEigenSym3Reconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		m := randomMat3(r)
+		sym := m.Add(m.Transpose()).Scale(0.5)
+		vals, V := EigenSym3(sym)
+		D := Mat3{M: [3][3]float64{{vals.X, 0, 0}, {0, vals.Y, 0}, {0, 0, vals.Z}}}
+		rec := V.Mul(D).Mul(V.Transpose())
+		if !rec.ApproxEq(sym, 1e-8) {
+			t.Fatalf("V·D·Vᵀ ≠ A:\n%v\nvs\n%v", rec, sym)
+		}
+		if vals.X < vals.Y || vals.Y < vals.Z {
+			t.Fatalf("eigenvalues not sorted: %v", vals)
+		}
+	}
+}
+
+func TestSVD3Reconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		a := randomMat3(r)
+		U, s, V := SVD3(a)
+		S := Mat3{M: [3][3]float64{{s.X, 0, 0}, {0, s.Y, 0}, {0, 0, s.Z}}}
+		rec := U.Mul(S).Mul(V.Transpose())
+		if !rec.ApproxEq(a, 1e-7) {
+			t.Fatalf("U·S·Vᵀ ≠ A (iter %d)\n%v\nvs\n%v", i, rec, a)
+		}
+		if s.X < s.Y || s.Y < s.Z || s.Z < -1e-12 {
+			t.Fatalf("singular values invalid: %v", s)
+		}
+		if !U.Mul(U.Transpose()).ApproxEq(Identity3(), 1e-7) {
+			t.Fatal("U not orthogonal")
+		}
+		if !V.Mul(V.Transpose()).ApproxEq(Identity3(), 1e-7) {
+			t.Fatal("V not orthogonal")
+		}
+	}
+}
+
+func TestSVD3RankDeficient(t *testing.T) {
+	// Rank-1 matrix must still reconstruct.
+	a := Outer(V3(1, 2, 3), V3(4, 5, 6))
+	U, s, V := SVD3(a)
+	S := Mat3{M: [3][3]float64{{s.X, 0, 0}, {0, s.Y, 0}, {0, 0, s.Z}}}
+	rec := U.Mul(S).Mul(V.Transpose())
+	if !rec.ApproxEq(a, 1e-6) {
+		t.Fatalf("rank-1 reconstruction failed:\n%v\nvs\n%v", rec, a)
+	}
+	if s.Y > 1e-5 || s.Z > 1e-5 {
+		t.Fatalf("rank-1 should have one nonzero singular value: %v", s)
+	}
+}
+
+func TestNearestRotation(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 100; i++ {
+		R := randomRotation(r)
+		// Perturb.
+		p := R
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				p.M[a][b] += (r.Float64() - 0.5) * 0.05
+			}
+		}
+		proj := NearestRotation(p)
+		if !proj.IsRotation(1e-8) {
+			t.Fatal("projection is not a rotation")
+		}
+		if !proj.ApproxEq(R, 0.1) {
+			t.Fatal("projection strayed from original rotation")
+		}
+	}
+}
+
+func TestNearestRotationReflection(t *testing.T) {
+	// A reflection must be projected to a proper rotation (det +1).
+	refl := Identity3()
+	refl.M[2][2] = -1
+	proj := NearestRotation(refl)
+	if math.Abs(proj.Det()-1) > 1e-9 {
+		t.Fatalf("det = %v", proj.Det())
+	}
+}
+
+func TestOrthogonalTo(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 100; i++ {
+		v := smallVec(r).Normalized()
+		if v.Norm() < 0.5 {
+			continue
+		}
+		o := orthogonalTo(v)
+		almostEq(t, o.Dot(v), 0, 1e-9, "orthogonal")
+		almostEq(t, o.Norm(), 1, 1e-9, "unit")
+	}
+}

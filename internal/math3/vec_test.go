@@ -1,0 +1,175 @@
+package math3
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v want %v (tol %v)", msg, got, want, tol)
+	}
+}
+
+func TestVec3Basics(t *testing.T) {
+	v := V3(1, 2, 3)
+	w := V3(4, -5, 6)
+	if got := v.Add(w); got != V3(5, -3, 9) {
+		t.Fatalf("Add: %v", got)
+	}
+	if got := v.Sub(w); got != V3(-3, 7, -3) {
+		t.Fatalf("Sub: %v", got)
+	}
+	if got := v.Scale(2); got != V3(2, 4, 6) {
+		t.Fatalf("Scale: %v", got)
+	}
+	if got := v.Mul(w); got != V3(4, -10, 18) {
+		t.Fatalf("Mul: %v", got)
+	}
+	almostEq(t, v.Dot(w), 4-10+18, 1e-12, "Dot")
+	almostEq(t, V3(3, 4, 0).Norm(), 5, 1e-12, "Norm")
+	if got := v.Neg(); got != V3(-1, -2, -3) {
+		t.Fatalf("Neg: %v", got)
+	}
+}
+
+func TestVec3CrossOrthogonal(t *testing.T) {
+	v := V3(1, 2, 3)
+	w := V3(-2, 0.5, 4)
+	c := v.Cross(w)
+	almostEq(t, c.Dot(v), 0, 1e-12, "cross ⟂ v")
+	almostEq(t, c.Dot(w), 0, 1e-12, "cross ⟂ w")
+	// Right-handedness of the basis.
+	if got := V3(1, 0, 0).Cross(V3(0, 1, 0)); !got.ApproxEq(V3(0, 0, 1), 1e-15) {
+		t.Fatalf("x × y = %v, want z", got)
+	}
+}
+
+func TestVec3NormalizedZeroSafe(t *testing.T) {
+	z := Vec3{}
+	if got := z.Normalized(); got != z {
+		t.Fatalf("Normalized(0) = %v, want 0", got)
+	}
+	v := V3(0, 0, 10).Normalized()
+	almostEq(t, v.Norm(), 1, 1e-12, "unit norm")
+}
+
+func TestVec3MinMaxLerp(t *testing.T) {
+	v, w := V3(1, 5, -2), V3(3, 2, 0)
+	if got := v.Min(w); got != V3(1, 2, -2) {
+		t.Fatalf("Min: %v", got)
+	}
+	if got := v.Max(w); got != V3(3, 5, 0) {
+		t.Fatalf("Max: %v", got)
+	}
+	almostEq(t, v.MaxComponent(), 5, 0, "MaxComponent")
+	almostEq(t, v.MinComponent(), -2, 0, "MinComponent")
+	if got := v.Lerp(w, 0); got != v {
+		t.Fatalf("Lerp 0: %v", got)
+	}
+	if got := v.Lerp(w, 1); !got.ApproxEq(w, 1e-12) {
+		t.Fatalf("Lerp 1: %v", got)
+	}
+	mid := v.Lerp(w, 0.5)
+	if !mid.ApproxEq(V3(2, 3.5, -1), 1e-12) {
+		t.Fatalf("Lerp 0.5: %v", mid)
+	}
+}
+
+func TestVec3IsFinite(t *testing.T) {
+	if !V3(1, 2, 3).IsFinite() {
+		t.Fatal("finite vector reported non-finite")
+	}
+	if V3(math.NaN(), 0, 0).IsFinite() {
+		t.Fatal("NaN vector reported finite")
+	}
+	if V3(0, math.Inf(1), 0).IsFinite() {
+		t.Fatal("Inf vector reported finite")
+	}
+}
+
+func TestVec2AndVec4(t *testing.T) {
+	a := V2(3, 4)
+	almostEq(t, a.Norm(), 5, 1e-12, "Vec2 norm")
+	almostEq(t, a.Dot(V2(1, 1)), 7, 1e-12, "Vec2 dot")
+	if got := a.Add(V2(1, 1)).Sub(V2(1, 1)); got != a {
+		t.Fatalf("Vec2 add/sub roundtrip: %v", got)
+	}
+	if got := a.Scale(2); got != V2(6, 8) {
+		t.Fatalf("Vec2 scale: %v", got)
+	}
+
+	h := Homogeneous(V3(1, 2, 3))
+	if h.W != 1 || h.XYZ() != V3(1, 2, 3) {
+		t.Fatalf("homogeneous roundtrip: %v", h)
+	}
+	almostEq(t, V4(1, 2, 3, 4).Dot(V4(4, 3, 2, 1)), 20, 1e-12, "Vec4 dot")
+	if got := V4(1, 2, 3, 4).Add(V4(1, 1, 1, 1)).Sub(V4(1, 1, 1, 1)); got != V4(1, 2, 3, 4) {
+		t.Fatalf("Vec4 add/sub roundtrip: %v", got)
+	}
+	if got := V4(1, 2, 3, 4).Scale(0.5); got != V4(0.5, 1, 1.5, 2) {
+		t.Fatalf("Vec4 scale: %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	almostEq(t, Clamp(5, 0, 1), 1, 0, "upper")
+	almostEq(t, Clamp(-5, 0, 1), 0, 0, "lower")
+	almostEq(t, Clamp(0.5, 0, 1), 0.5, 0, "inside")
+}
+
+// smallVec draws vectors with bounded components so quick-check properties
+// avoid catastrophic cancellation artefacts.
+func smallVec(r *rand.Rand) Vec3 {
+	return V3(r.Float64()*20-10, r.Float64()*20-10, r.Float64()*20-10)
+}
+
+func TestQuickCrossAnticommutes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v, w := smallVec(r), smallVec(r)
+		return v.Cross(w).ApproxEq(w.Cross(v).Neg(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v, w := smallVec(r), smallVec(r)
+		return v.Add(w).Norm() <= v.Norm()+w.Norm()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDotCauchySchwarz(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v, w := smallVec(r), smallVec(r)
+		return math.Abs(v.Dot(w)) <= v.Norm()*w.Norm()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLagrangeIdentity(t *testing.T) {
+	// |v×w|² + (v·w)² == |v|²|w|²
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v, w := smallVec(r), smallVec(r)
+		lhs := v.Cross(w).Norm2() + v.Dot(w)*v.Dot(w)
+		rhs := v.Norm2() * w.Norm2()
+		return math.Abs(lhs-rhs) <= 1e-6*(1+math.Abs(rhs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

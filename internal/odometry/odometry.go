@@ -1,0 +1,165 @@
+// Package odometry implements the baseline comparator used by the
+// SLAMBench methodology experiments: frame-to-frame ICP visual odometry
+// with no map. Each frame registers against the previous frame only, so
+// drift accumulates — the classic accuracy floor that model-based
+// tracking (KinectFusion) is measured against.
+package odometry
+
+import (
+	"fmt"
+	"time"
+
+	"slamgo/internal/camera"
+	"slamgo/internal/icp"
+	"slamgo/internal/imgproc"
+	"slamgo/internal/math3"
+)
+
+// Config controls the odometry tracker.
+type Config struct {
+	// ComputeSizeRatio downsamples input like KinectFusion's ratio.
+	ComputeSizeRatio int
+	// BilateralRadius denoises input depth (0 disables).
+	BilateralRadius       int
+	BilateralSpatialSigma float64
+	BilateralRangeSigma   float64
+	// ICP solve parameters.
+	ICP icp.Params
+	// PyramidDiscontinuity is the half-sampling depth band (metres).
+	PyramidDiscontinuity float32
+}
+
+// DefaultConfig matches the KinectFusion front end for a fair comparison.
+func DefaultConfig() Config {
+	p := icp.DefaultParams()
+	p.MaxIterations = 15
+	return Config{
+		ComputeSizeRatio:      2,
+		BilateralRadius:       2,
+		BilateralSpatialSigma: 4,
+		BilateralRangeSigma:   0.1,
+		ICP:                   p,
+		PyramidDiscontinuity:  0.1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch c.ComputeSizeRatio {
+	case 1, 2, 4, 8:
+	default:
+		return fmt.Errorf("odometry: compute size ratio %d not in {1,2,4,8}", c.ComputeSizeRatio)
+	}
+	if c.ICP.MaxIterations < 1 {
+		return fmt.Errorf("odometry: ICP iterations %d must be ≥1", c.ICP.MaxIterations)
+	}
+	return nil
+}
+
+// Result reports one tracked frame.
+type Result struct {
+	Index    int
+	Pose     math3.SE3
+	Tracked  bool
+	ICP      icp.Result
+	Cost     imgproc.Cost
+	WallTime time.Duration
+}
+
+// Tracker is the stateful frame-to-frame odometry estimator.
+type Tracker struct {
+	cfg      Config
+	inFull   camera.Intrinsics
+	in       camera.Intrinsics
+	pose     math3.SE3
+	haveRef  bool
+	ref      icp.Reference
+	frameNo  int
+	failures int
+}
+
+// New builds a tracker starting at initialPose.
+func New(cfg Config, sensor camera.Intrinsics, initialPose math3.SE3) (*Tracker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sensor.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tracker{
+		cfg:    cfg,
+		inFull: sensor,
+		in:     sensor.ScaledTo(sensor.Width/cfg.ComputeSizeRatio, sensor.Height/cfg.ComputeSizeRatio),
+		pose:   initialPose,
+	}, nil
+}
+
+// Pose returns the current camera-to-world estimate.
+func (t *Tracker) Pose() math3.SE3 { return t.pose }
+
+// TrackingFailures counts rejected frames.
+func (t *Tracker) TrackingFailures() int { return t.failures }
+
+// ProcessFrame registers one depth frame against the previous one.
+func (t *Tracker) ProcessFrame(depth *imgproc.DepthMap) (*Result, error) {
+	if depth.Width != t.inFull.Width || depth.Height != t.inFull.Height {
+		return nil, fmt.Errorf("odometry: frame is %dx%d, sensor is %dx%d",
+			depth.Width, depth.Height, t.inFull.Width, t.inFull.Height)
+	}
+	start := time.Now()
+	res := &Result{Index: t.frameNo}
+
+	work := depth
+	for r := t.cfg.ComputeSizeRatio; r > 1; r /= 2 {
+		var c imgproc.Cost
+		work, c = imgproc.HalfSampleDepth(work, t.cfg.PyramidDiscontinuity)
+		res.Cost.Add(c)
+	}
+	filtered, c := imgproc.BilateralFilter(work, t.cfg.BilateralRadius,
+		t.cfg.BilateralSpatialSigma, t.cfg.BilateralRangeSigma)
+	res.Cost.Add(c)
+	vm, c1 := imgproc.DepthToVertexMap(filtered, t.in.BackProject)
+	nm, c2 := imgproc.VertexToNormalMap(vm)
+	res.Cost.Add(c1)
+	res.Cost.Add(c2)
+
+	if t.haveRef {
+		r := icp.Solve(t.ref, icp.Frame{Vertices: vm, Normals: nm}, t.pose, t.cfg.ICP)
+		res.Cost.Add(r.Cost)
+		res.ICP = r
+		minInliers := t.in.Pixels() / 10
+		if r.RMSE <= 0.05 && r.Inliers >= minInliers {
+			res.Tracked = true
+			t.pose = r.Pose
+		} else {
+			t.failures++
+		}
+	} else {
+		res.Tracked = true
+	}
+	res.Pose = t.pose
+
+	// The current frame, lifted to world with the (possibly updated)
+	// pose, becomes the next reference.
+	wv := imgproc.NewVertexMap(vm.Width, vm.Height)
+	wn := imgproc.NewNormalMap(nm.Width, nm.Height)
+	for y := 0; y < vm.Height; y++ {
+		for x := 0; x < vm.Width; x++ {
+			if p, ok := vm.At(x, y); ok {
+				wv.Set(x, y, t.pose.Apply(p))
+			}
+			if n, ok := nm.At(x, y); ok {
+				wn.Set(x, y, t.pose.ApplyDir(n))
+			}
+		}
+	}
+	res.Cost.Add(imgproc.Cost{
+		Ops:   int64(vm.Width * vm.Height * 36),
+		Bytes: int64(vm.Width * vm.Height * 96),
+	})
+	t.ref = icp.Reference{Vertices: wv, Normals: wn, Pose: t.pose, Intr: t.in}
+	t.haveRef = true
+	t.frameNo++
+	res.WallTime = time.Since(start)
+	return res, nil
+}

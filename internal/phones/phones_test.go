@@ -1,0 +1,113 @@
+package phones
+
+import (
+	"testing"
+
+	"slamgo/internal/imgproc"
+
+	"slamgo/internal/device"
+)
+
+func TestCatalogueSizeAndDeterminism(t *testing.T) {
+	a := Catalogue(1)
+	b := Catalogue(1)
+	if len(a) != CatalogueSize {
+		t.Fatalf("size %d", len(a))
+	}
+	eq := func(x, y device.Profile) bool {
+		return x.Name == y.Name && x.GopsPeak == y.GopsPeak &&
+			x.BandwidthGBs == y.BandwidthGBs && x.DynamicWatts == y.DynamicWatts &&
+			x.FrameOverheadSec == y.FrameOverheadSec
+	}
+	for i := range a {
+		if !eq(a[i], b[i]) {
+			t.Fatalf("catalogue not deterministic at %d", i)
+		}
+	}
+	c := Catalogue(2)
+	diff := false
+	for i := range a {
+		if !eq(a[i], c[i]) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical catalogues")
+	}
+}
+
+func TestCatalogueAllValid(t *testing.T) {
+	for _, p := range Catalogue(7) {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if p.Year < 2012 || p.Year > 2017 {
+			t.Fatalf("%s: year %d", p.Name, p.Year)
+		}
+		if p.FrameOverheadSec <= 0 || p.FrameOverheadSec > 0.04 {
+			t.Fatalf("%s: overhead %v", p.Name, p.FrameOverheadSec)
+		}
+	}
+}
+
+func TestCatalogueIncludesAnchors(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range Catalogue(3) {
+		names[p.Name] = true
+	}
+	for _, a := range anchors {
+		if !names[a.Name] {
+			t.Fatalf("anchor %s missing", a.Name)
+		}
+	}
+}
+
+func TestCatalogueSpansCapabilityRange(t *testing.T) {
+	cat := Catalogue(42)
+	minG, maxG := cat[0].GopsPeak, cat[0].GopsPeak
+	for _, p := range cat {
+		if p.GopsPeak < minG {
+			minG = p.GopsPeak
+		}
+		if p.GopsPeak > maxG {
+			maxG = p.GopsPeak
+		}
+	}
+	if maxG/minG < 10 {
+		t.Fatalf("capability spread too narrow: %v to %v", minG, maxG)
+	}
+}
+
+func TestCatalogueSortedByYear(t *testing.T) {
+	cat := Catalogue(5)
+	for i := 1; i < len(cat); i++ {
+		if cat[i].Year < cat[i-1].Year {
+			t.Fatal("catalogue not sorted by year")
+		}
+	}
+}
+
+func TestFlagshipsBeatEntryLevel(t *testing.T) {
+	cat := Catalogue(11)
+	cost := imgproc.Cost{Ops: 50e6, Bytes: 30e6}
+	var old2012, new2017 float64
+	var n12, n17 int
+	for _, p := range cat {
+		lat := device.NewModel(p).Latency(cost)
+		switch p.Year {
+		case 2012:
+			old2012 += lat
+			n12++
+		case 2017:
+			new2017 += lat
+			n17++
+		}
+	}
+	if n12 == 0 || n17 == 0 {
+		t.Fatal("catalogue missing year classes")
+	}
+	if new2017/float64(n17) >= old2012/float64(n12) {
+		t.Fatal("2017 phones not faster than 2012 phones on average")
+	}
+}

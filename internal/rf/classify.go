@@ -1,0 +1,209 @@
+package rf
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// ClassificationTree is a Gini-impurity CART classifier. Its main job in
+// slamgo is knowledge extraction: shallow trees over DSE samples whose
+// root-to-leaf paths become the parameter rules of Figure 2 (right).
+type ClassificationTree struct {
+	root    *node
+	classes []string
+	dims    int
+}
+
+// FitClassification trains a classifier on X (n×d) and integer labels
+// y (n) indexing into classNames.
+func FitClassification(X [][]float64, y []int, classNames []string, cfg TreeConfig, rng *rand.Rand) (*ClassificationTree, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, errors.New("rf: empty or mismatched training data")
+	}
+	for i, c := range y {
+		if c < 0 || c >= len(classNames) {
+			return nil, fmt.Errorf("rf: label %d of sample %d out of range", c, i)
+		}
+	}
+	if cfg.MaxDepth < 1 {
+		cfg.MaxDepth = 1
+	}
+	if cfg.MinLeaf < 1 {
+		cfg.MinLeaf = 1
+	}
+	t := &ClassificationTree{classes: classNames, dims: len(X[0])}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.grow(X, y, idx, 0, cfg, rng)
+	return t, nil
+}
+
+func classCounts(y []int, idx []int, k int) []int {
+	counts := make([]int, k)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	return counts
+}
+
+func gini(counts []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(total)
+		g -= p * p
+	}
+	return g
+}
+
+func majority(counts []int) int {
+	best, bi := -1, 0
+	for i, c := range counts {
+		if c > best {
+			best, bi = c, i
+		}
+	}
+	return bi
+}
+
+func (t *ClassificationTree) grow(X [][]float64, y []int, idx []int, depth int, cfg TreeConfig, rng *rand.Rand) *node {
+	counts := classCounts(y, idx, len(t.classes))
+	g := gini(counts, len(idx))
+	n := &node{samples: len(idx), value: float64(majority(counts)), impurity: g, mass: g * float64(len(idx))}
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf || g < 1e-12 {
+		n.leaf = true
+		return n
+	}
+
+	feats := make([]int, t.dims)
+	for i := range feats {
+		feats[i] = i
+	}
+	if cfg.MTry > 0 && cfg.MTry < t.dims && rng != nil {
+		rng.Shuffle(len(feats), func(i, j int) { feats[i], feats[j] = feats[j], feats[i] })
+		feats = feats[:cfg.MTry]
+	}
+
+	bestScore := g
+	bestFeat := -1
+	var bestThresh float64
+	var bestLeft, bestRight []int
+	for _, f := range feats {
+		sorted := append([]int(nil), idx...)
+		sort.Slice(sorted, func(a, b int) bool { return X[sorted[a]][f] < X[sorted[b]][f] })
+		leftCounts := make([]int, len(t.classes))
+		rightCounts := append([]int(nil), counts...)
+		for k := 0; k < len(sorted)-1; k++ {
+			c := y[sorted[k]]
+			leftCounts[c]++
+			rightCounts[c]--
+			if k+1 < cfg.MinLeaf || len(sorted)-k-1 < cfg.MinLeaf {
+				continue
+			}
+			if X[sorted[k]][f] == X[sorted[k+1]][f] {
+				continue
+			}
+			nl, nr := k+1, len(sorted)-k-1
+			score := (float64(nl)*gini(leftCounts, nl) + float64(nr)*gini(rightCounts, nr)) / float64(len(sorted))
+			if score < bestScore-1e-12 {
+				bestScore = score
+				bestFeat = f
+				bestThresh = (X[sorted[k]][f] + X[sorted[k+1]][f]) / 2
+				bestLeft = append([]int(nil), sorted[:k+1]...)
+				bestRight = append([]int(nil), sorted[k+1:]...)
+			}
+		}
+	}
+	if bestFeat < 0 {
+		n.leaf = true
+		return n
+	}
+	n.feature = bestFeat
+	n.threshold = bestThresh
+	n.left = t.grow(X, y, bestLeft, depth+1, cfg, rng)
+	n.right = t.grow(X, y, bestRight, depth+1, cfg, rng)
+	return n
+}
+
+// Predict returns the class index for x.
+func (t *ClassificationTree) Predict(x []float64) int {
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return int(n.value)
+}
+
+// PredictName returns the class name for x.
+func (t *ClassificationTree) PredictName(x []float64) string {
+	return t.classes[t.Predict(x)]
+}
+
+// Accuracy computes the fraction of correct predictions.
+func (t *ClassificationTree) Accuracy(X [][]float64, y []int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	ok := 0
+	for i, x := range X {
+		if t.Predict(x) == y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(X))
+}
+
+// Rule is one root-to-leaf path: the conjunction of conditions leading to
+// a predicted class — the "knowledge" the paper extracts from the DSE.
+type Rule struct {
+	Conditions []string
+	Class      string
+	Support    int
+	// Purity is 1 - Gini of the leaf.
+	Purity float64
+}
+
+// String implements fmt.Stringer.
+func (r Rule) String() string {
+	cond := strings.Join(r.Conditions, " ∧ ")
+	if cond == "" {
+		cond = "(always)"
+	}
+	return fmt.Sprintf("%s → %s (n=%d, purity %.2f)", cond, r.Class, r.Support, r.Purity)
+}
+
+// Rules extracts all leaf rules using the provided feature names.
+func (t *ClassificationTree) Rules(featureNames []string) []Rule {
+	var out []Rule
+	var walk func(n *node, conds []string)
+	walk = func(n *node, conds []string) {
+		if n.leaf {
+			out = append(out, Rule{
+				Conditions: append([]string(nil), conds...),
+				Class:      t.classes[int(n.value)],
+				Support:    n.samples,
+				Purity:     1 - n.impurity,
+			})
+			return
+		}
+		name := fmt.Sprintf("f%d", n.feature)
+		if n.feature < len(featureNames) {
+			name = featureNames[n.feature]
+		}
+		walk(n.left, append(conds, fmt.Sprintf("%s ≤ %.4g", name, n.threshold)))
+		walk(n.right, append(conds, fmt.Sprintf("%s > %.4g", name, n.threshold)))
+	}
+	walk(t.root, nil)
+	return out
+}

@@ -1,0 +1,132 @@
+package rf
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// ForestConfig controls random-forest training.
+type ForestConfig struct {
+	// Trees is the ensemble size.
+	Trees int
+	// Tree configures the individual CARTs; MTry=0 defaults to d/3
+	// (regression convention).
+	Tree TreeConfig
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// DefaultForestConfig mirrors the scikit-learn defaults HyperMapper used.
+func DefaultForestConfig() ForestConfig {
+	return ForestConfig{
+		Trees: 40,
+		Tree:  TreeConfig{MaxDepth: 14, MinLeaf: 2},
+		Seed:  1,
+	}
+}
+
+// Forest is a bagged ensemble of regression trees with uncertainty
+// estimates from ensemble disagreement — the acquisition signal of the
+// active-learning loop.
+type Forest struct {
+	trees []*RegressionTree
+	dims  int
+}
+
+// FitForest trains a forest on X (n×d), y (n).
+func FitForest(X [][]float64, y []float64, cfg ForestConfig) (*Forest, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, errors.New("rf: empty or mismatched training data")
+	}
+	if cfg.Trees < 1 {
+		cfg.Trees = 1
+	}
+	d := len(X[0])
+	if cfg.Tree.MTry <= 0 {
+		cfg.Tree.MTry = maxInt(1, d/3)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Forest{dims: d}
+	n := len(X)
+	for t := 0; t < cfg.Trees; t++ {
+		// Bootstrap sample.
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i] = X[j]
+			by[i] = y[j]
+		}
+		tree, err := FitRegression(bx, by, cfg.Tree, rng)
+		if err != nil {
+			return nil, err
+		}
+		f.trees = append(f.trees, tree)
+	}
+	return f, nil
+}
+
+// Predict returns the ensemble mean for x.
+func (f *Forest) Predict(x []float64) float64 {
+	m, _ := f.PredictWithStd(x)
+	return m
+}
+
+// PredictWithStd returns the ensemble mean and standard deviation
+// (epistemic uncertainty proxy) for x.
+func (f *Forest) PredictWithStd(x []float64) (mean, std float64) {
+	var s, s2 float64
+	for _, t := range f.trees {
+		v := t.Predict(x)
+		s += v
+		s2 += v * v
+	}
+	n := float64(len(f.trees))
+	mean = s / n
+	variance := s2/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance)
+}
+
+// Trees returns the ensemble size.
+func (f *Forest) Trees() int { return len(f.trees) }
+
+// Dims returns the feature dimensionality.
+func (f *Forest) Dims() int { return f.dims }
+
+// R2Score computes the coefficient of determination of predictions on a
+// held-out set — the sanity metric the DSE loop logs.
+func (f *Forest) R2Score(X [][]float64, y []float64) float64 {
+	if len(X) == 0 || len(X) != len(y) {
+		return math.NaN()
+	}
+	var m float64
+	for _, v := range y {
+		m += v
+	}
+	m /= float64(len(y))
+	var ssRes, ssTot float64
+	for i, x := range X {
+		d := y[i] - f.Predict(x)
+		ssRes += d * d
+		t := y[i] - m
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return math.Inf(-1)
+	}
+	return 1 - ssRes/ssTot
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,70 @@
+package rf
+
+// Feature importance: the mean-decrease-in-impurity measure random
+// forests provide for free, which HyperMapper surfaces as parameter
+// sensitivity ("which knobs matter").
+
+// Importance returns the per-feature impurity decrease of one tree,
+// normalised to sum to 1 (all zeros when the tree is a single leaf).
+func (t *RegressionTree) Importance() []float64 {
+	imp := make([]float64, t.features)
+	accumulateImportance(t.root, imp)
+	return normalise(imp)
+}
+
+// Importance averages the normalised importances over the ensemble.
+func (f *Forest) Importance() []float64 {
+	total := make([]float64, f.dims)
+	for _, t := range f.trees {
+		for i, v := range t.Importance() {
+			total[i] += v
+		}
+	}
+	return normalise(total)
+}
+
+// Importance for a classification tree (Gini decrease).
+func (t *ClassificationTree) Importance() []float64 {
+	imp := make([]float64, t.dims)
+	accumulateImportance(t.root, imp)
+	return normalise(imp)
+}
+
+// accumulateImportance adds each split's weighted impurity decrease to
+// its feature's tally.
+func accumulateImportance(n *node, imp []float64) {
+	if n == nil || n.leaf {
+		return
+	}
+	// Weighted impurity decrease: parent − (left + right) over the
+	// sample-weighted impurity mass stored at build time.
+	parent := n.mass
+	children := childMass(n.left) + childMass(n.right)
+	if d := parent - children; d > 0 {
+		imp[n.feature] += d
+	}
+	accumulateImportance(n.left, imp)
+	accumulateImportance(n.right, imp)
+}
+
+func childMass(n *node) float64 {
+	if n == nil {
+		return 0
+	}
+	return n.mass
+}
+
+func normalise(v []float64) []float64 {
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	if sum <= 0 {
+		return v
+	}
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x / sum
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package rf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRegressionImportanceFindsSignal(t *testing.T) {
+	// y depends strongly on feature 0, weakly on 1, not at all on 2.
+	rng := rand.New(rand.NewSource(3))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 400; i++ {
+		row := []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		X = append(X, row)
+		y = append(y, 5*row[0]+0.5*row[1]+rng.NormFloat64()*0.1)
+	}
+	tr, err := FitRegression(X, y, TreeConfig{MaxDepth: 10, MinLeaf: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := tr.Importance()
+	if len(imp) != 3 {
+		t.Fatalf("dims %d", len(imp))
+	}
+	if imp[0] < imp[1] || imp[1] < imp[2] {
+		t.Fatalf("importance ordering wrong: %v", imp)
+	}
+	if imp[0] < 0.7 {
+		t.Fatalf("dominant feature under-weighted: %v", imp)
+	}
+	sum := imp[0] + imp[1] + imp[2]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("not normalised: %v", sum)
+	}
+}
+
+func TestForestImportanceStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 300; i++ {
+		row := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		X = append(X, row)
+		y = append(y, 3*row[2]+rng.NormFloat64()*0.05)
+	}
+	f, err := FitForest(X, y, DefaultForestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := f.Importance()
+	best := 0
+	for i := range imp {
+		if imp[i] > imp[best] {
+			best = i
+		}
+	}
+	if best != 2 {
+		t.Fatalf("forest importance picked feature %d: %v", best, imp)
+	}
+}
+
+func TestClassificationImportance(t *testing.T) {
+	// Class determined by feature 1 only.
+	var X [][]float64
+	var y []int
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		row := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		X = append(X, row)
+		cls := 0
+		if row[1] > 0.5 {
+			cls = 1
+		}
+		y = append(y, cls)
+	}
+	tr, err := FitClassification(X, y, []string{"a", "b"}, TreeConfig{MaxDepth: 4, MinLeaf: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := tr.Importance()
+	if imp[1] < 0.9 {
+		t.Fatalf("deciding feature under-weighted: %v", imp)
+	}
+}
+
+func TestImportanceLeafOnlyTree(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}}
+	y := []float64{7, 7}
+	tr, err := FitRegression(X, y, DefaultTreeConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := tr.Importance()
+	for _, v := range imp {
+		if v != 0 {
+			t.Fatalf("leaf-only tree has importance: %v", imp)
+		}
+	}
+}

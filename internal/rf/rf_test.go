@@ -1,0 +1,261 @@
+package rf
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// makeRegression builds y = 3x0 - 2x1 + noise.
+func makeRegression(n int, seed int64, noise float64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64()}
+		y[i] = 3*X[i][0] - 2*X[i][1] + rng.NormFloat64()*noise
+	}
+	return X, y
+}
+
+func TestRegressionTreeFitsStep(t *testing.T) {
+	// A step function is exactly representable by one split.
+	X := [][]float64{{1}, {2}, {3}, {10}, {11}, {12}}
+	y := []float64{5, 5, 5, 9, 9, 9}
+	tr, err := FitRegression(X, y, TreeConfig{MaxDepth: 3, MinLeaf: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Predict([]float64{2.5}); got != 5 {
+		t.Fatalf("left leaf %v", got)
+	}
+	if got := tr.Predict([]float64{11.5}); got != 9 {
+		t.Fatalf("right leaf %v", got)
+	}
+}
+
+func TestRegressionTreeDepthLimit(t *testing.T) {
+	X, y := makeRegression(200, 1, 0)
+	tr, err := FitRegression(X, y, TreeConfig{MaxDepth: 3, MinLeaf: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.Depth(); d > 4 {
+		t.Fatalf("depth %d exceeds limit", d)
+	}
+	if s := tr.String(); !strings.Contains(s, "≤") {
+		t.Fatalf("tree render: %q", s)
+	}
+}
+
+func TestRegressionTreeMinLeaf(t *testing.T) {
+	X, y := makeRegression(50, 3, 0)
+	tr, err := FitRegression(X, y, TreeConfig{MaxDepth: 20, MinLeaf: 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count leaves with fewer than MinLeaf samples.
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			if n.samples < 10 {
+				t.Fatalf("leaf with %d < 10 samples", n.samples)
+			}
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(tr.root)
+}
+
+func TestRegressionTreeValidation(t *testing.T) {
+	if _, err := FitRegression(nil, nil, DefaultTreeConfig(), nil); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	if _, err := FitRegression([][]float64{{1}}, []float64{1, 2}, DefaultTreeConfig(), nil); err == nil {
+		t.Fatal("mismatched data accepted")
+	}
+	if _, err := FitRegression([][]float64{{1}, {1, 2}}, []float64{1, 2}, DefaultTreeConfig(), nil); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+}
+
+func TestRegressionTreeConstantTarget(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{7, 7, 7}
+	tr, err := FitRegression(X, y, DefaultTreeConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Predict([]float64{99}) != 7 {
+		t.Fatal("constant target mispredicted")
+	}
+	if tr.Depth() != 1 {
+		t.Fatalf("constant tree depth %d", tr.Depth())
+	}
+}
+
+func TestForestLearnsLinearTrend(t *testing.T) {
+	X, y := makeRegression(400, 7, 0.5)
+	Xtest, ytest := makeRegression(100, 8, 0.5)
+	f, err := FitForest(X, y, DefaultForestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := f.R2Score(Xtest, ytest)
+	if r2 < 0.9 {
+		t.Fatalf("forest R² = %v, want ≥0.9", r2)
+	}
+	if f.Trees() != DefaultForestConfig().Trees {
+		t.Fatalf("trees %d", f.Trees())
+	}
+	if f.Dims() != 3 {
+		t.Fatalf("dims %d", f.Dims())
+	}
+}
+
+func TestForestUncertaintyHigherOffDistribution(t *testing.T) {
+	X, y := makeRegression(300, 9, 0.2)
+	f, err := FitForest(X, y, DefaultForestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stdIn := f.PredictWithStd([]float64{5, 5, 0.5})
+	_, stdOut := f.PredictWithStd([]float64{50, -40, 9})
+	if stdOut < stdIn {
+		t.Fatalf("extrapolation not more uncertain: in=%v out=%v", stdIn, stdOut)
+	}
+}
+
+func TestForestDeterministicSeed(t *testing.T) {
+	X, y := makeRegression(100, 11, 0.3)
+	f1, _ := FitForest(X, y, DefaultForestConfig())
+	f2, _ := FitForest(X, y, DefaultForestConfig())
+	probe := []float64{3, 4, 0.2}
+	if f1.Predict(probe) != f2.Predict(probe) {
+		t.Fatal("same seed, different forest")
+	}
+	cfg := DefaultForestConfig()
+	cfg.Seed = 99
+	f3, _ := FitForest(X, y, cfg)
+	if f1.Predict(probe) == f3.Predict(probe) {
+		t.Log("note: different seeds agreed exactly (possible but unlikely)")
+	}
+}
+
+func TestForestValidation(t *testing.T) {
+	if _, err := FitForest(nil, nil, DefaultForestConfig()); err == nil {
+		t.Fatal("empty data accepted")
+	}
+}
+
+func TestR2EdgeCases(t *testing.T) {
+	X, y := makeRegression(50, 13, 0)
+	f, _ := FitForest(X, y, DefaultForestConfig())
+	if !math.IsNaN(f.R2Score(nil, nil)) {
+		t.Fatal("empty R² not NaN")
+	}
+}
+
+func TestClassificationTreeXORish(t *testing.T) {
+	// Two thresholds on two features — needs depth 2.
+	var X [][]float64
+	var y []int
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 400; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		cls := 0
+		if a > 0.5 && b > 0.5 {
+			cls = 1
+		}
+		X = append(X, []float64{a, b})
+		y = append(y, cls)
+	}
+	tr, err := FitClassification(X, y, []string{"no", "yes"}, TreeConfig{MaxDepth: 3, MinLeaf: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := tr.Accuracy(X, y); acc < 0.95 {
+		t.Fatalf("training accuracy %v", acc)
+	}
+	if tr.PredictName([]float64{0.9, 0.9}) != "yes" {
+		t.Fatal("corner misclassified")
+	}
+	if tr.PredictName([]float64{0.1, 0.9}) != "no" {
+		t.Fatal("edge misclassified")
+	}
+}
+
+func TestClassificationValidation(t *testing.T) {
+	if _, err := FitClassification(nil, nil, nil, DefaultTreeConfig(), nil); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	X := [][]float64{{1}}
+	if _, err := FitClassification(X, []int{5}, []string{"a"}, DefaultTreeConfig(), nil); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+}
+
+func TestRulesExtraction(t *testing.T) {
+	X := [][]float64{{1, 0}, {2, 0}, {3, 0}, {10, 0}, {11, 0}, {12, 0}}
+	y := []int{0, 0, 0, 1, 1, 1}
+	tr, err := FitClassification(X, y, []string{"slow", "fast"}, TreeConfig{MaxDepth: 2, MinLeaf: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := tr.Rules([]string{"volume_resolution", "mu"})
+	if len(rules) != 2 {
+		t.Fatalf("rules = %d: %v", len(rules), rules)
+	}
+	joined := ""
+	for _, r := range rules {
+		joined += r.String() + "\n"
+	}
+	if !strings.Contains(joined, "volume_resolution ≤") {
+		t.Fatalf("rules missing named condition:\n%s", joined)
+	}
+	if !strings.Contains(joined, "→ fast") || !strings.Contains(joined, "→ slow") {
+		t.Fatalf("rules missing classes:\n%s", joined)
+	}
+	for _, r := range rules {
+		if r.Support <= 0 || r.Purity < 0.99 {
+			t.Fatalf("rule stats wrong: %+v", r)
+		}
+	}
+}
+
+func TestRuleStringEmpty(t *testing.T) {
+	r := Rule{Class: "fast", Support: 3, Purity: 1}
+	if !strings.Contains(r.String(), "(always)") {
+		t.Fatalf("empty-condition rule: %s", r.String())
+	}
+}
+
+func TestClassTreePureNodeStops(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []int{0, 0, 0}
+	tr, err := FitClassification(X, y, []string{"a", "b"}, DefaultTreeConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.root.leaf {
+		t.Fatal("pure node split anyway")
+	}
+}
+
+func TestForestMTryRandomisation(t *testing.T) {
+	// With MTry=1 on 3 features, trees must differ (feature sampling).
+	X, y := makeRegression(200, 17, 0.1)
+	cfg := ForestConfig{Trees: 10, Tree: TreeConfig{MaxDepth: 6, MinLeaf: 2, MTry: 1}, Seed: 3}
+	f, err := FitForest(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{5, 5, 0.5}
+	_, std := f.PredictWithStd(probe)
+	if std == 0 {
+		t.Fatal("MTry=1 ensemble has zero disagreement; suspicious")
+	}
+}

@@ -1,0 +1,236 @@
+// Package rf implements the learning machinery HyperMapper relies on,
+// from scratch on the standard library: CART regression trees, bootstrap-
+// aggregated random-forest regressors (the paper's surrogate model for
+// active learning), and Gini classification trees whose paths render as
+// the human-readable "knowledge" rules of Figure 2 (right).
+package rf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// TreeConfig controls CART induction.
+type TreeConfig struct {
+	// MaxDepth bounds the tree height (≥1).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (≥1).
+	MinLeaf int
+	// MTry is the number of features considered per split; 0 means all.
+	MTry int
+}
+
+// DefaultTreeConfig returns a reasonable unconstrained CART setup.
+func DefaultTreeConfig() TreeConfig {
+	return TreeConfig{MaxDepth: 12, MinLeaf: 2}
+}
+
+type node struct {
+	leaf      bool
+	value     float64 // regression prediction or class index
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+	samples   int
+	impurity  float64
+	// mass is the sample-weighted impurity used for feature importance:
+	// SSE for regression, Gini×samples for classification.
+	mass float64
+}
+
+// RegressionTree is one CART regressor.
+type RegressionTree struct {
+	root     *node
+	features int
+	cfg      TreeConfig
+}
+
+// FitRegression grows a regression tree on X (n×d) and y (n). rng drives
+// feature sub-sampling when cfg.MTry > 0; it may be nil when MTry is 0.
+func FitRegression(X [][]float64, y []float64, cfg TreeConfig, rng *rand.Rand) (*RegressionTree, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, errors.New("rf: empty or mismatched training data")
+	}
+	d := len(X[0])
+	for i, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("rf: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	if cfg.MaxDepth < 1 {
+		cfg.MaxDepth = 1
+	}
+	if cfg.MinLeaf < 1 {
+		cfg.MinLeaf = 1
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &RegressionTree{features: d, cfg: cfg}
+	t.root = t.grow(X, y, idx, 0, rng)
+	return t, nil
+}
+
+func mean(y []float64, idx []int) float64 {
+	s := 0.0
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func sse(y []float64, idx []int) float64 {
+	m := mean(y, idx)
+	s := 0.0
+	for _, i := range idx {
+		d := y[i] - m
+		s += d * d
+	}
+	return s
+}
+
+func (t *RegressionTree) grow(X [][]float64, y []float64, idx []int, depth int, rng *rand.Rand) *node {
+	n := &node{samples: len(idx), value: mean(y, idx), impurity: sse(y, idx)}
+	n.mass = n.impurity
+	if depth >= t.cfg.MaxDepth || len(idx) < 2*t.cfg.MinLeaf || n.impurity < 1e-12 {
+		n.leaf = true
+		return n
+	}
+
+	feats := t.candidateFeatures(rng)
+	bestFeat, bestThresh := -1, 0.0
+	bestScore := n.impurity
+	var bestLeft, bestRight []int
+
+	for _, f := range feats {
+		left, right, thresh, score, ok := bestSplitOn(X, y, idx, f, t.cfg.MinLeaf)
+		if ok && score < bestScore-1e-12 {
+			bestScore = score
+			bestFeat = f
+			bestThresh = thresh
+			bestLeft = left
+			bestRight = right
+		}
+	}
+	if bestFeat < 0 {
+		n.leaf = true
+		return n
+	}
+	n.feature = bestFeat
+	n.threshold = bestThresh
+	n.left = t.grow(X, y, bestLeft, depth+1, rng)
+	n.right = t.grow(X, y, bestRight, depth+1, rng)
+	return n
+}
+
+func (t *RegressionTree) candidateFeatures(rng *rand.Rand) []int {
+	all := make([]int, t.features)
+	for i := range all {
+		all[i] = i
+	}
+	if t.cfg.MTry <= 0 || t.cfg.MTry >= t.features || rng == nil {
+		return all
+	}
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all[:t.cfg.MTry]
+}
+
+// bestSplitOn finds the SSE-minimising threshold for one feature using a
+// sorted sweep with incremental statistics.
+func bestSplitOn(X [][]float64, y []float64, idx []int, f, minLeaf int) (left, right []int, thresh, score float64, ok bool) {
+	sorted := append([]int(nil), idx...)
+	sort.Slice(sorted, func(a, b int) bool { return X[sorted[a]][f] < X[sorted[b]][f] })
+
+	n := len(sorted)
+	// Suffix statistics.
+	var sumAll, sum2All float64
+	for _, i := range sorted {
+		sumAll += y[i]
+		sum2All += y[i] * y[i]
+	}
+	var sumL, sum2L float64
+	best := math.Inf(1)
+	bestK := -1
+	for k := 0; k < n-1; k++ {
+		yi := y[sorted[k]]
+		sumL += yi
+		sum2L += yi * yi
+		if k+1 < minLeaf || n-k-1 < minLeaf {
+			continue
+		}
+		// Skip ties: can't split between equal feature values.
+		if X[sorted[k]][f] == X[sorted[k+1]][f] {
+			continue
+		}
+		nl := float64(k + 1)
+		nr := float64(n - k - 1)
+		sumR := sumAll - sumL
+		sum2R := sum2All - sum2L
+		sseL := sum2L - sumL*sumL/nl
+		sseR := sum2R - sumR*sumR/nr
+		if s := sseL + sseR; s < best {
+			best = s
+			bestK = k
+		}
+	}
+	if bestK < 0 {
+		return nil, nil, 0, 0, false
+	}
+	thresh = (X[sorted[bestK]][f] + X[sorted[bestK+1]][f]) / 2
+	left = append([]int(nil), sorted[:bestK+1]...)
+	right = append([]int(nil), sorted[bestK+1:]...)
+	return left, right, thresh, best, true
+}
+
+// Predict evaluates the tree on one feature vector.
+func (t *RegressionTree) Predict(x []float64) float64 {
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Depth returns the tree height (leaf-only tree has depth 1).
+func (t *RegressionTree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.leaf {
+		return 1
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// String renders the tree structure with feature names f0..fd.
+func (t *RegressionTree) String() string {
+	var b strings.Builder
+	var walk func(n *node, indent string)
+	walk = func(n *node, indent string) {
+		if n.leaf {
+			fmt.Fprintf(&b, "%s→ %.4f (n=%d)\n", indent, n.value, n.samples)
+			return
+		}
+		fmt.Fprintf(&b, "%sf%d ≤ %.4f?\n", indent, n.feature, n.threshold)
+		walk(n.left, indent+"  ")
+		walk(n.right, indent+"  ")
+	}
+	walk(t.root, "")
+	return b.String()
+}

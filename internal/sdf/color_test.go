@@ -1,0 +1,87 @@
+package sdf
+
+import (
+	"math"
+	"testing"
+
+	"slamgo/internal/math3"
+)
+
+func TestColorMethods(t *testing.T) {
+	red := math3.V3(1, 0, 0)
+	cases := []struct {
+		name string
+		c    Colored
+		p    math3.Vec3
+		want math3.Vec3
+	}{
+		{"box", Box{H: math3.V3(1, 1, 1), Albedo: red}, math3.Vec3{}, red},
+		{"box-default", Box{H: math3.V3(1, 1, 1)}, math3.Vec3{}, math3.V3(0.5, 0.5, 0.5)},
+		{"sphere", Sphere{R: 1, Albedo: red}, math3.Vec3{}, red},
+		{"cylinder", Cylinder{A: math3.V3(0, 1, 0), R: 1, Albedo: red}, math3.Vec3{}, red},
+		{"torus", Torus{R: 1, Rt: 0.2, Albedo: red}, math3.Vec3{}, red},
+		{"subtract", Subtract{A: Sphere{R: 1, Albedo: red}, B: Sphere{R: 0.5}}, math3.Vec3{}, red},
+		{"rotated", Rotated{F: Sphere{R: 1, Albedo: red}, R: math3.Identity3()}, math3.Vec3{}, red},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Color(tc.p); got != tc.want {
+			t.Errorf("%s: color %v want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestColorFallbacksForUncoloredFields(t *testing.T) {
+	grey := math3.V3(0.5, 0.5, 0.5)
+	// Wrapping an uncolored field yields the grey default.
+	plain := Intersect{A: Sphere{R: 1}, B: Sphere{R: 1}}
+	if got := (Subtract{A: plain, B: Sphere{R: 0.2}}).Color(math3.Vec3{}); got != grey {
+		t.Fatalf("subtract fallback %v", got)
+	}
+	if got := (Translated{F: plain}).Color(math3.Vec3{}); got != grey {
+		t.Fatalf("translated fallback %v", got)
+	}
+	if got := (Rotated{F: plain, R: math3.Identity3()}).Color(math3.Vec3{}); got != grey {
+		t.Fatalf("rotated fallback %v", got)
+	}
+	u := NewUnion(plain)
+	if got := u.Color(math3.Vec3{}); got != grey {
+		t.Fatalf("union fallback %v", got)
+	}
+}
+
+func TestOfficeSceneShape(t *testing.T) {
+	scene := Office()
+	// Enclosed like the living room: free in the middle, solid outside.
+	if d := scene.Distance(math3.V3(0, 1.3, 0.5)); d <= 0 {
+		t.Fatalf("office centre not free: %v", d)
+	}
+	if d := scene.Distance(math3.V3(0, -5, 0)); d >= 0 {
+		t.Fatalf("below office floor not solid: %v", d)
+	}
+	// 1-Lipschitz (sphere-tracing soundness) on a coarse probe grid.
+	for x := -2.0; x <= 2.0; x += 0.8 {
+		for z := -2.0; z <= 2.0; z += 0.8 {
+			p := math3.V3(x, 1.0, z)
+			q := p.Add(math3.V3(0.05, 0.05, 0.05))
+			dd := math.Abs(scene.Distance(p) - scene.Distance(q))
+			if dd > p.Dist(q)+1e-9 {
+				t.Fatalf("Lipschitz violated near %v", p)
+			}
+		}
+	}
+	// The office differs from the living room (distinct datasets).
+	lr := LivingRoom()
+	same := true
+	for _, p := range []math3.Vec3{
+		{X: -1.1, Y: 0.73, Z: -2.0},
+		{X: 0.25, Y: 0.87, Z: -1.05},
+		{X: 2.2, Y: 0.55, Z: 0.3},
+	} {
+		if math.Abs(scene.Distance(p)-lr.Distance(p)) > 1e-6 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("office indistinguishable from living room at probe points")
+	}
+}

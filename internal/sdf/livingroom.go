@@ -1,0 +1,86 @@
+package sdf
+
+import "slamgo/internal/math3"
+
+// LivingRoom builds the reference indoor scene used throughout slamgo —
+// the analogue of the ICL-NUIM "living room" model. The room is roughly
+// 5 m × 2.5 m × 5 m with the floor at y=0 (the camera convention is +Y
+// down is NOT used for the world; the world is y-up and the camera
+// trajectory handles orientation).
+//
+// The scene contains the structures a dense SLAM tracker needs to lock
+// onto: large planar regions (floor, walls, ceiling), mid-scale furniture
+// (table, sofa, shelf) and small high-curvature objects (lamp, ball,
+// torus ornament) that expose accuracy differences between
+// configurations.
+func LivingRoom() *Union {
+	grey := math3.V3(0.55, 0.55, 0.55)
+	wood := math3.V3(0.55, 0.38, 0.20)
+	red := math3.V3(0.70, 0.20, 0.18)
+	blue := math3.V3(0.20, 0.30, 0.65)
+	green := math3.V3(0.25, 0.55, 0.25)
+	cream := math3.V3(0.80, 0.76, 0.66)
+
+	room := NewUnion()
+
+	// Shell: floor (y=0, checkerboard), ceiling (y=2.5), four walls.
+	room.Add(Plane{N: math3.V3(0, 1, 0), D: 0})                                    // floor
+	room.Add(Plane{N: math3.V3(0, -1, 0), D: -2.5, Albedo: cream})                 // ceiling
+	room.Add(Plane{N: math3.V3(1, 0, 0), D: -2.5, Albedo: cream})                  // left wall x=-2.5
+	room.Add(Plane{N: math3.V3(-1, 0, 0), D: -2.5, Albedo: cream})                 // right wall x=+2.5
+	room.Add(Plane{N: math3.V3(0, 0, 1), D: -2.5, Albedo: grey})                   // back wall z=-2.5
+	room.Add(Plane{N: math3.V3(0, 0, -1), D: -2.5, Albedo: math3.V3(.7, .7, .68)}) // front wall z=+2.5
+
+	// Table: top slab + four legs.
+	room.Add(Box{C: math3.V3(0.0, 0.72, -1.0), H: math3.V3(0.6, 0.03, 0.4), Albedo: wood})
+	for _, dx := range []float64{-0.55, 0.55} {
+		for _, dz := range []float64{-0.35, 0.35} {
+			room.Add(Box{
+				C:      math3.V3(dx, 0.345, -1.0+dz),
+				H:      math3.V3(0.03, 0.345, 0.03),
+				Albedo: wood,
+			})
+		}
+	}
+
+	// Sofa against the left wall: seat, backrest, two armrests.
+	room.Add(Box{C: math3.V3(-2.05, 0.25, 0.4), H: math3.V3(0.40, 0.25, 0.8), Albedo: red})
+	room.Add(Box{C: math3.V3(-2.35, 0.65, 0.4), H: math3.V3(0.10, 0.35, 0.8), Albedo: red})
+	room.Add(Box{C: math3.V3(-2.05, 0.60, -0.45), H: math3.V3(0.40, 0.12, 0.08), Albedo: red})
+	room.Add(Box{C: math3.V3(-2.05, 0.60, 1.25), H: math3.V3(0.40, 0.12, 0.08), Albedo: red})
+
+	// Shelf unit on the back wall.
+	room.Add(Box{C: math3.V3(1.6, 0.9, -2.3), H: math3.V3(0.5, 0.9, 0.15), Albedo: wood})
+	room.Add(Box{C: math3.V3(1.6, 1.25, -2.12), H: math3.V3(0.45, 0.02, 0.05), Albedo: cream})
+
+	// Small objects: ball on the table, torus ornament, standing lamp.
+	room.Add(Sphere{C: math3.V3(0.25, 0.87, -1.05), R: 0.12, Albedo: blue})
+	room.Add(Torus{C: math3.V3(-0.3, 0.79, -0.85), R: 0.09, Rt: 0.03, Albedo: green})
+	room.Add(Cylinder{
+		C: math3.V3(2.1, 0.8, 1.8), A: math3.V3(0, 1, 0),
+		R: 0.04, H: 0.8, Albedo: grey,
+	})
+	room.Add(Sphere{C: math3.V3(2.1, 1.75, 1.8), R: 0.18, Albedo: cream})
+
+	// A floor rug modelled as a very flat box (adds a depth step the
+	// bilateral filter and TSDF must preserve).
+	room.Add(Box{C: math3.V3(0, 0.01, 0.3), H: math3.V3(1.0, 0.012, 0.7), Albedo: blue})
+
+	return room
+}
+
+// SimpleRoom is a minimal fast scene for unit tests: a box room with one
+// sphere and one box inside. Cheap enough to ray-march at full frame rate
+// inside `go test`.
+func SimpleRoom() *Union {
+	u := NewUnion()
+	u.Add(Plane{N: math3.V3(0, 1, 0), D: 0})
+	u.Add(Plane{N: math3.V3(0, -1, 0), D: -2.5})
+	u.Add(Plane{N: math3.V3(1, 0, 0), D: -2.0})
+	u.Add(Plane{N: math3.V3(-1, 0, 0), D: -2.0})
+	u.Add(Plane{N: math3.V3(0, 0, 1), D: -2.0})
+	u.Add(Plane{N: math3.V3(0, 0, -1), D: -2.0})
+	u.Add(Sphere{C: math3.V3(0.3, 0.5, -0.6), R: 0.3, Albedo: math3.V3(0.2, 0.4, 0.8)})
+	u.Add(Box{C: math3.V3(-0.6, 0.25, -0.8), H: math3.V3(0.25, 0.25, 0.25), Albedo: math3.V3(0.8, 0.3, 0.2)})
+	return u
+}

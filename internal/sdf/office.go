@@ -1,0 +1,59 @@
+package sdf
+
+import "slamgo/internal/math3"
+
+// Office builds the second reference scene — the analogue of ICL-NUIM's
+// "office room" model. Compared to the living room it is more cluttered
+// with planar desk surfaces and thin structures (monitor, shelf boards,
+// chair legs), which stress the bilateral filter's edge preservation and
+// the TSDF's thin-surface reconstruction.
+func Office() *Union {
+	grey := math3.V3(0.55, 0.55, 0.55)
+	dark := math3.V3(0.25, 0.25, 0.28)
+	wood := math3.V3(0.45, 0.33, 0.22)
+	white := math3.V3(0.85, 0.85, 0.82)
+	blue := math3.V3(0.25, 0.35, 0.60)
+
+	room := NewUnion()
+
+	// Shell: 5 m × 2.6 m × 5 m.
+	room.Add(Plane{N: math3.V3(0, 1, 0), D: 0})
+	room.Add(Plane{N: math3.V3(0, -1, 0), D: -2.6, Albedo: white})
+	room.Add(Plane{N: math3.V3(1, 0, 0), D: -2.5, Albedo: white})
+	room.Add(Plane{N: math3.V3(-1, 0, 0), D: -2.5, Albedo: white})
+	room.Add(Plane{N: math3.V3(0, 0, 1), D: -2.5, Albedo: grey})
+	room.Add(Plane{N: math3.V3(0, 0, -1), D: -2.5, Albedo: grey})
+
+	// Two desks along the back wall.
+	for _, cx := range []float64{-1.1, 1.1} {
+		room.Add(Box{C: math3.V3(cx, 0.73, -2.0), H: math3.V3(0.8, 0.02, 0.4), Albedo: wood})
+		for _, dx := range []float64{-0.75, 0.75} {
+			room.Add(Box{C: math3.V3(cx+dx, 0.355, -2.0), H: math3.V3(0.03, 0.355, 0.38), Albedo: dark})
+		}
+		// Monitor: thin slab on a stand.
+		room.Add(Box{C: math3.V3(cx, 1.05, -2.25), H: math3.V3(0.28, 0.17, 0.015), Albedo: dark})
+		room.Add(Box{C: math3.V3(cx, 0.82, -2.25), H: math3.V3(0.04, 0.07, 0.04), Albedo: dark})
+	}
+
+	// Office chairs: seat + backrest + column.
+	for _, cx := range []float64{-1.1, 1.1} {
+		room.Add(Box{C: math3.V3(cx, 0.46, -1.25), H: math3.V3(0.24, 0.03, 0.24), Albedo: blue})
+		room.Add(Box{C: math3.V3(cx, 0.80, -1.02), H: math3.V3(0.24, 0.28, 0.03), Albedo: blue})
+		room.Add(Cylinder{C: math3.V3(cx, 0.25, -1.25), A: math3.V3(0, 1, 0), R: 0.03, H: 0.2, Albedo: dark})
+	}
+
+	// Bookshelf on the left wall with three boards.
+	room.Add(Box{C: math3.V3(-2.35, 1.0, 0.8), H: math3.V3(0.15, 1.0, 0.5), Albedo: wood})
+	for _, by := range []float64{0.6, 1.1, 1.6} {
+		room.Add(Box{C: math3.V3(-2.22, by, 0.8), H: math3.V3(0.02, 0.015, 0.45), Albedo: white})
+	}
+
+	// A filing cabinet and a waste bin.
+	room.Add(Box{C: math3.V3(2.2, 0.55, 0.3), H: math3.V3(0.25, 0.55, 0.3), Albedo: grey})
+	room.Add(Cylinder{C: math3.V3(1.9, 0.18, -1.0), A: math3.V3(0, 1, 0), R: 0.14, H: 0.18, Albedo: dark})
+
+	// Ceiling lamp (sphere) for a distinctive landmark.
+	room.Add(Sphere{C: math3.V3(0, 2.35, 0), R: 0.15, Albedo: white})
+
+	return room
+}

@@ -1,0 +1,256 @@
+// Package sdf implements analytic signed-distance fields: the geometric
+// substrate from which slamgo renders its synthetic RGB-D sequences.
+//
+// The paper evaluates on ICL-NUIM, itself a *synthetic* dataset rendered
+// from a 3D living-room model. We reproduce the same idea: a scene is a
+// CSG tree of signed-distance primitives; the renderer in package synth
+// sphere-traces camera rays against it to produce depth images with an
+// exactly known ground-truth trajectory.
+package sdf
+
+import (
+	"math"
+
+	"slamgo/internal/math3"
+)
+
+// Field is a signed-distance field: negative inside, positive outside,
+// zero on the surface. Distance must be a lower bound on the true
+// Euclidean distance for sphere tracing to be correct (all primitives and
+// combinators in this package satisfy that, except Intersect/Subtract
+// which are conservative bounds as usual for CSG).
+type Field interface {
+	// Distance returns the signed distance from p to the surface.
+	Distance(p math3.Vec3) float64
+}
+
+// Colored optionally attaches a surface colour to a field. Fields that do
+// not implement it render mid-grey.
+type Colored interface {
+	Field
+	// Color returns the RGB albedo (each in [0,1]) at surface point p.
+	Color(p math3.Vec3) math3.Vec3
+}
+
+// Normal estimates the outward surface normal at p via central
+// differences with step h.
+func Normal(f Field, p math3.Vec3, h float64) math3.Vec3 {
+	dx := f.Distance(p.Add(math3.V3(h, 0, 0))) - f.Distance(p.Sub(math3.V3(h, 0, 0)))
+	dy := f.Distance(p.Add(math3.V3(0, h, 0))) - f.Distance(p.Sub(math3.V3(0, h, 0)))
+	dz := f.Distance(p.Add(math3.V3(0, 0, h))) - f.Distance(p.Sub(math3.V3(0, 0, h)))
+	return math3.V3(dx, dy, dz).Normalized()
+}
+
+// Sphere is a ball centred at C with radius R.
+type Sphere struct {
+	C math3.Vec3
+	R float64
+	// Albedo is the surface colour; the zero value renders grey.
+	Albedo math3.Vec3
+}
+
+// Distance implements Field.
+func (s Sphere) Distance(p math3.Vec3) float64 { return p.Sub(s.C).Norm() - s.R }
+
+// Color implements Colored.
+func (s Sphere) Color(math3.Vec3) math3.Vec3 { return defaultColor(s.Albedo) }
+
+// Box is an axis-aligned box centred at C with half-extents H.
+type Box struct {
+	C, H   math3.Vec3
+	Albedo math3.Vec3
+}
+
+// Distance implements Field.
+func (b Box) Distance(p math3.Vec3) float64 {
+	q := p.Sub(b.C).Abs().Sub(b.H)
+	outside := q.Max(math3.Vec3{}).Norm()
+	inside := math.Min(q.MaxComponent(), 0)
+	return outside + inside
+}
+
+// Color implements Colored.
+func (b Box) Color(math3.Vec3) math3.Vec3 { return defaultColor(b.Albedo) }
+
+// Plane is the half-space below N·p = D (N must be unit).
+type Plane struct {
+	N      math3.Vec3
+	D      float64
+	Albedo math3.Vec3
+}
+
+// Distance implements Field.
+func (pl Plane) Distance(p math3.Vec3) float64 { return pl.N.Dot(p) - pl.D }
+
+// Color implements Colored.
+func (pl Plane) Color(p math3.Vec3) math3.Vec3 {
+	if pl.Albedo != (math3.Vec3{}) {
+		return pl.Albedo
+	}
+	// Checkerboard so planes carry visual texture in rendered frames.
+	cx := int(math.Floor(p.X * 2))
+	cz := int(math.Floor(p.Z * 2))
+	if (cx+cz)%2 == 0 {
+		return math3.V3(0.65, 0.65, 0.65)
+	}
+	return math3.V3(0.45, 0.45, 0.45)
+}
+
+// Cylinder is an infinite cylinder along axis A through point C with
+// radius R, capped to height H (half-height) when H > 0.
+type Cylinder struct {
+	C      math3.Vec3
+	A      math3.Vec3 // unit axis
+	R      float64
+	H      float64 // half-height; <=0 means infinite
+	Albedo math3.Vec3
+}
+
+// Distance implements Field.
+func (c Cylinder) Distance(p math3.Vec3) float64 {
+	d := p.Sub(c.C)
+	along := d.Dot(c.A)
+	radial := d.Sub(c.A.Scale(along)).Norm() - c.R
+	if c.H <= 0 {
+		return radial
+	}
+	dy := math.Abs(along) - c.H
+	outR := math.Max(radial, 0)
+	outY := math.Max(dy, 0)
+	outside := math.Hypot(outR, outY)
+	inside := math.Min(math.Max(radial, dy), 0)
+	return outside + inside
+}
+
+// Color implements Colored.
+func (c Cylinder) Color(math3.Vec3) math3.Vec3 { return defaultColor(c.Albedo) }
+
+// Torus lies in the plane through C with main radius R and tube radius r,
+// around the Y axis.
+type Torus struct {
+	C      math3.Vec3
+	R, Rt  float64
+	Albedo math3.Vec3
+}
+
+// Distance implements Field.
+func (t Torus) Distance(p math3.Vec3) float64 {
+	d := p.Sub(t.C)
+	q := math.Hypot(d.X, d.Z) - t.R
+	return math.Hypot(q, d.Y) - t.Rt
+}
+
+// Color implements Colored.
+func (t Torus) Color(math3.Vec3) math3.Vec3 { return defaultColor(t.Albedo) }
+
+func defaultColor(albedo math3.Vec3) math3.Vec3 {
+	if albedo == (math3.Vec3{}) {
+		return math3.V3(0.5, 0.5, 0.5)
+	}
+	return albedo
+}
+
+// Union is the CSG union of fields (minimum distance).
+type Union struct {
+	Fields []Field
+}
+
+// NewUnion builds a union of the given fields.
+func NewUnion(fs ...Field) *Union { return &Union{Fields: fs} }
+
+// Add appends a field to the union.
+func (u *Union) Add(f Field) { u.Fields = append(u.Fields, f) }
+
+// Distance implements Field.
+func (u *Union) Distance(p math3.Vec3) float64 {
+	best := math.Inf(1)
+	for _, f := range u.Fields {
+		if d := f.Distance(p); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Color implements Colored, returning the colour of the nearest member.
+func (u *Union) Color(p math3.Vec3) math3.Vec3 {
+	best := math.Inf(1)
+	color := math3.V3(0.5, 0.5, 0.5)
+	for _, f := range u.Fields {
+		if d := f.Distance(p); d < best {
+			best = d
+			if c, ok := f.(Colored); ok {
+				color = c.Color(p)
+			} else {
+				color = math3.V3(0.5, 0.5, 0.5)
+			}
+		}
+	}
+	return color
+}
+
+// Subtract carves B out of A (max(a, -b)).
+type Subtract struct {
+	A, B Field
+}
+
+// Distance implements Field.
+func (s Subtract) Distance(p math3.Vec3) float64 {
+	return math.Max(s.A.Distance(p), -s.B.Distance(p))
+}
+
+// Color implements Colored (colour of A).
+func (s Subtract) Color(p math3.Vec3) math3.Vec3 {
+	if c, ok := s.A.(Colored); ok {
+		return c.Color(p)
+	}
+	return math3.V3(0.5, 0.5, 0.5)
+}
+
+// Intersect keeps the overlap of A and B (max distance).
+type Intersect struct {
+	A, B Field
+}
+
+// Distance implements Field.
+func (s Intersect) Distance(p math3.Vec3) float64 {
+	return math.Max(s.A.Distance(p), s.B.Distance(p))
+}
+
+// Translated shifts a field by Offset.
+type Translated struct {
+	F      Field
+	Offset math3.Vec3
+}
+
+// Distance implements Field.
+func (t Translated) Distance(p math3.Vec3) float64 {
+	return t.F.Distance(p.Sub(t.Offset))
+}
+
+// Color implements Colored.
+func (t Translated) Color(p math3.Vec3) math3.Vec3 {
+	if c, ok := t.F.(Colored); ok {
+		return c.Color(p.Sub(t.Offset))
+	}
+	return math3.V3(0.5, 0.5, 0.5)
+}
+
+// Rotated applies rotation R about the origin to a field.
+type Rotated struct {
+	F Field
+	R math3.Mat3
+}
+
+// Distance implements Field.
+func (r Rotated) Distance(p math3.Vec3) float64 {
+	return r.F.Distance(r.R.Transpose().MulVec(p))
+}
+
+// Color implements Colored.
+func (r Rotated) Color(p math3.Vec3) math3.Vec3 {
+	if c, ok := r.F.(Colored); ok {
+		return c.Color(r.R.Transpose().MulVec(p))
+	}
+	return math3.V3(0.5, 0.5, 0.5)
+}

@@ -1,0 +1,233 @@
+package sdf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"slamgo/internal/math3"
+)
+
+func TestSphereDistance(t *testing.T) {
+	s := Sphere{C: math3.V3(1, 0, 0), R: 2}
+	if got := s.Distance(math3.V3(1, 0, 0)); math.Abs(got+2) > 1e-12 {
+		t.Fatalf("centre distance %v", got)
+	}
+	if got := s.Distance(math3.V3(4, 0, 0)); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("outside distance %v", got)
+	}
+	if got := s.Distance(math3.V3(3, 0, 0)); math.Abs(got) > 1e-12 {
+		t.Fatalf("surface distance %v", got)
+	}
+}
+
+func TestBoxDistance(t *testing.T) {
+	b := Box{C: math3.Vec3{}, H: math3.V3(1, 1, 1)}
+	if got := b.Distance(math3.V3(3, 0, 0)); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("face distance %v", got)
+	}
+	// Corner distance.
+	want := math.Sqrt(3)
+	if got := b.Distance(math3.V3(2, 2, 2)); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("corner distance %v want %v", got, want)
+	}
+	if got := b.Distance(math3.Vec3{}); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("inside distance %v", got)
+	}
+}
+
+func TestPlaneDistance(t *testing.T) {
+	p := Plane{N: math3.V3(0, 1, 0), D: 0}
+	if got := p.Distance(math3.V3(5, 2, -3)); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("above %v", got)
+	}
+	if got := p.Distance(math3.V3(0, -1, 0)); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("below %v", got)
+	}
+}
+
+func TestCylinderDistance(t *testing.T) {
+	c := Cylinder{C: math3.Vec3{}, A: math3.V3(0, 1, 0), R: 1, H: 0}
+	if got := c.Distance(math3.V3(3, 100, 0)); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("infinite cyl %v", got)
+	}
+	capped := Cylinder{C: math3.Vec3{}, A: math3.V3(0, 1, 0), R: 1, H: 1}
+	if got := capped.Distance(math3.V3(0, 3, 0)); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("cap distance %v", got)
+	}
+	if got := capped.Distance(math3.Vec3{}); got >= 0 {
+		t.Fatalf("inside capped %v", got)
+	}
+}
+
+func TestTorusDistance(t *testing.T) {
+	tor := Torus{C: math3.Vec3{}, R: 2, Rt: 0.5}
+	// Point on the main circle is inside the tube by Rt.
+	if got := tor.Distance(math3.V3(2, 0, 0)); math.Abs(got+0.5) > 1e-12 {
+		t.Fatalf("ring centre %v", got)
+	}
+	if got := tor.Distance(math3.V3(2.5, 0, 0)); math.Abs(got) > 1e-12 {
+		t.Fatalf("outer surface %v", got)
+	}
+}
+
+func TestUnionTakesMin(t *testing.T) {
+	u := NewUnion(
+		Sphere{C: math3.V3(0, 0, 0), R: 1},
+		Sphere{C: math3.V3(10, 0, 0), R: 1},
+	)
+	got := u.Distance(math3.V3(2, 0, 0))
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("union distance %v", got)
+	}
+}
+
+func TestSubtractCarves(t *testing.T) {
+	s := Subtract{
+		A: Box{C: math3.Vec3{}, H: math3.V3(1, 1, 1)},
+		B: Sphere{C: math3.Vec3{}, R: 0.5},
+	}
+	// Centre is inside the carved hole → positive (outside the solid).
+	if got := s.Distance(math3.Vec3{}); got <= 0 {
+		t.Fatalf("carved centre should be outside: %v", got)
+	}
+	// Near a box corner we are still inside the solid.
+	if got := s.Distance(math3.V3(0.9, 0.9, 0.9)); got >= 0 {
+		t.Fatalf("corner should remain solid: %v", got)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	i := Intersect{
+		A: Sphere{C: math3.V3(-0.5, 0, 0), R: 1},
+		B: Sphere{C: math3.V3(0.5, 0, 0), R: 1},
+	}
+	if got := i.Distance(math3.Vec3{}); got >= 0 {
+		t.Fatalf("lens interior should be inside: %v", got)
+	}
+	if got := i.Distance(math3.V3(-1.2, 0, 0)); got <= 0 {
+		t.Fatalf("outside B should be outside intersection: %v", got)
+	}
+}
+
+func TestTranslatedRotated(t *testing.T) {
+	s := Sphere{C: math3.Vec3{}, R: 1, Albedo: math3.V3(1, 0, 0)}
+	tr := Translated{F: s, Offset: math3.V3(5, 0, 0)}
+	if got := tr.Distance(math3.V3(5, 0, 0)); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("translated centre %v", got)
+	}
+	if c := tr.Color(math3.V3(5, 0, 0)); c != math3.V3(1, 0, 0) {
+		t.Fatalf("translated color %v", c)
+	}
+
+	b := Box{C: math3.Vec3{}, H: math3.V3(2, 0.1, 0.1)}
+	rot := Rotated{F: b, R: math3.QuatFromAxisAngle(math3.V3(0, 0, 1), math.Pi/2).Mat3()}
+	// The long axis is now Y.
+	if got := rot.Distance(math3.V3(0, 1.9, 0)); got >= 0.01 {
+		t.Fatalf("rotated box should contain (0,1.9,0): %v", got)
+	}
+	if got := rot.Distance(math3.V3(1.9, 0, 0)); got <= 0 {
+		t.Fatalf("rotated box should not contain (1.9,0,0): %v", got)
+	}
+}
+
+func TestNormalPointsOutward(t *testing.T) {
+	s := Sphere{C: math3.Vec3{}, R: 1}
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		dir := math3.V3(r.NormFloat64(), r.NormFloat64(), r.NormFloat64()).Normalized()
+		if dir.Norm() < 0.5 {
+			continue
+		}
+		p := dir // on surface
+		n := Normal(s, p, 1e-5)
+		if n.Dot(dir) < 0.999 {
+			t.Fatalf("normal %v misaligned with radial %v", n, dir)
+		}
+	}
+}
+
+func TestNormalOnBoxFace(t *testing.T) {
+	b := Box{C: math3.Vec3{}, H: math3.V3(1, 1, 1)}
+	n := Normal(b, math3.V3(1, 0.2, -0.3), 1e-5)
+	if !n.ApproxEq(math3.V3(1, 0, 0), 1e-4) {
+		t.Fatalf("face normal %v", n)
+	}
+}
+
+// Sphere-tracing soundness: |∇d| ≤ 1 means distance differences are
+// bounded by point distances (1-Lipschitz). Verify on the living room.
+func TestQuickLipschitz(t *testing.T) {
+	scene := LivingRoom()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := math3.V3(r.Float64()*5-2.5, r.Float64()*2.5, r.Float64()*5-2.5)
+		q := p.Add(math3.V3(r.NormFloat64(), r.NormFloat64(), r.NormFloat64()).Scale(0.1))
+		dd := math.Abs(scene.Distance(p) - scene.Distance(q))
+		return dd <= p.Dist(q)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLivingRoomEnclosed(t *testing.T) {
+	scene := LivingRoom()
+	// The room centre is in free space.
+	centre := math3.V3(0, 1.3, 0.8)
+	if d := scene.Distance(centre); d <= 0 {
+		t.Fatalf("room centre not in free space: %v", d)
+	}
+	// Far outside the shell we are inside some wall half-space (negative).
+	if d := scene.Distance(math3.V3(0, -10, 0)); d >= 0 {
+		t.Fatalf("below floor should be solid: %v", d)
+	}
+	// Table top is solid.
+	if d := scene.Distance(math3.V3(0, 0.72, -1.0)); d >= 0 {
+		t.Fatalf("table top should be solid: %v", d)
+	}
+}
+
+func TestSimpleRoomObjects(t *testing.T) {
+	scene := SimpleRoom()
+	if d := scene.Distance(math3.V3(0.3, 0.5, -0.6)); d >= 0 {
+		t.Fatalf("sphere centre should be solid: %v", d)
+	}
+	if d := scene.Distance(math3.V3(0, 1.5, 1.0)); d <= 0 {
+		t.Fatalf("air should be free: %v", d)
+	}
+}
+
+func TestUnionColorPicksNearest(t *testing.T) {
+	u := NewUnion(
+		Sphere{C: math3.V3(0, 0, 0), R: 1, Albedo: math3.V3(1, 0, 0)},
+		Sphere{C: math3.V3(10, 0, 0), R: 1, Albedo: math3.V3(0, 1, 0)},
+	)
+	if c := u.Color(math3.V3(1, 0, 0)); c != math3.V3(1, 0, 0) {
+		t.Fatalf("near red sphere got %v", c)
+	}
+	if c := u.Color(math3.V3(9, 0, 0)); c != math3.V3(0, 1, 0) {
+		t.Fatalf("near green sphere got %v", c)
+	}
+}
+
+func TestPlaneCheckerboardColor(t *testing.T) {
+	p := Plane{N: math3.V3(0, 1, 0), D: 0}
+	c1 := p.Color(math3.V3(0.1, 0, 0.1))
+	c2 := p.Color(math3.V3(0.6, 0, 0.1))
+	if c1 == c2 {
+		t.Fatal("checkerboard should alternate")
+	}
+	solid := Plane{N: math3.V3(0, 1, 0), D: 0, Albedo: math3.V3(1, 1, 0)}
+	if solid.Color(math3.V3(5, 0, 5)) != math3.V3(1, 1, 0) {
+		t.Fatal("explicit albedo ignored")
+	}
+}
+
+func TestDefaultColor(t *testing.T) {
+	s := Sphere{C: math3.Vec3{}, R: 1}
+	if c := s.Color(math3.Vec3{}); c != math3.V3(0.5, 0.5, 0.5) {
+		t.Fatalf("default colour %v", c)
+	}
+}

@@ -1,0 +1,81 @@
+package slambench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonSummary is the stable external schema for machine consumption of a
+// run summary (plotting scripts, dashboards). Per-frame records are
+// included without kernel maps to keep files compact.
+type jsonSummary struct {
+	System          string  `json:"system"`
+	Sequence        string  `json:"sequence"`
+	Frames          int     `json:"frames"`
+	TrackedFraction float64 `json:"tracked_fraction"`
+
+	ATEMax   float64 `json:"ate_max_m"`
+	ATERmse  float64 `json:"ate_rmse_m"`
+	ATEMean  float64 `json:"ate_mean_m"`
+	RPETrans float64 `json:"rpe_trans_rmse_m"`
+	RPERot   float64 `json:"rpe_rot_rmse_rad"`
+
+	WallFPS float64 `json:"wall_fps"`
+
+	Device       string  `json:"device,omitempty"`
+	SimFPS       float64 `json:"sim_fps,omitempty"`
+	SimMeanPower float64 `json:"sim_mean_power_w,omitempty"`
+	SimEnergy    float64 `json:"sim_total_energy_j,omitempty"`
+	RealTime     bool    `json:"real_time"`
+
+	Frames2 []jsonFrame `json:"per_frame"`
+}
+
+type jsonFrame struct {
+	Index      int     `json:"i"`
+	Time       float64 `json:"t"`
+	Tracked    bool    `json:"tracked"`
+	ATE        float64 `json:"ate_m"`
+	WallMs     float64 `json:"wall_ms"`
+	Ops        int64   `json:"ops"`
+	Bytes      int64   `json:"bytes"`
+	SimLatency float64 `json:"sim_latency_s,omitempty"`
+	SimPower   float64 `json:"sim_power_w,omitempty"`
+}
+
+// WriteJSON serialises a summary in the stable JSON schema.
+func WriteJSON(w io.Writer, s *Summary) error {
+	out := jsonSummary{
+		System:          s.System,
+		Sequence:        s.Sequence,
+		Frames:          s.Frames,
+		TrackedFraction: s.TrackedFraction,
+		ATEMax:          s.ATE.Max,
+		ATERmse:         s.ATE.RMSE,
+		ATEMean:         s.ATE.Mean,
+		RPETrans:        s.RPE.TransRMSE,
+		RPERot:          s.RPE.RotRMSE,
+		WallFPS:         s.WallFPS,
+		Device:          s.Device,
+		SimFPS:          s.SimFPS,
+		SimMeanPower:    s.SimMeanPower,
+		SimEnergy:       s.SimTotalEnergy,
+		RealTime:        s.MeetsRealTime(),
+	}
+	for _, r := range s.Records {
+		out.Frames2 = append(out.Frames2, jsonFrame{
+			Index:      r.Index,
+			Time:       r.Time,
+			Tracked:    r.Tracked,
+			ATE:        r.ATE,
+			WallMs:     float64(r.WallTime.Microseconds()) / 1000,
+			Ops:        r.Cost.Ops,
+			Bytes:      r.Cost.Bytes,
+			SimLatency: r.SimLatency,
+			SimPower:   r.SimPower,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

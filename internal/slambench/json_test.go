@@ -1,0 +1,45 @@
+package slambench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"slamgo/internal/device"
+)
+
+func TestWriteJSON(t *testing.T) {
+	seq := testSeq(t, 5)
+	r := &Runner{Model: device.NewModel(device.OdroidXU3())}
+	sum, err := r.Run(NewKFusion(testKFConfig(), seq), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sum); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, key := range []string{"system", "sequence", "ate_max_m", "sim_fps", "per_frame"} {
+		if _, ok := parsed[key]; !ok {
+			t.Fatalf("key %q missing:\n%s", key, buf.String())
+		}
+	}
+	frames, ok := parsed["per_frame"].([]any)
+	if !ok || len(frames) != 5 {
+		t.Fatalf("per_frame wrong: %v", parsed["per_frame"])
+	}
+	f0, ok := frames[0].(map[string]any)
+	if !ok {
+		t.Fatal("frame 0 not an object")
+	}
+	if f0["tracked"] != true {
+		t.Fatalf("frame 0 tracked: %v", f0["tracked"])
+	}
+	if f0["ops"].(float64) <= 0 {
+		t.Fatal("frame 0 ops missing")
+	}
+}

@@ -1,0 +1,76 @@
+package slambench
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"slamgo/internal/math3"
+	"slamgo/internal/sdf"
+	"slamgo/internal/tsdf"
+)
+
+// ReconstructionStats quantifies how well the reconstructed surface
+// matches the known scene geometry — SLAMBench's "accuracy of the
+// generated 3D model in the context of a known ground truth". Because
+// our datasets are rendered from analytic SDF scenes, the ground-truth
+// surface distance of any reconstructed point is exact: |scene.Distance|.
+type ReconstructionStats struct {
+	// Mean/RMSE/Median/P95/Max of the absolute surface distance (metres)
+	// over all mesh vertices.
+	Mean, RMSE, Median, P95, Max float64
+	// Vertices is the number of samples measured.
+	Vertices int
+}
+
+// ReconstructionError measures a reconstructed mesh against the true
+// scene. maxSamples bounds the work on very dense meshes (0 = all).
+func ReconstructionError(mesh *tsdf.Mesh, scene sdf.Field, maxSamples int) (ReconstructionStats, error) {
+	if mesh == nil || len(mesh.Triangles) == 0 {
+		return ReconstructionStats{}, errors.New("slambench: empty mesh")
+	}
+	if scene == nil {
+		return ReconstructionStats{}, errors.New("slambench: nil scene")
+	}
+	total := len(mesh.Triangles) * 3
+	stride := 1
+	if maxSamples > 0 && total > maxSamples {
+		stride = total / maxSamples
+	}
+	var dists []float64
+	var sum, sum2 float64
+	idx := 0
+	for _, tri := range mesh.Triangles {
+		for _, p := range [...]math3.Vec3{tri.A, tri.B, tri.C} {
+			idx++
+			if idx%stride != 0 {
+				continue
+			}
+			d := math.Abs(scene.Distance(p))
+			dists = append(dists, d)
+			sum += d
+			sum2 += d * d
+		}
+	}
+	if len(dists) == 0 {
+		return ReconstructionStats{}, errors.New("slambench: no samples taken")
+	}
+	n := float64(len(dists))
+	sort.Float64s(dists)
+	st := ReconstructionStats{
+		Mean:     sum / n,
+		RMSE:     math.Sqrt(sum2 / n),
+		Median:   dists[len(dists)/2],
+		P95:      dists[min(len(dists)-1, len(dists)*95/100)],
+		Max:      dists[len(dists)-1],
+		Vertices: len(dists),
+	}
+	return st, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

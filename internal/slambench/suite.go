@@ -1,0 +1,57 @@
+package slambench
+
+import (
+	"fmt"
+	"io"
+
+	"slamgo/internal/dataset"
+)
+
+// SuiteEntry pairs a named system factory with nothing else; the factory
+// is invoked per sequence because SLAM systems are stateful.
+type SuiteEntry struct {
+	Name string
+	// Make builds a fresh system for a sequence.
+	Make func(seq dataset.Sequence) System
+}
+
+// Suite runs every system over every sequence — the "comparison across
+// algorithms, implementations and datasets" role of SLAMBench.
+type Suite struct {
+	Runner  *Runner
+	Systems []SuiteEntry
+}
+
+// Run executes the full cross product and returns summaries in
+// (system-major, sequence-minor) order.
+func (s *Suite) Run(seqs ...dataset.Sequence) ([]*Summary, error) {
+	if s.Runner == nil {
+		s.Runner = &Runner{}
+	}
+	if len(s.Systems) == 0 {
+		return nil, fmt.Errorf("slambench: suite has no systems")
+	}
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("slambench: suite has no sequences")
+	}
+	var out []*Summary
+	for _, entry := range s.Systems {
+		for _, seq := range seqs {
+			sum, err := s.Runner.Run(entry.Make(seq), seq)
+			if err != nil {
+				return nil, fmt.Errorf("slambench: %s on %s: %w", entry.Name, seq.Name(), err)
+			}
+			out = append(out, sum)
+		}
+	}
+	return out, nil
+}
+
+// RunAndReport runs the suite and writes the comparison table.
+func (s *Suite) RunAndReport(w io.Writer, seqs ...dataset.Sequence) ([]*Summary, error) {
+	sums, err := s.Run(seqs...)
+	if err != nil {
+		return nil, err
+	}
+	return sums, WriteTable(w, sums...)
+}

@@ -1,0 +1,97 @@
+package slambench
+
+import (
+	"testing"
+	"time"
+
+	"slamgo/internal/device"
+	"slamgo/internal/odometry"
+)
+
+func TestMeetsRealTime(t *testing.T) {
+	s := &Summary{SimFPS: 35}
+	if !s.MeetsRealTime() {
+		t.Fatal("35 FPS not real-time")
+	}
+	s.SimFPS = 12
+	if s.MeetsRealTime() {
+		t.Fatal("12 FPS reported real-time")
+	}
+}
+
+func TestRunnerSensorFPSAffectsDeadlines(t *testing.T) {
+	seq := testSeq(t, 6)
+	model := device.NewModel(device.OdroidXU3())
+	cfg := testKFConfig()
+
+	runAt := func(fps float64) *Summary {
+		r := &Runner{Model: model, SensorFPS: fps}
+		sum, err := r.Run(NewKFusion(cfg, seq), seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	// The same workload meets more deadlines at a slower sensor rate.
+	slow := runAt(5)
+	fast := runAt(120)
+	if slow.SimRealTimeFraction < fast.SimRealTimeFraction {
+		t.Fatalf("deadline fractions inverted: %v at 5 Hz vs %v at 120 Hz",
+			slow.SimRealTimeFraction, fast.SimRealTimeFraction)
+	}
+	// Mean latency is rate-independent.
+	if slow.SimMeanLatency != fast.SimMeanLatency {
+		t.Fatal("latency depends on sensor rate")
+	}
+}
+
+func TestRunnerRecordsPerFrameFields(t *testing.T) {
+	seq := testSeq(t, 5)
+	r := &Runner{Model: device.NewModel(device.OdroidXU3())}
+	sum, err := r.Run(NewKFusion(testKFConfig(), seq), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastTime float64 = -1
+	for i, rec := range sum.Records {
+		if rec.Index != i {
+			t.Fatalf("record %d has index %d", i, rec.Index)
+		}
+		if rec.Time <= lastTime {
+			t.Fatal("record times not increasing")
+		}
+		lastTime = rec.Time
+		if rec.WallTime <= 0 || rec.WallTime > time.Minute {
+			t.Fatalf("implausible wall time %v", rec.WallTime)
+		}
+		if rec.SimLatency <= 0 || rec.SimEnergy <= 0 {
+			t.Fatalf("record %d missing device results", i)
+		}
+		if rec.Cost.Ops <= 0 {
+			t.Fatalf("record %d missing cost", i)
+		}
+		if len(rec.KernelCosts) == 0 {
+			t.Fatalf("record %d missing kernel costs", i)
+		}
+	}
+}
+
+func TestOdometryRecordsATE(t *testing.T) {
+	seq := testSeq(t, 6)
+	cfg := odometry.DefaultConfig()
+	cfg.ComputeSizeRatio = 1
+	sum, err := (&Runner{}).Run(NewOdometry(cfg, seq), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-frame ATE populated (zero only plausibly at frame 0).
+	nonzero := 0
+	for _, rec := range sum.Records {
+		if rec.ATE > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < len(sum.Records)/2 {
+		t.Fatalf("per-frame ATE mostly zero (%d/%d)", nonzero, len(sum.Records))
+	}
+}

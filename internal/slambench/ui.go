@@ -1,0 +1,177 @@
+package slambench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"slamgo/internal/imgproc"
+	"slamgo/internal/math3"
+)
+
+// This file implements the Figure 1 analogue: the SLAMBench GUI shows
+// four panes (RGB input, depth input, per-pixel tracking status, and the
+// ray-cast 3D model) plus live metric read-outs. Without a display we
+// render the same panes to PPM images and ASCII art.
+
+// DepthToRGB maps a depth image to a blue-near/red-far colour ramp;
+// invalid pixels are black.
+func DepthToRGB(d *imgproc.DepthMap) *imgproc.RGB {
+	img := imgproc.NewRGB(d.Width, d.Height)
+	min, max := d.MinMax()
+	span := float64(max - min)
+	if span <= 0 {
+		span = 1
+	}
+	for y := 0; y < d.Height; y++ {
+		for x := 0; x < d.Width; x++ {
+			v := d.At(x, y)
+			if v <= 0 {
+				continue
+			}
+			t := float64(v-min) / span
+			r := uint8(math3.Clamp(t, 0, 1) * 255)
+			b := uint8(math3.Clamp(1-t, 0, 1) * 255)
+			g := uint8(math3.Clamp(1-math.Abs(2*t-1), 0, 1) * 180)
+			img.Set(x, y, r, g, b)
+		}
+	}
+	return img
+}
+
+// NormalsToRGB shades a world-frame normal map with a fixed headlight,
+// the way the GUI displays the ray-cast model surface.
+func NormalsToRGB(normals *imgproc.NormalMap, light math3.Vec3) *imgproc.RGB {
+	img := imgproc.NewRGB(normals.Width, normals.Height)
+	l := light.Normalized().Neg()
+	for y := 0; y < normals.Height; y++ {
+		for x := 0; x < normals.Width; x++ {
+			n, ok := normals.At(x, y)
+			if !ok {
+				img.Set(x, y, 15, 15, 25)
+				continue
+			}
+			shade := 0.2 + 0.8*math.Max(0, n.Dot(l))
+			g := uint8(math3.Clamp(shade, 0, 1) * 255)
+			img.Set(x, y, g, g, g)
+		}
+	}
+	return img
+}
+
+// TrackStatusToRGB renders per-pixel tracking state: green where the
+// frame had valid geometry, dark red where it did not (the GUI's
+// bottom-left pane).
+func TrackStatusToRGB(vertices *imgproc.VertexMap, tracked bool) *imgproc.RGB {
+	img := imgproc.NewRGB(vertices.Width, vertices.Height)
+	for y := 0; y < vertices.Height; y++ {
+		for x := 0; x < vertices.Width; x++ {
+			if _, ok := vertices.At(x, y); ok {
+				if tracked {
+					img.Set(x, y, 30, 200, 60)
+				} else {
+					img.Set(x, y, 220, 180, 40)
+				}
+			} else {
+				img.Set(x, y, 90, 20, 20)
+			}
+		}
+	}
+	return img
+}
+
+// Mosaic tiles up to four equally sized panes into a 2×2 sheet. Nil
+// panes render black. Panes of differing sizes are rejected.
+func Mosaic(panes ...*imgproc.RGB) (*imgproc.RGB, error) {
+	if len(panes) == 0 || len(panes) > 4 {
+		return nil, fmt.Errorf("slambench: mosaic needs 1-4 panes, got %d", len(panes))
+	}
+	var w, h int
+	for _, p := range panes {
+		if p == nil {
+			continue
+		}
+		if w == 0 {
+			w, h = p.Width, p.Height
+		} else if p.Width != w || p.Height != h {
+			return nil, fmt.Errorf("slambench: mosaic pane size %dx%d ≠ %dx%d",
+				p.Width, p.Height, w, h)
+		}
+	}
+	if w == 0 {
+		return nil, fmt.Errorf("slambench: all mosaic panes nil")
+	}
+	out := imgproc.NewRGB(w*2, h*2)
+	offsets := [4][2]int{{0, 0}, {w, 0}, {0, h}, {w, h}}
+	for i, p := range panes {
+		if p == nil {
+			continue
+		}
+		ox, oy := offsets[i][0], offsets[i][1]
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				r, g, b := p.At(x, y)
+				out.Set(ox+x, oy+y, r, g, b)
+			}
+		}
+	}
+	return out, nil
+}
+
+// WritePPM serialises an RGB image as binary PPM (P6).
+func WritePPM(w io.Writer, img *imgproc.RGB) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", img.Width, img.Height); err != nil {
+		return err
+	}
+	if _, err := bw.Write(img.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// asciiRamp orders glyphs from dark to bright.
+const asciiRamp = " .:-=+*#%@"
+
+// ASCIIRender downsamples an RGB image to a text mosaic of the given
+// character width (terminal preview of any pane).
+func ASCIIRender(img *imgproc.RGB, cols int) string {
+	if cols < 2 {
+		cols = 2
+	}
+	if cols > img.Width {
+		cols = img.Width
+	}
+	// Terminal cells are ~2× taller than wide.
+	rows := img.Height * cols / img.Width / 2
+	if rows < 1 {
+		rows = 1
+	}
+	var b strings.Builder
+	for ry := 0; ry < rows; ry++ {
+		for rx := 0; rx < cols; rx++ {
+			x0 := rx * img.Width / cols
+			x1 := (rx + 1) * img.Width / cols
+			y0 := ry * img.Height / rows
+			y1 := (ry + 1) * img.Height / rows
+			var sum, n int
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					r, g, bl := img.At(x, y)
+					sum += int(r) + int(g) + int(bl)
+					n++
+				}
+			}
+			if n == 0 {
+				n = 1
+			}
+			lum := sum / (3 * n)
+			idx := lum * (len(asciiRamp) - 1) / 255
+			b.WriteByte(asciiRamp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

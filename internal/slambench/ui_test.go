@@ -1,0 +1,153 @@
+package slambench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"slamgo/internal/imgproc"
+	"slamgo/internal/math3"
+)
+
+func gradientDepth(w, h int) *imgproc.DepthMap {
+	d := imgproc.NewDepthMap(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			d.Set(x, y, 1+float32(x)*0.1)
+		}
+	}
+	return d
+}
+
+func TestDepthToRGBRamp(t *testing.T) {
+	d := gradientDepth(16, 8)
+	img := DepthToRGB(d)
+	// Near pixels blue-dominant, far pixels red-dominant.
+	r0, _, b0 := img.At(0, 4)
+	r1, _, b1 := img.At(15, 4)
+	if b0 <= r0 {
+		t.Fatalf("near pixel not blue: r=%d b=%d", r0, b0)
+	}
+	if r1 <= b1 {
+		t.Fatalf("far pixel not red: r=%d b=%d", r1, b1)
+	}
+	// Invalid pixels stay black.
+	d2 := imgproc.NewDepthMap(4, 4)
+	img2 := DepthToRGB(d2)
+	r, g, b := img2.At(2, 2)
+	if r != 0 || g != 0 || b != 0 {
+		t.Fatal("invalid pixel coloured")
+	}
+}
+
+func TestNormalsToRGBShading(t *testing.T) {
+	nm := imgproc.NewNormalMap(4, 4)
+	// Light travels along +Z (a headlight at the camera); a surface
+	// facing the camera has normal -Z and is fully lit.
+	nm.Set(1, 1, math3.V3(0, 0, -1))
+	img := NormalsToRGB(nm, math3.V3(0, 0, 1))
+	// Lit pixel bright, invalid pixel dim.
+	lr, _, _ := img.At(1, 1)
+	ir, _, _ := img.At(0, 0)
+	if lr < 200 {
+		t.Fatalf("lit pixel %d", lr)
+	}
+	if ir > 40 {
+		t.Fatalf("background pixel %d", ir)
+	}
+}
+
+func TestTrackStatusToRGB(t *testing.T) {
+	vm := imgproc.NewVertexMap(4, 4)
+	vm.Set(1, 1, math3.V3(1, 2, 3))
+	ok := TrackStatusToRGB(vm, true)
+	r, g, _ := ok.At(1, 1)
+	if g <= r {
+		t.Fatal("tracked pixel not green")
+	}
+	bad := TrackStatusToRGB(vm, false)
+	r, g, _ = bad.At(1, 1)
+	if r <= g/2 {
+		t.Fatal("lost pixel not warning-coloured")
+	}
+	r, g, _ = ok.At(0, 0)
+	if r <= g {
+		t.Fatal("invalid pixel not red-dominant")
+	}
+}
+
+func TestMosaic(t *testing.T) {
+	a := imgproc.NewRGB(4, 2)
+	a.Set(0, 0, 255, 0, 0)
+	b := imgproc.NewRGB(4, 2)
+	b.Set(0, 0, 0, 255, 0)
+	m, err := Mosaic(a, b, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Width != 8 || m.Height != 4 {
+		t.Fatalf("mosaic size %dx%d", m.Width, m.Height)
+	}
+	r, _, _ := m.At(0, 0)
+	if r != 255 {
+		t.Fatal("pane 0 misplaced")
+	}
+	_, g, _ := m.At(4, 0)
+	if g != 255 {
+		t.Fatal("pane 1 misplaced")
+	}
+
+	// Mismatched sizes rejected.
+	c := imgproc.NewRGB(3, 3)
+	if _, err := Mosaic(a, c); err == nil {
+		t.Fatal("mismatched panes accepted")
+	}
+	if _, err := Mosaic(); err == nil {
+		t.Fatal("zero panes accepted")
+	}
+	var nilPane *imgproc.RGB
+	if _, err := Mosaic(nilPane); err == nil {
+		t.Fatal("all-nil panes accepted")
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	img := imgproc.NewRGB(2, 2)
+	img.Set(0, 0, 1, 2, 3)
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.Bytes()
+	if !bytes.HasPrefix(s, []byte("P6\n2 2\n255\n")) {
+		t.Fatalf("ppm header: %q", s[:12])
+	}
+	if len(s) != len("P6\n2 2\n255\n")+12 {
+		t.Fatalf("ppm size %d", len(s))
+	}
+}
+
+func TestASCIIRender(t *testing.T) {
+	img := imgproc.NewRGB(40, 20)
+	for y := 0; y < 20; y++ {
+		for x := 20; x < 40; x++ {
+			img.Set(x, y, 255, 255, 255)
+		}
+	}
+	s := ASCIIRender(img, 20)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("too few rows: %q", s)
+	}
+	row := lines[0]
+	if row[0] != ' ' {
+		t.Fatalf("dark half not blank: %q", row)
+	}
+	if row[len(row)-1] != '@' {
+		t.Fatalf("bright half not dense: %q", row)
+	}
+	// Degenerate cols clamp.
+	if ASCIIRender(img, 0) == "" {
+		t.Fatal("clamped render empty")
+	}
+}

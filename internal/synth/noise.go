@@ -1,0 +1,78 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"slamgo/internal/imgproc"
+)
+
+// NoiseModel perturbs perfect rendered depth the way a structured-light
+// RGB-D sensor (Kinect v1) does:
+//
+//   - axial Gaussian noise whose σ grows quadratically with depth
+//     (Khoshelham & Elberink's classic model: σ_z ≈ 1.425e-3 · z²),
+//   - disparity quantisation (depth resolution also ∝ z²),
+//   - a valid range gate [MinDepth, MaxDepth],
+//   - random pixel dropout (speckle failures).
+//
+// All randomness flows through an explicit *rand.Rand so sequences are
+// reproducible.
+type NoiseModel struct {
+	// SigmaZ scales the quadratic axial noise: σ(z) = SigmaZ·z².
+	SigmaZ float64
+	// QuantZ scales the quantisation step: Δ(z) = QuantZ·z².
+	QuantZ float64
+	// MinDepth and MaxDepth bound the sensor's valid range (metres).
+	MinDepth, MaxDepth float64
+	// Dropout is the per-pixel probability of losing the measurement.
+	Dropout float64
+}
+
+// KinectNoise returns the default Kinect v1 noise parameters.
+func KinectNoise() NoiseModel {
+	return NoiseModel{
+		SigmaZ:   1.425e-3,
+		QuantZ:   2.85e-3,
+		MinDepth: 0.4,
+		MaxDepth: 8.0,
+		Dropout:  0.01,
+	}
+}
+
+// NoNoise returns a pass-through model (range gate only, disabled).
+func NoNoise() NoiseModel {
+	return NoiseModel{MinDepth: 0, MaxDepth: math.Inf(1)}
+}
+
+// Apply perturbs the depth map in place using rng.
+func (n NoiseModel) Apply(d *imgproc.DepthMap, rng *rand.Rand) {
+	for i, v := range d.Pix {
+		if v <= 0 {
+			continue
+		}
+		z := float64(v)
+		if z < n.MinDepth || z > n.MaxDepth {
+			d.Pix[i] = 0
+			continue
+		}
+		if n.Dropout > 0 && rng.Float64() < n.Dropout {
+			d.Pix[i] = 0
+			continue
+		}
+		if n.SigmaZ > 0 {
+			z += rng.NormFloat64() * n.SigmaZ * z * z
+		}
+		if n.QuantZ > 0 {
+			step := n.QuantZ * z * z
+			if step > 0 {
+				z = math.Round(z/step) * step
+			}
+		}
+		if z <= 0 {
+			d.Pix[i] = 0
+			continue
+		}
+		d.Pix[i] = float32(z)
+	}
+}

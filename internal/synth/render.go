@@ -1,0 +1,166 @@
+// Package synth renders synthetic RGB-D sequences from analytic SDF
+// scenes. It stands in for the ICL-NUIM dataset used by the paper: both
+// are rendered from a known 3D model along a known camera trajectory, so
+// trajectory error (ATE) can be computed against exact ground truth.
+//
+// The package provides a sphere-tracing renderer, a Kinect-style depth
+// noise model and trajectory scripting helpers.
+package synth
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"slamgo/internal/camera"
+	"slamgo/internal/imgproc"
+	"slamgo/internal/math3"
+	"slamgo/internal/sdf"
+)
+
+// Renderer sphere-traces camera rays against an SDF scene.
+type Renderer struct {
+	Scene sdf.Field
+	// MaxDist is the far clip in metres (default 10).
+	MaxDist float64
+	// MaxSteps bounds the sphere-tracing iterations per ray (default 192).
+	MaxSteps int
+	// Eps is the surface-hit tolerance in metres (default 1e-4).
+	Eps float64
+	// Light is the directional light used for shading RGB output.
+	Light math3.Vec3
+}
+
+// NewRenderer returns a renderer with sensible defaults for indoor scenes.
+func NewRenderer(scene sdf.Field) *Renderer {
+	return &Renderer{
+		Scene:    scene,
+		MaxDist:  10,
+		MaxSteps: 192,
+		Eps:      1e-4,
+		Light:    math3.V3(-0.4, -1, -0.3).Normalized(),
+	}
+}
+
+// TraceRay marches a single ray from origin o along unit direction d and
+// returns the hit distance. ok is false when the ray escapes MaxDist or
+// runs out of steps.
+func (r *Renderer) TraceRay(o, d math3.Vec3) (t float64, ok bool) {
+	t = 0.0
+	for i := 0; i < r.MaxSteps; i++ {
+		p := o.Add(d.Scale(t))
+		dist := r.Scene.Distance(p)
+		if dist < r.Eps {
+			return t, true
+		}
+		t += dist
+		if t > r.MaxDist {
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// RenderDepth produces a perfect (noise-free) depth map of the scene from
+// camera pose (camera-to-world) with the given intrinsics. Depth is the
+// +Z distance in the camera frame, matching Kinect output.
+func (r *Renderer) RenderDepth(pose math3.SE3, in camera.Intrinsics) *imgproc.DepthMap {
+	depth := imgproc.NewDepthMap(in.Width, in.Height)
+	parallelRows(in.Height, func(y int) {
+		for x := 0; x < in.Width; x++ {
+			dir := in.Ray(float64(x), float64(y))
+			wdir := pose.ApplyDir(dir)
+			t, ok := r.TraceRay(pose.T, wdir)
+			if !ok {
+				continue
+			}
+			// Convert ray length to +Z depth.
+			z := t * dir.Z
+			if z > 0 {
+				depth.Set(x, y, float32(z))
+			}
+		}
+	})
+	return depth
+}
+
+// RenderRGB produces a shaded colour image (Lambertian + ambient) for the
+// GUI panes and examples. It is not used by the SLAM pipeline itself.
+func (r *Renderer) RenderRGB(pose math3.SE3, in camera.Intrinsics) *imgproc.RGB {
+	img := imgproc.NewRGB(in.Width, in.Height)
+	parallelRows(in.Height, func(y int) {
+		for x := 0; x < in.Width; x++ {
+			dir := in.Ray(float64(x), float64(y))
+			wdir := pose.ApplyDir(dir)
+			t, ok := r.TraceRay(pose.T, wdir)
+			if !ok {
+				img.Set(x, y, 20, 20, 30) // void
+				continue
+			}
+			p := pose.T.Add(wdir.Scale(t))
+			n := sdf.Normal(r.Scene, p, 1e-4)
+			lambert := math.Max(0, n.Dot(r.Light.Neg()))
+			shade := 0.25 + 0.75*lambert
+			albedo := math3.V3(0.5, 0.5, 0.5)
+			if c, okc := r.Scene.(sdf.Colored); okc {
+				albedo = c.Color(p)
+			}
+			img.Set(x, y,
+				uint8(math3.Clamp(albedo.X*shade, 0, 1)*255),
+				uint8(math3.Clamp(albedo.Y*shade, 0, 1)*255),
+				uint8(math3.Clamp(albedo.Z*shade, 0, 1)*255),
+			)
+		}
+	})
+	return img
+}
+
+// parallelRows splits row indices [0,h) across NumCPU workers.
+func parallelRows(h int, fn func(y int)) {
+	workers := runtime.NumCPU()
+	if workers > h {
+		workers = h
+	}
+	if workers <= 1 {
+		for y := 0; y < h; y++ {
+			fn(y)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (h + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > h {
+			hi = h
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for y := lo; y < hi; y++ {
+				fn(y)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// LookAt builds a camera-to-world pose at eye looking towards target,
+// with the camera's +X right, +Y down, +Z forward convention and the
+// world's +Y as "up".
+func LookAt(eye, target math3.Vec3) math3.SE3 {
+	up := math3.V3(0, 1, 0)
+	f := target.Sub(eye).Normalized()
+	r := f.Cross(up)
+	if r.Norm() < 1e-9 {
+		// Looking straight up/down: pick an arbitrary horizontal right.
+		r = math3.V3(1, 0, 0)
+	}
+	r = r.Normalized()
+	d := f.Cross(r) // camera "down" completes the right-handed frame
+	return math3.SE3{R: math3.Mat3FromCols(r, d, f), T: eye}
+}

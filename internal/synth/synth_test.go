@@ -1,0 +1,287 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"slamgo/internal/camera"
+	"slamgo/internal/imgproc"
+	"slamgo/internal/math3"
+	"slamgo/internal/sdf"
+)
+
+func testIntrinsics() camera.Intrinsics {
+	return camera.Kinect640().ScaledTo(80, 60)
+}
+
+func TestTraceRayHitsSphere(t *testing.T) {
+	scene := sdf.Sphere{C: math3.V3(0, 0, 5), R: 1}
+	r := NewRenderer(scene)
+	d, ok := r.TraceRay(math3.Vec3{}, math3.V3(0, 0, 1))
+	if !ok {
+		t.Fatal("ray missed sphere dead ahead")
+	}
+	if math.Abs(d-4) > 1e-3 {
+		t.Fatalf("hit distance %v, want 4", d)
+	}
+	// A ray pointing away escapes.
+	if _, ok := r.TraceRay(math3.Vec3{}, math3.V3(0, 0, -1)); ok {
+		t.Fatal("ray pointing away hit something")
+	}
+}
+
+func TestRenderDepthPlane(t *testing.T) {
+	// Camera at origin of an empty half-space world looking at a wall
+	// 3 m ahead (plane z=3 in world, normal -z).
+	scene := sdf.Plane{N: math3.V3(0, 0, -1), D: -3}
+	r := NewRenderer(scene)
+	in := testIntrinsics()
+	pose := math3.SE3Identity() // camera +Z is world +Z here
+	d := r.RenderDepth(pose, in)
+	// Depth (+Z distance) must be 3 at every pixel, not the slant range.
+	for _, xy := range [][2]int{{40, 30}, {0, 0}, {79, 59}, {10, 50}} {
+		got := float64(d.At(xy[0], xy[1]))
+		if math.Abs(got-3) > 2e-3 {
+			t.Fatalf("depth at %v = %v, want 3", xy, got)
+		}
+	}
+}
+
+func TestRenderDepthMatchesAnalyticSphere(t *testing.T) {
+	scene := sdf.Sphere{C: math3.V3(0, 0, 4), R: 1}
+	r := NewRenderer(scene)
+	in := testIntrinsics()
+	d := r.RenderDepth(math3.SE3Identity(), in)
+	// Central pixel: depth = 3.
+	cx, cy := in.Width/2, in.Height/2
+	if math.Abs(float64(d.At(cx, cy))-3) > 5e-3 {
+		t.Fatalf("centre depth %v", d.At(cx, cy))
+	}
+	// Corner pixels miss the sphere entirely.
+	if d.At(0, 0) != 0 {
+		t.Fatalf("corner should miss: %v", d.At(0, 0))
+	}
+}
+
+func TestLookAtFrameProperties(t *testing.T) {
+	eye := math3.V3(2, 1.5, 2)
+	target := math3.V3(0, 1, 0)
+	pose := LookAt(eye, target)
+	if !pose.R.IsRotation(1e-9) {
+		t.Fatal("LookAt R is not a rotation")
+	}
+	if !pose.T.ApproxEq(eye, 1e-12) {
+		t.Fatal("LookAt T != eye")
+	}
+	// Camera +Z (forward) points at the target.
+	f := pose.ApplyDir(math3.V3(0, 0, 1))
+	want := target.Sub(eye).Normalized()
+	if !f.ApproxEq(want, 1e-9) {
+		t.Fatalf("forward %v want %v", f, want)
+	}
+	// Camera +Y (down) has negative world-Y component.
+	down := pose.ApplyDir(math3.V3(0, 1, 0))
+	if down.Y >= 0 {
+		t.Fatalf("camera down points up: %v", down)
+	}
+}
+
+func TestLookAtDegenerateVertical(t *testing.T) {
+	pose := LookAt(math3.V3(0, 5, 0), math3.V3(0, 0, 0))
+	if !pose.R.IsRotation(1e-9) {
+		t.Fatal("vertical LookAt not a rotation")
+	}
+}
+
+func TestRenderedSceneVisibleFromOrbit(t *testing.T) {
+	scene := sdf.SimpleRoom()
+	r := NewRenderer(scene)
+	in := testIntrinsics()
+	traj := Orbit(math3.V3(0, 0.5, -0.5), 1.2, 1.2, math.Pi/4, math.Pi/2, 5, 30)
+	for i, tp := range traj {
+		d := r.RenderDepth(tp.Pose, in)
+		if f := d.ValidFraction(); f < 0.9 {
+			t.Fatalf("frame %d: only %.2f of pixels valid", i, f)
+		}
+		min, max := d.MinMax()
+		if min <= 0 || max > 10 {
+			t.Fatalf("frame %d: depth range [%v, %v]", i, min, max)
+		}
+	}
+}
+
+func TestRenderRGBShadesScene(t *testing.T) {
+	scene := sdf.SimpleRoom()
+	r := NewRenderer(scene)
+	in := testIntrinsics()
+	pose := LookAt(math3.V3(0, 1.2, 1.5), math3.V3(0, 0.4, -0.6))
+	img := r.RenderRGB(pose, in)
+	// The image must not be uniform: count distinct colours.
+	seen := map[[3]uint8]bool{}
+	for y := 0; y < in.Height; y++ {
+		for x := 0; x < in.Width; x++ {
+			cr, cg, cb := img.At(x, y)
+			seen[[3]uint8{cr, cg, cb}] = true
+		}
+	}
+	if len(seen) < 10 {
+		t.Fatalf("RGB render too uniform: %d distinct colours", len(seen))
+	}
+}
+
+func TestOrbitTrajectory(t *testing.T) {
+	target := math3.V3(0, 1, 0)
+	traj := Orbit(target, 2, 1.5, 0, math.Pi, 10, 30)
+	if len(traj) != 10 {
+		t.Fatalf("frames = %d", len(traj))
+	}
+	for i, tp := range traj {
+		// Eye stays on the orbit cylinder.
+		dx := tp.Pose.T.X - target.X
+		dz := tp.Pose.T.Z - target.Z
+		if math.Abs(math.Hypot(dx, dz)-2) > 1e-9 {
+			t.Fatalf("frame %d off orbit radius", i)
+		}
+		if math.Abs(tp.Pose.T.Y-1.5) > 1e-12 {
+			t.Fatalf("frame %d off height", i)
+		}
+		if i > 0 && tp.Time <= traj[i-1].Time {
+			t.Fatal("timestamps not increasing")
+		}
+	}
+	// Timestamps follow the frame rate.
+	if math.Abs(traj[1].Time-1.0/30) > 1e-12 {
+		t.Fatalf("frame period %v", traj[1].Time)
+	}
+	if Orbit(target, 1, 1, 0, 1, 0, 30) != nil {
+		t.Fatal("n=0 should return nil")
+	}
+}
+
+func TestWaypointsTrajectory(t *testing.T) {
+	eyes := []math3.Vec3{{X: 0, Y: 1, Z: 2}, {X: 1, Y: 1, Z: 1}, {X: 2, Y: 1.2, Z: 0}}
+	targets := []math3.Vec3{{}, {X: 0.5}, {X: 1}}
+	traj := Waypoints(eyes, targets, 20, 30)
+	if len(traj) != 20 {
+		t.Fatalf("frames = %d", len(traj))
+	}
+	// Endpoints interpolate the first and last waypoints.
+	if !traj[0].Pose.T.ApproxEq(eyes[0], 1e-9) {
+		t.Fatalf("start %v", traj[0].Pose.T)
+	}
+	if !traj[19].Pose.T.ApproxEq(eyes[2], 1e-9) {
+		t.Fatalf("end %v", traj[19].Pose.T)
+	}
+	// Mismatched inputs return nil.
+	if Waypoints(eyes[:1], targets[:1], 5, 30) != nil {
+		t.Fatal("single waypoint accepted")
+	}
+}
+
+func TestMaxStepSmallForDenseTrajectory(t *testing.T) {
+	traj := Orbit(math3.V3(0, 1, 0), 2, 1.5, 0, math.Pi/2, 60, 30)
+	mt, mr := MaxStep(traj)
+	if mt > 0.06 || mr > 0.06 {
+		t.Fatalf("steps too large for ICP: trans=%v rot=%v", mt, mr)
+	}
+}
+
+func TestNoiseModelStatistics(t *testing.T) {
+	d := imgproc.NewDepthMap(100, 100)
+	for i := range d.Pix {
+		d.Pix[i] = 2
+	}
+	nm := NoiseModel{SigmaZ: 1.425e-3, MinDepth: 0.4, MaxDepth: 8}
+	rng := rand.New(rand.NewSource(42))
+	nm.Apply(d, rng)
+	var sum, sum2 float64
+	n := 0
+	for _, v := range d.Pix {
+		if v <= 0 {
+			continue
+		}
+		sum += float64(v)
+		sum2 += float64(v) * float64(v)
+		n++
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sum2/float64(n) - mean*mean)
+	wantStd := 1.425e-3 * 4 // σ·z² at z=2
+	if math.Abs(mean-2) > 1e-3 {
+		t.Fatalf("noise biased: mean %v", mean)
+	}
+	if math.Abs(std-wantStd) > wantStd/3 {
+		t.Fatalf("noise σ %v, want ≈%v", std, wantStd)
+	}
+}
+
+func TestNoiseModelRangeGateAndDropout(t *testing.T) {
+	d := imgproc.NewDepthMap(10, 10)
+	d.Set(0, 0, 0.1) // below min range
+	d.Set(1, 0, 20)  // beyond max range
+	d.Set(2, 0, 2)   // valid
+	nm := NoiseModel{MinDepth: 0.4, MaxDepth: 8}
+	nm.Apply(d, rand.New(rand.NewSource(1)))
+	if d.At(0, 0) != 0 || d.At(1, 0) != 0 {
+		t.Fatal("range gate failed")
+	}
+	if d.At(2, 0) == 0 {
+		t.Fatal("valid pixel dropped without dropout")
+	}
+
+	// Full dropout kills everything.
+	d2 := imgproc.NewDepthMap(10, 10)
+	for i := range d2.Pix {
+		d2.Pix[i] = 2
+	}
+	nm2 := NoiseModel{MinDepth: 0.4, MaxDepth: 8, Dropout: 1}
+	nm2.Apply(d2, rand.New(rand.NewSource(1)))
+	if d2.ValidFraction() != 0 {
+		t.Fatal("dropout=1 left valid pixels")
+	}
+}
+
+func TestNoiseQuantisation(t *testing.T) {
+	d := imgproc.NewDepthMap(1, 1)
+	d.Set(0, 0, 2.0)
+	nm := NoiseModel{QuantZ: 2.85e-3, MinDepth: 0.4, MaxDepth: 8}
+	nm.Apply(d, rand.New(rand.NewSource(1)))
+	z := float64(d.At(0, 0))
+	step := 2.85e-3 * 4
+	// The quantised value sits on a multiple of ~step (computed at the
+	// perturbed z, so allow one step of slack).
+	ratio := z / step
+	if math.Abs(ratio-math.Round(ratio)) > 0.2 {
+		t.Fatalf("z=%v not quantised to step %v", z, step)
+	}
+}
+
+func TestNoNoisePassThrough(t *testing.T) {
+	d := imgproc.NewDepthMap(4, 4)
+	d.Set(1, 1, 3.5)
+	orig := d.Clone()
+	NoNoise().Apply(d, rand.New(rand.NewSource(1)))
+	for i := range d.Pix {
+		if d.Pix[i] != orig.Pix[i] {
+			t.Fatal("NoNoise changed pixels")
+		}
+	}
+}
+
+func TestDeterministicNoise(t *testing.T) {
+	mk := func() *imgproc.DepthMap {
+		d := imgproc.NewDepthMap(32, 32)
+		for i := range d.Pix {
+			d.Pix[i] = 1.5
+		}
+		KinectNoise().Apply(d, rand.New(rand.NewSource(7)))
+		return d
+	}
+	a, b := mk(), mk()
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("noise not reproducible with same seed")
+		}
+	}
+}

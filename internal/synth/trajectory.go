@@ -1,0 +1,110 @@
+package synth
+
+import (
+	"math"
+
+	"slamgo/internal/math3"
+)
+
+// TimedPose is a ground-truth camera pose with its timestamp.
+type TimedPose struct {
+	Time float64 // seconds
+	Pose math3.SE3
+}
+
+// Orbit generates a smooth circular trajectory around a look-at target —
+// the canonical "scanning an object/room" motion of ICL-NUIM's kt
+// sequences. The camera orbits at the given radius and height, covering
+// arc radians over n frames at the given frame rate.
+func Orbit(target math3.Vec3, radius, height, startAngle, arc float64, n int, fps float64) []TimedPose {
+	if n < 1 {
+		return nil
+	}
+	out := make([]TimedPose, n)
+	for i := 0; i < n; i++ {
+		var u float64
+		if n > 1 {
+			u = float64(i) / float64(n-1)
+		}
+		a := startAngle + arc*u
+		eye := math3.V3(
+			target.X+radius*math.Cos(a),
+			height,
+			target.Z+radius*math.Sin(a),
+		)
+		out[i] = TimedPose{
+			Time: float64(i) / fps,
+			Pose: LookAt(eye, target),
+		}
+	}
+	return out
+}
+
+// Waypoints generates a trajectory through a sequence of (eye, target)
+// pairs using Catmull-Rom interpolation of the eye positions and linear
+// interpolation of the targets, sampled at n frames.
+func Waypoints(eyes, targets []math3.Vec3, n int, fps float64) []TimedPose {
+	if len(eyes) < 2 || len(eyes) != len(targets) || n < 1 {
+		return nil
+	}
+	out := make([]TimedPose, n)
+	segs := len(eyes) - 1
+	for i := 0; i < n; i++ {
+		var u float64
+		if n > 1 {
+			u = float64(i) / float64(n-1)
+		}
+		s := u * float64(segs)
+		k := int(s)
+		if k >= segs {
+			k = segs - 1
+		}
+		t := s - float64(k)
+		eye := catmullRom(
+			eyeAt(eyes, k-1), eyes[k], eyes[k+1], eyeAt(eyes, k+2), t,
+		)
+		target := targets[k].Lerp(targets[k+1], t)
+		out[i] = TimedPose{
+			Time: float64(i) / fps,
+			Pose: LookAt(eye, target),
+		}
+	}
+	return out
+}
+
+func eyeAt(eyes []math3.Vec3, i int) math3.Vec3 {
+	if i < 0 {
+		return eyes[0].Add(eyes[0].Sub(eyes[1]))
+	}
+	if i >= len(eyes) {
+		last := len(eyes) - 1
+		return eyes[last].Add(eyes[last].Sub(eyes[last-1]))
+	}
+	return eyes[i]
+}
+
+func catmullRom(p0, p1, p2, p3 math3.Vec3, t float64) math3.Vec3 {
+	t2 := t * t
+	t3 := t2 * t
+	a := p1.Scale(2)
+	b := p2.Sub(p0).Scale(t)
+	c := p0.Scale(2).Sub(p1.Scale(5)).Add(p2.Scale(4)).Sub(p3).Scale(t2)
+	d := p1.Scale(3).Sub(p0).Sub(p2.Scale(3)).Add(p3).Scale(t3)
+	return a.Add(b).Add(c).Add(d).Scale(0.5)
+}
+
+// MaxStep returns the largest inter-frame translation and rotation
+// (radians) along a trajectory — a sanity metric: frame-to-frame ICP
+// needs small steps to converge.
+func MaxStep(traj []TimedPose) (maxTrans, maxRot float64) {
+	for i := 1; i < len(traj); i++ {
+		rel := traj[i-1].Pose.Inverse().Mul(traj[i].Pose)
+		if tn := rel.TranslationNorm(); tn > maxTrans {
+			maxTrans = tn
+		}
+		if ra := rel.RotationAngle(); ra > maxRot {
+			maxRot = ra
+		}
+	}
+	return maxTrans, maxRot
+}

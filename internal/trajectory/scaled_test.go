@@ -1,0 +1,73 @@
+package trajectory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"slamgo/internal/math3"
+)
+
+func TestUmeyamaScaledRecoversSimilarity(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		R := math3.QuatFromAxisAngle(
+			math3.V3(r.NormFloat64(), r.NormFloat64(), r.NormFloat64()), r.Float64()*2,
+		).Mat3()
+		scale := 0.5 + r.Float64()*2
+		tv := math3.V3(r.Float64()*4-2, r.Float64()*4-2, r.Float64()*4-2)
+
+		src := make([]math3.Vec3, 30)
+		dst := make([]math3.Vec3, 30)
+		for i := range src {
+			src[i] = math3.V3(r.Float64()*4-2, r.Float64()*4-2, r.Float64()*4-2)
+			dst[i] = R.MulVec(src[i]).Scale(scale).Add(tv)
+		}
+		tf, s, err := UmeyamaScaled(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(s-scale) > 1e-6 {
+			t.Fatalf("scale %v want %v", s, scale)
+		}
+		// Check the full map on a held-out point.
+		p := math3.V3(r.Float64(), r.Float64(), r.Float64())
+		want := R.MulVec(p).Scale(scale).Add(tv)
+		got := tf.R.MulVec(p).Scale(s).Add(tf.T)
+		if !got.ApproxEq(want, 1e-6) {
+			t.Fatalf("similarity map mismatch: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestUmeyamaScaledUnitScaleMatchesRigid(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	tfTrue := math3.SE3{
+		R: math3.QuatFromAxisAngle(math3.V3(0, 0, 1), 0.7).Mat3(),
+		T: math3.V3(1, 2, 3),
+	}
+	src := make([]math3.Vec3, 20)
+	dst := make([]math3.Vec3, 20)
+	for i := range src {
+		src[i] = math3.V3(r.Float64()*4-2, r.Float64()*4-2, r.Float64()*4-2)
+		dst[i] = tfTrue.Apply(src[i])
+	}
+	_, s, err := UmeyamaScaled(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("rigid data estimated scale %v", s)
+	}
+}
+
+func TestUmeyamaScaledDegenerate(t *testing.T) {
+	pts := []math3.Vec3{{}, {}}
+	if _, _, err := UmeyamaScaled(pts, pts); err == nil {
+		t.Fatal("degenerate accepted")
+	}
+	same := []math3.Vec3{{X: 1, Y: 1, Z: 1}, {X: 1, Y: 1, Z: 1}, {X: 1, Y: 1, Z: 1}}
+	if _, _, err := UmeyamaScaled(same, same); err == nil {
+		t.Fatal("zero-variance set accepted")
+	}
+}

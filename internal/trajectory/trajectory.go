@@ -1,0 +1,228 @@
+// Package trajectory provides pose-trajectory containers and the accuracy
+// metrics SLAMBench reports: absolute trajectory error (ATE, following the
+// ICL-NUIM/TUM methodology) and relative pose error (RPE), with optional
+// rigid alignment via the Umeyama closed-form solution.
+package trajectory
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"slamgo/internal/math3"
+)
+
+// Pose is a timestamped camera-to-world transform.
+type Pose struct {
+	Time float64
+	T    math3.SE3
+}
+
+// Trajectory is a time-ordered pose sequence.
+type Trajectory struct {
+	Poses []Pose
+}
+
+// Append adds a pose, keeping timestamps non-decreasing (out-of-order
+// appends are inserted in place).
+func (tr *Trajectory) Append(time float64, pose math3.SE3) {
+	p := Pose{Time: time, T: pose}
+	n := len(tr.Poses)
+	if n == 0 || tr.Poses[n-1].Time <= time {
+		tr.Poses = append(tr.Poses, p)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return tr.Poses[i].Time > time })
+	tr.Poses = append(tr.Poses, Pose{})
+	copy(tr.Poses[i+1:], tr.Poses[i:])
+	tr.Poses[i] = p
+}
+
+// Len returns the number of poses.
+func (tr *Trajectory) Len() int { return len(tr.Poses) }
+
+// Positions extracts the translation of each pose.
+func (tr *Trajectory) Positions() []math3.Vec3 {
+	out := make([]math3.Vec3, len(tr.Poses))
+	for i, p := range tr.Poses {
+		out[i] = p.T.T
+	}
+	return out
+}
+
+// At interpolates the pose at an arbitrary time (linear translation,
+// slerp rotation). Times outside the range clamp to the endpoints.
+func (tr *Trajectory) At(time float64) (math3.SE3, error) {
+	n := len(tr.Poses)
+	if n == 0 {
+		return math3.SE3{}, errors.New("trajectory: empty")
+	}
+	if time <= tr.Poses[0].Time {
+		return tr.Poses[0].T, nil
+	}
+	if time >= tr.Poses[n-1].Time {
+		return tr.Poses[n-1].T, nil
+	}
+	i := sort.Search(n, func(i int) bool { return tr.Poses[i].Time >= time })
+	a, b := tr.Poses[i-1], tr.Poses[i]
+	span := b.Time - a.Time
+	if span <= 0 {
+		return a.T, nil
+	}
+	u := (time - a.Time) / span
+	q := a.T.Quat().Slerp(b.T.Quat(), u)
+	t := a.T.T.Lerp(b.T.T, u)
+	return math3.SE3From(q, t), nil
+}
+
+// Length returns the total path length (metres).
+func (tr *Trajectory) Length() float64 {
+	sum := 0.0
+	for i := 1; i < len(tr.Poses); i++ {
+		sum += tr.Poses[i].T.T.Dist(tr.Poses[i-1].T.T)
+	}
+	return sum
+}
+
+// ATEStats summarises per-frame absolute trajectory errors.
+type ATEStats struct {
+	RMSE, Mean, Median, Max float64
+	// PerFrame holds each frame's translational error (metres).
+	PerFrame []float64
+}
+
+// ATE computes absolute trajectory error between an estimate and ground
+// truth with matched indices (frame i ↔ frame i). When align is true the
+// estimate is first rigidly aligned to the ground truth (Umeyama, no
+// scale), as the TUM benchmark does; SLAMBench's default compares in the
+// shared initial frame, i.e. align=false.
+func ATE(estimate, groundTruth *Trajectory, align bool) (ATEStats, error) {
+	n := len(estimate.Poses)
+	if n == 0 || n != len(groundTruth.Poses) {
+		return ATEStats{}, errors.New("trajectory: ATE needs equal-length non-empty trajectories")
+	}
+	est := estimate.Positions()
+	gt := groundTruth.Positions()
+	if align {
+		tf, err := Umeyama(est, gt)
+		if err != nil {
+			return ATEStats{}, err
+		}
+		for i := range est {
+			est[i] = tf.Apply(est[i])
+		}
+	}
+	stats := ATEStats{PerFrame: make([]float64, n)}
+	var sum, sum2 float64
+	for i := range est {
+		e := est[i].Dist(gt[i])
+		stats.PerFrame[i] = e
+		sum += e
+		sum2 += e * e
+		if e > stats.Max {
+			stats.Max = e
+		}
+	}
+	stats.Mean = sum / float64(n)
+	stats.RMSE = math.Sqrt(sum2 / float64(n))
+	sorted := append([]float64(nil), stats.PerFrame...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		stats.Median = sorted[n/2]
+	} else {
+		stats.Median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	return stats, nil
+}
+
+// RPEStats summarises relative pose errors over a fixed frame delta.
+type RPEStats struct {
+	TransRMSE float64 // metres
+	RotRMSE   float64 // radians
+	Count     int
+}
+
+// RPE computes the relative pose error with frame spacing delta, the
+// drift metric of the TUM benchmark.
+func RPE(estimate, groundTruth *Trajectory, delta int) (RPEStats, error) {
+	n := len(estimate.Poses)
+	if n != len(groundTruth.Poses) {
+		return RPEStats{}, errors.New("trajectory: RPE needs equal-length trajectories")
+	}
+	if delta < 1 || n <= delta {
+		return RPEStats{}, errors.New("trajectory: RPE delta out of range")
+	}
+	var st, sr float64
+	count := 0
+	for i := 0; i+delta < n; i++ {
+		relEst := estimate.Poses[i].T.Inverse().Mul(estimate.Poses[i+delta].T)
+		relGT := groundTruth.Poses[i].T.Inverse().Mul(groundTruth.Poses[i+delta].T)
+		err := relGT.Inverse().Mul(relEst)
+		st += err.TranslationNorm() * err.TranslationNorm()
+		sr += err.RotationAngle() * err.RotationAngle()
+		count++
+	}
+	return RPEStats{
+		TransRMSE: math.Sqrt(st / float64(count)),
+		RotRMSE:   math.Sqrt(sr / float64(count)),
+		Count:     count,
+	}, nil
+}
+
+// UmeyamaScaled computes the similarity transform that best maps src
+// points onto dst in least squares: dst ≈ s·R·src + t. Monocular SLAM
+// evaluation needs the scale estimate; RGB-D evaluation fixes s=1 (use
+// Umeyama).
+func UmeyamaScaled(src, dst []math3.Vec3) (math3.SE3, float64, error) {
+	tf, err := Umeyama(src, dst)
+	if err != nil {
+		return math3.SE3{}, 0, err
+	}
+	// With R known, the least-squares scale is cov(dst,R·src)/var(src).
+	n := float64(len(src))
+	var muS, muD math3.Vec3
+	for i := range src {
+		muS = muS.Add(src[i])
+		muD = muD.Add(dst[i])
+	}
+	muS = muS.Scale(1 / n)
+	muD = muD.Scale(1 / n)
+	var num, den float64
+	for i := range src {
+		rs := tf.R.MulVec(src[i].Sub(muS))
+		num += rs.Dot(dst[i].Sub(muD))
+		den += src[i].Sub(muS).Norm2()
+	}
+	if den < 1e-15 {
+		return math3.SE3{}, 0, errors.New("trajectory: degenerate point set for scale")
+	}
+	s := num / den
+	t := muD.Sub(tf.R.MulVec(muS).Scale(s))
+	return math3.SE3{R: tf.R, T: t}, s, nil
+}
+
+// Umeyama computes the rigid transform (no scale) that best maps src
+// points onto dst in least squares: dst ≈ R·src + t.
+func Umeyama(src, dst []math3.Vec3) (math3.SE3, error) {
+	if len(src) != len(dst) || len(src) < 3 {
+		return math3.SE3{}, errors.New("trajectory: Umeyama needs ≥3 matched points")
+	}
+	n := float64(len(src))
+	var muS, muD math3.Vec3
+	for i := range src {
+		muS = muS.Add(src[i])
+		muD = muD.Add(dst[i])
+	}
+	muS = muS.Scale(1 / n)
+	muD = muD.Scale(1 / n)
+
+	var cov math3.Mat3
+	for i := range src {
+		cov = cov.Add(math3.Outer(dst[i].Sub(muD), src[i].Sub(muS)))
+	}
+	cov = cov.Scale(1 / n)
+
+	R := math3.NearestRotation(cov)
+	t := muD.Sub(R.MulVec(muS))
+	return math3.SE3{R: R, T: t}, nil
+}

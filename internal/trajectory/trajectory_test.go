@@ -1,0 +1,229 @@
+package trajectory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"slamgo/internal/math3"
+)
+
+func line(n int, step math3.Vec3) *Trajectory {
+	tr := &Trajectory{}
+	for i := 0; i < n; i++ {
+		tr.Append(float64(i), math3.SE3{R: math3.Identity3(), T: step.Scale(float64(i))})
+	}
+	return tr
+}
+
+func TestAppendKeepsOrder(t *testing.T) {
+	tr := &Trajectory{}
+	tr.Append(2, math3.SE3Identity())
+	tr.Append(1, math3.SE3Identity())
+	tr.Append(3, math3.SE3Identity())
+	if tr.Len() != 3 {
+		t.Fatalf("len %d", tr.Len())
+	}
+	for i := 1; i < tr.Len(); i++ {
+		if tr.Poses[i].Time < tr.Poses[i-1].Time {
+			t.Fatal("timestamps out of order")
+		}
+	}
+}
+
+func TestAtInterpolates(t *testing.T) {
+	tr := line(3, math3.V3(1, 0, 0))
+	p, err := tr.At(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.T.ApproxEq(math3.V3(0.5, 0, 0), 1e-9) {
+		t.Fatalf("interp position %v", p.T)
+	}
+	// Clamping.
+	p, _ = tr.At(-5)
+	if !p.T.ApproxEq(math3.V3(0, 0, 0), 1e-12) {
+		t.Fatal("no clamp at start")
+	}
+	p, _ = tr.At(99)
+	if !p.T.ApproxEq(math3.V3(2, 0, 0), 1e-12) {
+		t.Fatal("no clamp at end")
+	}
+	empty := &Trajectory{}
+	if _, err := empty.At(0); err == nil {
+		t.Fatal("empty trajectory interpolated")
+	}
+}
+
+func TestAtSlerpsRotation(t *testing.T) {
+	tr := &Trajectory{}
+	tr.Append(0, math3.SE3Identity())
+	tr.Append(1, math3.SE3From(math3.QuatFromAxisAngle(math3.V3(0, 0, 1), math.Pi/2), math3.Vec3{}))
+	p, _ := tr.At(0.5)
+	got := p.ApplyDir(math3.V3(1, 0, 0))
+	want := math3.QuatFromAxisAngle(math3.V3(0, 0, 1), math.Pi/4).Rotate(math3.V3(1, 0, 0))
+	if !got.ApproxEq(want, 1e-9) {
+		t.Fatalf("midpoint rotation %v want %v", got, want)
+	}
+}
+
+func TestLength(t *testing.T) {
+	tr := line(5, math3.V3(0, 0, 2))
+	if math.Abs(tr.Length()-8) > 1e-12 {
+		t.Fatalf("length %v", tr.Length())
+	}
+}
+
+func TestATEIdentical(t *testing.T) {
+	tr := line(10, math3.V3(0.1, 0, 0))
+	st, err := ATE(tr, tr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RMSE != 0 || st.Max != 0 || st.Mean != 0 || st.Median != 0 {
+		t.Fatalf("identical trajectories have error: %+v", st)
+	}
+}
+
+func TestATEConstantOffset(t *testing.T) {
+	gt := line(10, math3.V3(0.1, 0, 0))
+	est := &Trajectory{}
+	for _, p := range gt.Poses {
+		shifted := p.T
+		shifted.T = shifted.T.Add(math3.V3(0, 0.05, 0))
+		est.Append(p.Time, shifted)
+	}
+	st, err := ATE(est, gt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.RMSE-0.05) > 1e-9 || math.Abs(st.Max-0.05) > 1e-9 {
+		t.Fatalf("offset ATE: %+v", st)
+	}
+	// With alignment the offset disappears.
+	st2, err := ATE(est, gt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.RMSE > 1e-9 {
+		t.Fatalf("aligned ATE should vanish: %+v", st2)
+	}
+}
+
+func TestATEMismatchedLengths(t *testing.T) {
+	a := line(5, math3.V3(1, 0, 0))
+	b := line(6, math3.V3(1, 0, 0))
+	if _, err := ATE(a, b, false); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	empty := &Trajectory{}
+	if _, err := ATE(empty, empty, false); err == nil {
+		t.Fatal("empty trajectories accepted")
+	}
+}
+
+func TestATEMedianEvenOdd(t *testing.T) {
+	gt := line(4, math3.V3(1, 0, 0))
+	est := &Trajectory{}
+	offsets := []float64{0, 0.1, 0.2, 0.3}
+	for i, p := range gt.Poses {
+		s := p.T
+		s.T = s.T.Add(math3.V3(0, offsets[i], 0))
+		est.Append(p.Time, s)
+	}
+	st, _ := ATE(est, gt, false)
+	if math.Abs(st.Median-0.15) > 1e-9 {
+		t.Fatalf("even median %v", st.Median)
+	}
+	if math.Abs(st.Max-0.3) > 1e-9 {
+		t.Fatalf("max %v", st.Max)
+	}
+}
+
+func TestRPEDetectsDrift(t *testing.T) {
+	gt := line(20, math3.V3(0.1, 0, 0))
+	// Estimate drifts: each step is 0.11 instead of 0.10.
+	est := line(20, math3.V3(0.11, 0, 0))
+	st, err := RPE(est, gt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.TransRMSE-0.01) > 1e-9 {
+		t.Fatalf("per-frame drift %v want 0.01", st.TransRMSE)
+	}
+	if st.RotRMSE > 1e-9 {
+		t.Fatalf("no rotation drift expected: %v", st.RotRMSE)
+	}
+	if st.Count != 19 {
+		t.Fatalf("count %d", st.Count)
+	}
+}
+
+func TestRPEDeltaValidation(t *testing.T) {
+	tr := line(5, math3.V3(1, 0, 0))
+	if _, err := RPE(tr, tr, 0); err == nil {
+		t.Fatal("delta 0 accepted")
+	}
+	if _, err := RPE(tr, tr, 5); err == nil {
+		t.Fatal("delta ≥ n accepted")
+	}
+	if _, err := RPE(tr, line(6, math3.V3(1, 0, 0)), 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestUmeyamaRecoversTransform(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		R := math3.QuatFromAxisAngle(
+			math3.V3(r.NormFloat64(), r.NormFloat64(), r.NormFloat64()),
+			r.Float64()*2,
+		).Mat3()
+		tv := math3.V3(r.Float64()*4-2, r.Float64()*4-2, r.Float64()*4-2)
+		tf := math3.SE3{R: R, T: tv}
+		src := make([]math3.Vec3, 20)
+		dst := make([]math3.Vec3, 20)
+		for i := range src {
+			src[i] = math3.V3(r.Float64()*4-2, r.Float64()*4-2, r.Float64()*4-2)
+			dst[i] = tf.Apply(src[i])
+		}
+		got, err := Umeyama(src, dst)
+		if err != nil {
+			return false
+		}
+		return got.ApproxEq(tf, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUmeyamaTooFewPoints(t *testing.T) {
+	pts := []math3.Vec3{{}, {X: 1}}
+	if _, err := Umeyama(pts, pts); err == nil {
+		t.Fatal("2 points accepted")
+	}
+}
+
+func TestUmeyamaWithNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	tf := math3.SE3{
+		R: math3.QuatFromAxisAngle(math3.V3(0, 1, 0), 0.4).Mat3(),
+		T: math3.V3(1, -0.5, 2),
+	}
+	src := make([]math3.Vec3, 100)
+	dst := make([]math3.Vec3, 100)
+	for i := range src {
+		src[i] = math3.V3(r.Float64()*4-2, r.Float64()*4-2, r.Float64()*4-2)
+		noise := math3.V3(r.NormFloat64(), r.NormFloat64(), r.NormFloat64()).Scale(0.01)
+		dst[i] = tf.Apply(src[i]).Add(noise)
+	}
+	got, err := Umeyama(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ApproxEq(tf, 0.02) {
+		t.Fatalf("noisy Umeyama strayed:\n%v\nvs\n%v", got, tf)
+	}
+}

@@ -1,0 +1,158 @@
+package tsdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"slamgo/internal/math3"
+)
+
+// Triangle is one mesh face in world coordinates.
+type Triangle struct {
+	A, B, C math3.Vec3
+}
+
+// Mesh is an indexed-free triangle soup extracted from the volume.
+type Mesh struct {
+	Triangles []Triangle
+}
+
+// ExtractMesh polygonises the zero isosurface using marching tetrahedra
+// (each voxel cube is split into six tetrahedra; no lookup tables
+// needed). Only cells where every corner has been observed contribute.
+func (v *Volume) ExtractMesh() *Mesh {
+	m := &Mesh{}
+	// The six tetrahedra of a cube, as corner indices of the unit cube
+	// (x + 2y + 4z encoding).
+	tets := [6][4]int{
+		{0, 5, 1, 6},
+		{0, 1, 3, 6},
+		{0, 3, 2, 6},
+		{0, 2, 6, 4},
+		{5, 0, 4, 6},
+		{5, 4, 7, 6}, // note: consistent winding is not required downstream
+	}
+	corner := func(x, y, z, c int) (int, int, int) {
+		return x + (c & 1), y + ((c >> 1) & 1), z + ((c >> 2) & 1)
+	}
+	for z := 0; z < v.Res-1; z++ {
+		for y := 0; y < v.Res-1; y++ {
+			for x := 0; x < v.Res-1; x++ {
+				var vals [8]float64
+				var pts [8]math3.Vec3
+				observed := true
+				for c := 0; c < 8; c++ {
+					cx, cy, cz := corner(x, y, z, c)
+					d, w := v.At(cx, cy, cz)
+					if w <= 0 {
+						observed = false
+						break
+					}
+					vals[c] = float64(d)
+					pts[c] = v.VoxelCenter(cx, cy, cz)
+				}
+				if !observed {
+					continue
+				}
+				// Quick reject: all corners same sign.
+				allPos, allNeg := true, true
+				for c := 0; c < 8; c++ {
+					if vals[c] > 0 {
+						allNeg = false
+					} else {
+						allPos = false
+					}
+				}
+				if allPos || allNeg {
+					continue
+				}
+				for _, tet := range tets {
+					m.polygoniseTet(
+						pts[tet[0]], pts[tet[1]], pts[tet[2]], pts[tet[3]],
+						vals[tet[0]], vals[tet[1]], vals[tet[2]], vals[tet[3]],
+					)
+				}
+			}
+		}
+	}
+	return m
+}
+
+// polygoniseTet emits 0-2 triangles for one tetrahedron.
+func (m *Mesh) polygoniseTet(p0, p1, p2, p3 math3.Vec3, v0, v1, v2, v3 float64) {
+	inside := 0
+	var code int
+	if v0 <= 0 {
+		inside++
+		code |= 1
+	}
+	if v1 <= 0 {
+		inside++
+		code |= 2
+	}
+	if v2 <= 0 {
+		inside++
+		code |= 4
+	}
+	if v3 <= 0 {
+		inside++
+		code |= 8
+	}
+	if inside == 0 || inside == 4 {
+		return
+	}
+	edge := func(pa, pb math3.Vec3, va, vb float64) math3.Vec3 {
+		t := va / (va - vb)
+		return pa.Lerp(pb, t)
+	}
+	p := [4]math3.Vec3{p0, p1, p2, p3}
+	v := [4]float64{v0, v1, v2, v3}
+	// Collect the indices inside/outside.
+	var in, out []int
+	for i := 0; i < 4; i++ {
+		if v[i] <= 0 {
+			in = append(in, i)
+		} else {
+			out = append(out, i)
+		}
+	}
+	switch len(in) {
+	case 1:
+		a := edge(p[in[0]], p[out[0]], v[in[0]], v[out[0]])
+		b := edge(p[in[0]], p[out[1]], v[in[0]], v[out[1]])
+		c := edge(p[in[0]], p[out[2]], v[in[0]], v[out[2]])
+		m.Triangles = append(m.Triangles, Triangle{a, b, c})
+	case 3:
+		a := edge(p[out[0]], p[in[0]], v[out[0]], v[in[0]])
+		b := edge(p[out[0]], p[in[1]], v[out[0]], v[in[1]])
+		c := edge(p[out[0]], p[in[2]], v[out[0]], v[in[2]])
+		m.Triangles = append(m.Triangles, Triangle{a, b, c})
+	case 2:
+		// Quad split into two triangles.
+		a := edge(p[in[0]], p[out[0]], v[in[0]], v[out[0]])
+		b := edge(p[in[0]], p[out[1]], v[in[0]], v[out[1]])
+		c := edge(p[in[1]], p[out[0]], v[in[1]], v[out[0]])
+		d := edge(p[in[1]], p[out[1]], v[in[1]], v[out[1]])
+		m.Triangles = append(m.Triangles, Triangle{a, b, c}, Triangle{b, d, c})
+	}
+}
+
+// WriteOBJ serialises the mesh in Wavefront OBJ format.
+func (m *Mesh) WriteOBJ(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range m.Triangles {
+		for _, p := range []math3.Vec3{t.A, t.B, t.C} {
+			if _, err := fmt.Fprintf(bw, "v %.6f %.6f %.6f\n", p.X, p.Y, p.Z); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range m.Triangles {
+		base := 3*i + 1
+		if _, err := fmt.Fprintf(bw, "f %d %d %d\n", base, base+1, base+2); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,131 @@
+package tsdf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"slamgo/internal/camera"
+	"slamgo/internal/imgproc"
+	"slamgo/internal/math3"
+)
+
+// randomDepth renders a random fronto-parallel-ish depth field.
+func randomDepth(rng *rand.Rand, in camera.Intrinsics) *imgproc.DepthMap {
+	d := imgproc.NewDepthMap(in.Width, in.Height)
+	base := 1 + rng.Float64()*1.5
+	for y := 0; y < in.Height; y++ {
+		for x := 0; x < in.Width; x++ {
+			if rng.Float64() < 0.05 {
+				continue // holes
+			}
+			d.Set(x, y, float32(base+0.1*rng.Float64()))
+		}
+	}
+	return d
+}
+
+func TestQuickTSDFValuesBounded(t *testing.T) {
+	in := camera.Kinect640().ScaledTo(40, 30)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := New(24, 2.5, math3.V3(-1.25, -1.25, 0.25))
+		for k := 0; k < 3; k++ {
+			v.Integrate(randomDepth(rng, in), math3.SE3Identity(), in, 0.1+rng.Float64()*0.2, 50)
+		}
+		for i := range v.D {
+			if v.D[i] < -1 || v.D[i] > 1 {
+				return false
+			}
+			if v.W[i] < 0 || v.W[i] > 50 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickWeightsMonotone(t *testing.T) {
+	// Integration never decreases any voxel weight.
+	in := camera.Kinect640().ScaledTo(40, 30)
+	rng := rand.New(rand.NewSource(5))
+	v := New(24, 2.5, math3.V3(-1.25, -1.25, 0.25))
+	prev := make([]float32, len(v.W))
+	for k := 0; k < 5; k++ {
+		copy(prev, v.W)
+		v.Integrate(randomDepth(rng, in), math3.SE3Identity(), in, 0.15, 100)
+		for i := range v.W {
+			if v.W[i] < prev[i] {
+				t.Fatalf("weight decreased at %d: %v → %v", i, prev[i], v.W[i])
+			}
+		}
+	}
+}
+
+func TestSampleRelaxedAgreesWithInterp(t *testing.T) {
+	// Wherever the strict interpolation succeeds, the relaxed sampler
+	// must return exactly the same value.
+	in := camera.Kinect640().ScaledTo(60, 45)
+	rng := rand.New(rand.NewSource(7))
+	v := New(32, 2.5, math3.V3(-1.25, -1.25, 0.25))
+	v.Integrate(randomDepth(rng, in), math3.SE3Identity(), in, 0.2, 100)
+	checked := 0
+	for i := 0; i < 3000; i++ {
+		p := math3.V3(
+			rng.Float64()*2.5-1.25,
+			rng.Float64()*2.5-1.25,
+			0.25+rng.Float64()*2.5,
+		)
+		strict, okS := v.Interp(p)
+		relaxed, okR := v.SampleRelaxed(p)
+		if !okS {
+			continue
+		}
+		if !okR {
+			t.Fatalf("relaxed failed where strict succeeded at %v", p)
+		}
+		if diff := strict - relaxed; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("mismatch at %v: %v vs %v", p, strict, relaxed)
+		}
+		checked++
+	}
+	if checked < 100 {
+		t.Fatalf("too few interpolable samples: %d", checked)
+	}
+}
+
+func TestSampleRelaxedOutsideVolume(t *testing.T) {
+	v := New(16, 1, math3.Vec3{})
+	if _, ok := v.SampleRelaxed(math3.V3(5, 5, 5)); ok {
+		t.Fatal("sample outside volume succeeded")
+	}
+	if _, ok := v.SampleRelaxed(math3.V3(0.5, 0.5, 0.5)); ok {
+		t.Fatal("sample in unobserved volume succeeded")
+	}
+}
+
+func TestQuickMeshVerticesNearSurfaceBand(t *testing.T) {
+	// Every extracted triangle vertex must lie strictly inside the
+	// volume and within the truncation band of the observed surface.
+	in := camera.Kinect640().ScaledTo(40, 30)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := New(24, 2.5, math3.V3(-1.25, -1.25, 0.25))
+		v.Integrate(randomDepth(rng, in), math3.SE3Identity(), in, 0.2, 100)
+		mesh := v.ExtractMesh()
+		for _, tri := range mesh.Triangles {
+			for _, p := range []math3.Vec3{tri.A, tri.B, tri.C} {
+				if !v.Contains(p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

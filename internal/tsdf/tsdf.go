@@ -1,0 +1,293 @@
+// Package tsdf implements the dense truncated signed-distance-function
+// volume at the heart of KinectFusion: depth-image integration, trilinear
+// sampling, surface ray-casting and mesh extraction.
+//
+// The volume is a cube of Res³ voxels spanning Size metres, positioned by
+// Origin (the world coordinate of the corner of voxel (0,0,0)). Each voxel
+// stores a TSDF value normalised to [-1, 1] (distance divided by the
+// truncation band mu) and an integration weight.
+package tsdf
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"slamgo/internal/camera"
+	"slamgo/internal/imgproc"
+	"slamgo/internal/math3"
+)
+
+// Volume is the dense TSDF grid.
+type Volume struct {
+	Res    int        // voxels per side
+	Size   float64    // metres per side
+	Origin math3.Vec3 // world position of the min corner
+
+	// D holds normalised TSDF values in [-1,1]; W holds weights. Both are
+	// indexed [z*Res*Res + y*Res + x].
+	D []float32
+	W []float32
+}
+
+// New allocates a volume of res³ voxels spanning size metres with its min
+// corner at origin. All voxels start at TSDF=1 (free/unknown) with zero
+// weight.
+func New(res int, size float64, origin math3.Vec3) *Volume {
+	if res < 2 {
+		panic(fmt.Sprintf("tsdf: resolution %d too small", res))
+	}
+	n := res * res * res
+	v := &Volume{
+		Res: res, Size: size, Origin: origin,
+		D: make([]float32, n),
+		W: make([]float32, n),
+	}
+	for i := range v.D {
+		v.D[i] = 1
+	}
+	return v
+}
+
+// VoxelSize returns the edge length of one voxel in metres.
+func (v *Volume) VoxelSize() float64 { return v.Size / float64(v.Res) }
+
+// Reset returns every voxel to the unobserved state.
+func (v *Volume) Reset() {
+	for i := range v.D {
+		v.D[i] = 1
+		v.W[i] = 0
+	}
+}
+
+// index returns the linear index for voxel (x,y,z); callers guarantee
+// bounds.
+func (v *Volume) index(x, y, z int) int { return (z*v.Res+y)*v.Res + x }
+
+// At returns the stored TSDF value and weight at voxel coordinates.
+func (v *Volume) At(x, y, z int) (d, w float32) {
+	i := v.index(x, y, z)
+	return v.D[i], v.W[i]
+}
+
+// setAt stores a TSDF/weight pair (test helper and integration inner
+// loop).
+func (v *Volume) setAt(x, y, z int, d, w float32) {
+	i := v.index(x, y, z)
+	v.D[i] = d
+	v.W[i] = w
+}
+
+// VoxelCenter returns the world coordinate of the centre of voxel (x,y,z).
+func (v *Volume) VoxelCenter(x, y, z int) math3.Vec3 {
+	s := v.VoxelSize()
+	return v.Origin.Add(math3.V3(
+		(float64(x)+0.5)*s,
+		(float64(y)+0.5)*s,
+		(float64(z)+0.5)*s,
+	))
+}
+
+// Contains reports whether world point p falls inside the volume cube.
+func (v *Volume) Contains(p math3.Vec3) bool {
+	q := p.Sub(v.Origin)
+	return q.X >= 0 && q.Y >= 0 && q.Z >= 0 &&
+		q.X < v.Size && q.Y < v.Size && q.Z < v.Size
+}
+
+// Interp samples the TSDF at world point p by trilinear interpolation.
+// ok is false when p lies outside the interpolable interior or touches
+// unobserved voxels (weight 0).
+func (v *Volume) Interp(p math3.Vec3) (val float64, ok bool) {
+	s := v.VoxelSize()
+	g := p.Sub(v.Origin).Scale(1 / s).Sub(math3.Splat3(0.5))
+	x0 := int(math.Floor(g.X))
+	y0 := int(math.Floor(g.Y))
+	z0 := int(math.Floor(g.Z))
+	if x0 < 0 || y0 < 0 || z0 < 0 || x0+1 >= v.Res || y0+1 >= v.Res || z0+1 >= v.Res {
+		return 0, false
+	}
+	fx := g.X - float64(x0)
+	fy := g.Y - float64(y0)
+	fz := g.Z - float64(z0)
+
+	var acc float64
+	for dz := 0; dz < 2; dz++ {
+		wz := fz
+		if dz == 0 {
+			wz = 1 - fz
+		}
+		for dy := 0; dy < 2; dy++ {
+			wy := fy
+			if dy == 0 {
+				wy = 1 - fy
+			}
+			for dx := 0; dx < 2; dx++ {
+				wx := fx
+				if dx == 0 {
+					wx = 1 - fx
+				}
+				i := v.index(x0+dx, y0+dy, z0+dz)
+				if v.W[i] <= 0 {
+					return 0, false
+				}
+				acc += float64(v.D[i]) * wx * wy * wz
+			}
+		}
+	}
+	return acc, true
+}
+
+// SampleRelaxed samples the TSDF at p tolerating partially observed
+// neighbourhoods: observed corners are combined with renormalised
+// trilinear weights. This is what the ray-caster uses — with a narrow
+// truncation band (mu on the order of the voxel size) the fully-observed
+// shell around the surface can be thinner than one voxel, and the strict
+// Interp would make the surface invisible. ok is false when the observed
+// corner weight mass is too small to trust.
+func (v *Volume) SampleRelaxed(p math3.Vec3) (val float64, ok bool) {
+	s := v.VoxelSize()
+	g := p.Sub(v.Origin).Scale(1 / s).Sub(math3.Splat3(0.5))
+	x0 := int(math.Floor(g.X))
+	y0 := int(math.Floor(g.Y))
+	z0 := int(math.Floor(g.Z))
+	if x0 < 0 || y0 < 0 || z0 < 0 || x0+1 >= v.Res || y0+1 >= v.Res || z0+1 >= v.Res {
+		return 0, false
+	}
+	fx := g.X - float64(x0)
+	fy := g.Y - float64(y0)
+	fz := g.Z - float64(z0)
+
+	var acc, wsum float64
+	for dz := 0; dz < 2; dz++ {
+		wz := fz
+		if dz == 0 {
+			wz = 1 - fz
+		}
+		for dy := 0; dy < 2; dy++ {
+			wy := fy
+			if dy == 0 {
+				wy = 1 - fy
+			}
+			for dx := 0; dx < 2; dx++ {
+				wx := fx
+				if dx == 0 {
+					wx = 1 - fx
+				}
+				i := v.index(x0+dx, y0+dy, z0+dz)
+				if v.W[i] <= 0 {
+					continue
+				}
+				w := wx * wy * wz
+				acc += float64(v.D[i]) * w
+				wsum += w
+			}
+		}
+	}
+	if wsum < 0.25 {
+		return 0, false
+	}
+	return acc / wsum, true
+}
+
+// Gradient estimates the TSDF spatial gradient at p via central
+// differences of trilinear samples; used for surface normals.
+func (v *Volume) Gradient(p math3.Vec3) (math3.Vec3, bool) {
+	h := v.VoxelSize()
+	xp, ok1 := v.SampleRelaxed(p.Add(math3.V3(h, 0, 0)))
+	xm, ok2 := v.SampleRelaxed(p.Sub(math3.V3(h, 0, 0)))
+	yp, ok3 := v.SampleRelaxed(p.Add(math3.V3(0, h, 0)))
+	ym, ok4 := v.SampleRelaxed(p.Sub(math3.V3(0, h, 0)))
+	zp, ok5 := v.SampleRelaxed(p.Add(math3.V3(0, 0, h)))
+	zm, ok6 := v.SampleRelaxed(p.Sub(math3.V3(0, 0, h)))
+	if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6) {
+		return math3.Vec3{}, false
+	}
+	g := math3.V3(xp-xm, yp-ym, zp-zm)
+	if g.Norm() < 1e-12 {
+		return math3.Vec3{}, false
+	}
+	return g.Normalized(), true
+}
+
+// Integrate fuses one depth image into the volume.
+//
+// pose is camera-to-world; mu is the truncation band in metres; maxWeight
+// caps the running average so the map can adapt to drift. The returned
+// cost counts the per-voxel projection work, which is what makes volume
+// resolution the paper's dominant performance parameter.
+func (v *Volume) Integrate(depth *imgproc.DepthMap, pose math3.SE3, in camera.Intrinsics, mu float64, maxWeight float32) imgproc.Cost {
+	if mu <= 0 {
+		mu = v.VoxelSize() * 4
+	}
+	worldToCam := pose.Inverse()
+	s := v.VoxelSize()
+
+	workers := runtime.NumCPU()
+	if workers > v.Res {
+		workers = v.Res
+	}
+	var wg sync.WaitGroup
+	chunk := (v.Res + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		zlo := w * chunk
+		zhi := zlo + chunk
+		if zhi > v.Res {
+			zhi = v.Res
+		}
+		if zlo >= zhi {
+			break
+		}
+		wg.Add(1)
+		go func(zlo, zhi int) {
+			defer wg.Done()
+			for z := zlo; z < zhi; z++ {
+				for y := 0; y < v.Res; y++ {
+					// Walk one x-row; the camera-frame point advances by a
+					// constant delta per step, saving a full transform.
+					base := v.Origin.Add(math3.V3(0.5*s, (float64(y)+0.5)*s, (float64(z)+0.5)*s))
+					pc := worldToCam.Apply(base)
+					dx := worldToCam.R.Col(0).Scale(s)
+					for x := 0; x < v.Res; x++ {
+						if x > 0 {
+							pc = pc.Add(dx)
+						}
+						if pc.Z <= 1e-6 {
+							continue
+						}
+						u := in.Fx*pc.X/pc.Z + in.Cx
+						vv := in.Fy*pc.Y/pc.Z + in.Cy
+						ui := int(u + 0.5)
+						vi := int(vv + 0.5)
+						if ui < 0 || vi < 0 || ui >= in.Width || vi >= in.Height {
+							continue
+						}
+						zm := depth.At(ui, vi)
+						if zm <= 0 {
+							continue
+						}
+						// Signed distance along the ray, projected on Z.
+						sdfVal := float64(zm) - pc.Z
+						if sdfVal < -mu {
+							continue // behind the surface: occluded, skip
+						}
+						t := math3.Clamp(sdfVal/mu, -1, 1)
+						i := (z*v.Res+y)*v.Res + x
+						wOld := v.W[i]
+						wNew := wOld + 1
+						v.D[i] = float32((float64(v.D[i])*float64(wOld) + t) / float64(wNew))
+						if wNew > maxWeight {
+							wNew = maxWeight
+						}
+						v.W[i] = wNew
+					}
+				}
+			}
+		}(zlo, zhi)
+	}
+	wg.Wait()
+
+	n := int64(v.Res) * int64(v.Res) * int64(v.Res)
+	return imgproc.Cost{Ops: n * 14, Bytes: n * 10}
+}

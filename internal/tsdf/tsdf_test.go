@@ -1,0 +1,295 @@
+package tsdf
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"slamgo/internal/camera"
+	"slamgo/internal/imgproc"
+	"slamgo/internal/math3"
+	"slamgo/internal/synth"
+)
+
+func testCam() camera.Intrinsics { return camera.Kinect640().ScaledTo(80, 60) }
+
+// flatWall renders a fronto-parallel wall at depth z from the camera.
+func flatWall(in camera.Intrinsics, z float32) *imgproc.DepthMap {
+	d := imgproc.NewDepthMap(in.Width, in.Height)
+	for i := range d.Pix {
+		d.Pix[i] = z
+	}
+	return d
+}
+
+// testVolume builds a 2 m cube centred on (0,0,1.5) in front of an
+// identity camera.
+func testVolume(res int) *Volume {
+	return New(res, 2, math3.V3(-1, -1, 0.5))
+}
+
+func TestNewVolumeState(t *testing.T) {
+	v := testVolume(16)
+	if v.VoxelSize() != 2.0/16 {
+		t.Fatalf("voxel size %v", v.VoxelSize())
+	}
+	d, w := v.At(3, 5, 7)
+	if d != 1 || w != 0 {
+		t.Fatalf("fresh voxel (%v,%v)", d, w)
+	}
+	if !v.Contains(math3.V3(0, 0, 1.5)) {
+		t.Fatal("centre not contained")
+	}
+	if v.Contains(math3.V3(0, 0, 3.5)) {
+		t.Fatal("outside point contained")
+	}
+}
+
+func TestNewPanicsOnTinyRes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for res=1")
+		}
+	}()
+	New(1, 1, math3.Vec3{})
+}
+
+func TestIntegrateWallSigns(t *testing.T) {
+	in := testCam()
+	v := testVolume(32)
+	pose := math3.SE3Identity()
+	cost := v.Integrate(flatWall(in, 1.5), pose, in, 0.2, 100)
+	if cost.Ops <= 0 {
+		t.Fatal("no cost")
+	}
+	// Voxel in front of the wall (z≈1.1): positive TSDF (free space).
+	probe := func(p math3.Vec3) float64 {
+		val, ok := v.Interp(p)
+		if !ok {
+			t.Fatalf("probe at %v not observed", p)
+		}
+		return val
+	}
+	if got := probe(math3.V3(0, 0, 1.2)); got <= 0.5 {
+		t.Fatalf("free space TSDF = %v, want ≈1", got)
+	}
+	// Just behind the wall inside the truncation band: negative.
+	if got := probe(math3.V3(0, 0, 1.6)); got >= 0 {
+		t.Fatalf("behind-surface TSDF = %v, want <0", got)
+	}
+	// At the wall: near zero.
+	if got := probe(math3.V3(0, 0, 1.5)); math.Abs(got) > 0.35 {
+		t.Fatalf("surface TSDF = %v, want ≈0", got)
+	}
+}
+
+func TestIntegrateSkipsOccluded(t *testing.T) {
+	in := testCam()
+	v := testVolume(32)
+	v.Integrate(flatWall(in, 1.0), math3.SE3Identity(), in, 0.1, 100)
+	// Far behind the wall (z=1.4, > mu beyond): unobserved.
+	if _, ok := v.Interp(math3.V3(0, 0, 1.45)); ok {
+		t.Fatal("occluded region was integrated")
+	}
+}
+
+func TestIntegrateWeightCap(t *testing.T) {
+	in := testCam()
+	v := testVolume(16)
+	for i := 0; i < 10; i++ {
+		v.Integrate(flatWall(in, 1.5), math3.SE3Identity(), in, 0.3, 4)
+	}
+	maxW := float32(0)
+	for _, w := range v.W {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW > 4 {
+		t.Fatalf("weight exceeded cap: %v", maxW)
+	}
+	if maxW < 4 {
+		t.Fatalf("weights never reached cap: %v", maxW)
+	}
+}
+
+func TestIntegrateAveragesNoise(t *testing.T) {
+	in := testCam()
+	va := testVolume(32)
+	// Two observations at slightly different depths average out.
+	va.Integrate(flatWall(in, 1.45), math3.SE3Identity(), in, 0.3, 100)
+	va.Integrate(flatWall(in, 1.55), math3.SE3Identity(), in, 0.3, 100)
+	got, ok := va.Interp(math3.V3(0, 0, 1.5))
+	if !ok {
+		t.Fatal("not observed")
+	}
+	if math.Abs(got) > 0.2 {
+		t.Fatalf("averaged surface TSDF = %v, want ≈0", got)
+	}
+}
+
+func TestInterpOutsideVolume(t *testing.T) {
+	v := testVolume(16)
+	if _, ok := v.Interp(math3.V3(10, 0, 0)); ok {
+		t.Fatal("interp outside volume succeeded")
+	}
+	if _, ok := v.Interp(math3.V3(0, 0, 1.5)); ok {
+		t.Fatal("interp on unobserved volume succeeded")
+	}
+}
+
+func TestGradientPointsAwayFromSurface(t *testing.T) {
+	in := testCam()
+	v := testVolume(32)
+	v.Integrate(flatWall(in, 1.5), math3.SE3Identity(), in, 0.3, 100)
+	g, ok := v.Gradient(math3.V3(0, 0, 1.5))
+	if !ok {
+		t.Fatal("gradient unavailable at surface")
+	}
+	// TSDF decreases with z (free in front, solid behind), so the
+	// gradient points towards -z — the outward surface normal.
+	if !g.ApproxEq(math3.V3(0, 0, -1), 0.1) {
+		t.Fatalf("gradient %v, want ≈(0,0,-1)", g)
+	}
+}
+
+func TestRaycastRecoversWall(t *testing.T) {
+	in := testCam()
+	v := testVolume(64)
+	v.Integrate(flatWall(in, 1.5), math3.SE3Identity(), in, 0.15, 100)
+	res := v.Raycast(math3.SE3Identity(), in, 0.15, 0.3, 3)
+	if res.Cost.Ops <= 0 {
+		t.Fatal("no raycast cost")
+	}
+	hits := 0
+	for y := 10; y < 50; y++ {
+		for x := 10; x < 70; x++ {
+			p, ok := res.Vertices.At(x, y)
+			if !ok {
+				continue
+			}
+			hits++
+			if math.Abs(p.Z-1.5) > 0.05 {
+				t.Fatalf("surface at (%d,%d) z=%v, want 1.5", x, y, p.Z)
+			}
+			n, ok := res.Normals.At(x, y)
+			if !ok {
+				t.Fatalf("vertex without normal at (%d,%d)", x, y)
+			}
+			if !n.ApproxEq(math3.V3(0, 0, -1), 0.15) {
+				t.Fatalf("normal %v at (%d,%d)", n, x, y)
+			}
+		}
+	}
+	if hits < 2000 {
+		t.Fatalf("too few raycast hits: %d", hits)
+	}
+}
+
+func TestRaycastMissesEmptyVolume(t *testing.T) {
+	in := testCam()
+	v := testVolume(32)
+	res := v.Raycast(math3.SE3Identity(), in, 0.1, 0.3, 3)
+	if res.Vertices.ValidCount() != 0 {
+		t.Fatalf("raycast on empty volume hit %d pixels", res.Vertices.ValidCount())
+	}
+}
+
+func TestRaycastFromSyntheticScene(t *testing.T) {
+	// End-to-end: render a synthetic sphere scene, integrate it, raycast
+	// back and compare depth against the original rendering.
+	in := testCam()
+	scene := synth.NewRenderer(sphereScene{})
+	pose := math3.SE3Identity()
+	depth := scene.RenderDepth(pose, in)
+
+	v := New(64, 2, math3.V3(-1, -1, 1))
+	v.Integrate(depth, pose, in, 0.1, 100)
+	res := v.Raycast(pose, in, 0.1, 0.5, 3)
+
+	cx, cy := in.Width/2, in.Height/2
+	p, ok := res.Vertices.At(cx, cy)
+	if !ok {
+		t.Fatal("centre pixel missed")
+	}
+	want := float64(depth.At(cx, cy))
+	if math.Abs(p.Z-want) > 0.05 {
+		t.Fatalf("centre depth %v want %v", p.Z, want)
+	}
+}
+
+// sphereScene is a minimal sdf.Field for the round-trip test.
+type sphereScene struct{}
+
+func (sphereScene) Distance(p math3.Vec3) float64 {
+	return p.Sub(math3.V3(0, 0, 2)).Norm() - 0.5
+}
+
+func TestResetClearsVolume(t *testing.T) {
+	in := testCam()
+	v := testVolume(16)
+	v.Integrate(flatWall(in, 1.5), math3.SE3Identity(), in, 0.3, 100)
+	v.Reset()
+	for i := range v.D {
+		if v.D[i] != 1 || v.W[i] != 0 {
+			t.Fatal("reset incomplete")
+		}
+	}
+}
+
+func TestVoxelCenterRoundtrip(t *testing.T) {
+	v := testVolume(16)
+	c := v.VoxelCenter(3, 7, 11)
+	// The centre of voxel (3,7,11) must be contained and map back.
+	if !v.Contains(c) {
+		t.Fatal("voxel centre outside volume")
+	}
+	s := v.VoxelSize()
+	g := c.Sub(v.Origin).Scale(1 / s)
+	if int(g.X) != 3 || int(g.Y) != 7 || int(g.Z) != 11 {
+		t.Fatalf("roundtrip voxel (%v)", g)
+	}
+}
+
+func TestExtractMeshWall(t *testing.T) {
+	in := testCam()
+	v := testVolume(32)
+	v.Integrate(flatWall(in, 1.5), math3.SE3Identity(), in, 0.3, 100)
+	m := v.ExtractMesh()
+	if len(m.Triangles) == 0 {
+		t.Fatal("no triangles extracted")
+	}
+	// All triangle vertices must lie near the wall plane z=1.5.
+	for _, tri := range m.Triangles {
+		for _, p := range []math3.Vec3{tri.A, tri.B, tri.C} {
+			if math.Abs(p.Z-1.5) > 0.2 {
+				t.Fatalf("mesh vertex far from surface: %v", p)
+			}
+		}
+	}
+}
+
+func TestExtractMeshEmpty(t *testing.T) {
+	v := testVolume(8)
+	if m := v.ExtractMesh(); len(m.Triangles) != 0 {
+		t.Fatalf("empty volume produced %d triangles", len(m.Triangles))
+	}
+}
+
+func TestWriteOBJ(t *testing.T) {
+	m := &Mesh{Triangles: []Triangle{{
+		A: math3.V3(0, 0, 0), B: math3.V3(1, 0, 0), C: math3.V3(0, 1, 0),
+	}}}
+	var buf bytes.Buffer
+	if err := m.WriteOBJ(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "v 0.000000 0.000000 0.000000") {
+		t.Fatalf("missing vertex line:\n%s", s)
+	}
+	if !strings.Contains(s, "f 1 2 3") {
+		t.Fatalf("missing face line:\n%s", s)
+	}
+}
