@@ -1,0 +1,23 @@
+.PHONY: test race bench bench-compare bench-save
+
+test:
+	go build ./... && go test ./...
+
+# The concurrency substrate and the parallel DSE engine must stay clean
+# under the race detector.
+race:
+	go test -race ./internal/parallel/... ./internal/hypermapper/...
+
+bench:
+	go test -run '^$$' -bench . -benchmem .
+
+# Snapshot the benchmarks, compare against the saved baseline with
+# benchstat (when available) and distill the run into BENCH_1.json.
+bench-compare:
+	./scripts/bench-compare.sh
+
+# Promote the latest benchmark snapshot to the baseline future runs are
+# compared against.
+bench-save:
+	@test -f benchmarks/latest.txt || { echo "benchmarks/latest.txt not found; run 'make bench-compare' first"; exit 1; }
+	cp benchmarks/latest.txt benchmarks/baseline.txt

@@ -42,6 +42,7 @@ func benchICPVariant(b *testing.B, pointToPoint bool) {
 	params := icp.DefaultParams()
 	params.PointToPoint = pointToPoint
 	params.ConvergenceThreshold = 0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := icp.Solve(ref, icp.Frame{Vertices: vm, Normals: nm}, f0.GroundTruth, params)
@@ -65,6 +66,7 @@ func benchIntegrationRate(b *testing.B, rate int) {
 	cfg.VolumeResolution = 128
 	cfg.IntegrationRate = rate
 	sum := runOnce(b, cfg, device.NewModel(device.OdroidXU3()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = sum // the measurement is the setup run; report its metrics
@@ -89,6 +91,7 @@ func BenchmarkAblation_ReconstructionError(b *testing.B) {
 	}
 	mesh := sys.Pipeline().Volume().ExtractMesh()
 	scene := sdf.LivingRoom()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := slambench.ReconstructionError(mesh, scene, 20000); err != nil {
@@ -105,6 +108,7 @@ func BenchmarkAblation_MeshExtraction(b *testing.B) {
 		b.Fatal(err)
 	}
 	vol := sys.Pipeline().Volume()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := vol.ExtractMesh()
@@ -119,6 +123,7 @@ func BenchmarkAblation_MeshExtraction(b *testing.B) {
 func BenchmarkAblation_DecisionMachine(b *testing.B) {
 	scale := core.QuickScale()
 	scale.Frames = 10
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.RunDecisionMachine(core.DefaultCandidates(), scale, 0.1, 42); err != nil {

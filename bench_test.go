@@ -85,6 +85,7 @@ func BenchmarkFig1_PipelineDefault(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f, _ := seq.Frame(i % seq.Len())
@@ -112,6 +113,7 @@ func BenchmarkFig1_GUIPanes(b *testing.B) {
 		b.Fatal("no reference")
 	}
 	light := math3.V3(-0.3, 0.8, 0.5)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		depth := slambench.DepthToRGB(f0.Depth)
@@ -132,6 +134,7 @@ func BenchmarkFig1_GUIPanes(b *testing.B) {
 func BenchmarkFig2_EvaluateDefault(b *testing.B) {
 	seq := sequence(b)
 	model := device.NewModel(device.OdroidXU3())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := core.Evaluate(seq, model, kfusion.DefaultConfig())
@@ -147,6 +150,7 @@ func BenchmarkFig2_EvaluateDefault(b *testing.B) {
 func BenchmarkFig2_EvaluateTuned(b *testing.B) {
 	seq := sequence(b)
 	model := device.NewModel(device.OdroidXU3())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := core.Evaluate(seq, model, tunedConfig())
@@ -169,6 +173,7 @@ func BenchmarkFig2_SurrogateFit(b *testing.B) {
 		y[i] = pt[0]*1e-4 + pt[1]*0.01 + rng.Float64()*0.01
 	}
 	cfg := rf.DefaultForestConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := rf.FitForest(X, y, cfg); err != nil {
@@ -197,6 +202,7 @@ func BenchmarkFig2_ActiveLearningStep(b *testing.B) {
 	cfg.ActiveIterations = 1
 	cfg.BatchPerIteration = 5
 	cfg.CandidatePool = 1000
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
@@ -225,6 +231,7 @@ func BenchmarkFig2_KnowledgeExtraction(b *testing.B) {
 		}})
 	}
 	label, names := hypermapper.PaperClasses(0.05, 30, 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := hypermapper.Knowledge(space, obs, label, names, 3); err != nil {
@@ -241,6 +248,7 @@ func benchHeadline(b *testing.B, cfg kfusion.Config) {
 	sum := runOnce(b, cfg, nil)
 	model := device.NewModel(device.OdroidXU3())
 	var lastFPS, lastW float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var lat, energy float64
@@ -282,6 +290,7 @@ func BenchmarkFig3_PhoneSweep(b *testing.B) {
 	sumTuned := runOnce(b, tunedConfig(), nil)
 	cat := phones.Catalogue(42)
 	var mean float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mean = 0
@@ -313,6 +322,7 @@ func BenchmarkBaseline_Odometry(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f, _ := seq.Frame(i % seq.Len())
@@ -329,6 +339,7 @@ func benchIntegrate(b *testing.B, res int) {
 	f0, _ := seq.Frame(0)
 	in := seq.Intrinsics()
 	v := tsdf.New(res, 5.6, math3.V3(-2.8, -1.5, -2.8))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		v.Integrate(f0.Depth, f0.GroundTruth, in, 0.1, 100)
@@ -354,6 +365,7 @@ func BenchmarkKernel_Raycast(b *testing.B) {
 	in := seq.Intrinsics()
 	v := tsdf.New(128, 5.6, math3.V3(-2.8, -1.5, -2.8))
 	v.Integrate(f0.Depth, f0.GroundTruth, in, 0.1, 100)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := v.Raycast(f0.GroundTruth, in, 0.1, 0.1, 10)
@@ -363,13 +375,31 @@ func BenchmarkKernel_Raycast(b *testing.B) {
 	}
 }
 
-// BenchmarkKernel_BilateralFilter measures the depth denoising kernel.
+// BenchmarkKernel_BilateralFilter measures the depth denoising kernel
+// with a freshly allocated destination per frame (the pre-pool usage).
 func BenchmarkKernel_BilateralFilter(b *testing.B) {
 	seq := sequence(b)
 	f0, _ := seq.Frame(0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		imgproc.BilateralFilter(f0.Depth, 2, 4, 0.1)
+	}
+}
+
+// BenchmarkKernel_BilateralFilterPooled measures the kernel the way the
+// pipeline now runs it: destination drawn from a BufferPool, spatial
+// kernel cached — the steady state allocates (nearly) nothing.
+func BenchmarkKernel_BilateralFilterPooled(b *testing.B) {
+	seq := sequence(b)
+	f0, _ := seq.Frame(0)
+	var pool imgproc.BufferPool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := pool.Depth(f0.Depth.Width, f0.Depth.Height)
+		imgproc.BilateralFilterInto(dst, f0.Depth, 2, 4, 0.1)
+		pool.PutDepth(dst)
 	}
 }
 
@@ -387,6 +417,7 @@ func BenchmarkKernel_ICP(b *testing.B) {
 		b.Fatal(err)
 	}
 	f1, _ := seq.Frame(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.ProcessFrame(f1.Depth); err != nil {
@@ -402,6 +433,7 @@ func BenchmarkKernel_SyntheticRender(b *testing.B) {
 	_ = in
 	seq := sequence(b)
 	_ = seq
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s, err := dataset.LivingRoomKT(0, dataset.PresetOptions{

@@ -20,6 +20,7 @@ func main() {
 		batch     = flag.Int("batch", 4, "evaluations per active iteration")
 		limit     = flag.Float64("limit", 0.05, "accuracy limit (max ATE, metres)")
 		seed      = flag.Int64("seed", 1, "exploration seed")
+		workers   = flag.Int("workers", 0, "parallel evaluation workers (0 = all CPUs; results are identical for any value)")
 		quick     = flag.Bool("quick", false, "use the reduced quick scale")
 		frames    = flag.Int("frames", 0, "override sequence length")
 		scatter   = flag.String("scatter", "", "write the Figure 2 scatter CSV here")
@@ -41,6 +42,7 @@ func main() {
 	opts.BatchPerIteration = *batch
 	opts.AccuracyLimit = *limit
 	opts.Seed = *seed
+	opts.Workers = *workers
 	opts.Log = func(s string) { fmt.Println("  [dse]", s) }
 
 	fmt.Printf("design-space exploration on lr_kt%d (%dx%d, %d frames), accuracy limit %.3f m\n",

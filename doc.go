@@ -9,4 +9,39 @@
 // DESIGN.md for the system inventory and per-experiment index, and
 // EXPERIMENTS.md for measured-vs-paper results. The benchmarks in
 // bench_test.go regenerate every figure-level experiment.
+//
+// # Concurrency model
+//
+// All parallelism flows through internal/parallel, a bounded worker pool
+// over contiguous index chunks with two invariants: chunk boundaries
+// depend only on the problem size (never on the worker count), and
+// per-chunk partial results merge serially in ascending chunk order.
+// Workers race only over which chunk they pull next, so every
+// floating-point reduction — ICP normal equations, raycast step counts,
+// surrogate predictions — is bit-identical whether the host has 1 core
+// or 64.
+//
+// The DSE engine (internal/hypermapper) evaluates its Latin-hypercube
+// seeding phase and each active-learning batch concurrently through a
+// ParallelEvaluator, scores the candidate pool in parallel chunks, and
+// fits the random-forest surrogate's trees concurrently (each tree's
+// RNG is seeded by a serial pre-draw). Batches are selected first on
+// the surrogate's optimistic estimates, then evaluated in parallel and
+// appended in selection order. The result: a seeded Optimize run yields
+// a byte-identical Result — every observation and the final Pareto
+// front — for any setting of the Workers knob (OptimizerConfig.Workers
+// and rf.ForestConfig.Workers; 0 means GOMAXPROCS, 1 is fully serial;
+// cmd/hypermapper and cmd/experiments expose it as -workers).
+//
+// The frame kernels are allocation-free in the steady state: an
+// imgproc.BufferPool (sync.Pool-backed, one pool per map size) recycles
+// every per-frame depth/vertex/normal map, the bilateral filter's
+// spatial Gaussian is precomputed once per (radius, sigma), and
+// kfusion.Pipeline ping-pongs its raycast reference between two pooled
+// map pairs. The depth/vertex/normal Into-variants of the kernels
+// (BilateralFilterInto, DepthToVertexMapInto, ...) overwrite every
+// destination pixel, so recycled buffers behave exactly like fresh
+// allocations; RaycastInto is the exception — it writes only hit
+// pixels and requires all-invalid maps, which BufferPool.Vertex/Normal
+// provide by clearing masks on reuse.
 package slamgo

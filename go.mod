@@ -1,0 +1,3 @@
+module slamgo
+
+go 1.21

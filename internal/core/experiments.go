@@ -9,6 +9,7 @@ import (
 	"slamgo/internal/device"
 	"slamgo/internal/hypermapper"
 	"slamgo/internal/kfusion"
+	"slamgo/internal/parallel"
 	"slamgo/internal/phones"
 	"slamgo/internal/rf"
 	"slamgo/internal/slambench"
@@ -47,7 +48,11 @@ type Fig2Options struct {
 	// AccuracyLimit is the feasibility bound (paper: 0.05 m).
 	AccuracyLimit float64
 	Seed          int64
-	Log           func(string)
+	// Workers bounds how many configurations are evaluated concurrently
+	// (and the parallelism of surrogate fitting); 0 means GOMAXPROCS.
+	// The exploration result is identical for any value.
+	Workers int
+	Log     func(string)
 }
 
 // DefaultFig2Options returns the standard experiment setup.
@@ -113,6 +118,7 @@ func RunFig2(opts Fig2Options) (*Fig2Result, error) {
 	}
 	cfg.Seed = opts.Seed
 	cfg.Log = opts.Log
+	cfg.Workers = opts.Workers
 	cfg.ConstraintObjective = 1 // MaxATE
 	cfg.ConstraintLimit = opts.AccuracyLimit
 
@@ -127,11 +133,13 @@ func RunFig2(opts Fig2Options) (*Fig2Result, error) {
 		AccuracyLimit: opts.AccuracyLimit,
 	}
 
-	// Same-budget random baseline.
+	// Same-budget random baseline, evaluated on the same worker pool.
 	budget := len(active.Observations)
 	rng := newRng(opts.Seed + 7777)
-	for _, pt := range space.SampleN(budget, rng) {
-		res.RandomOnly = append(res.RandomOnly, hypermapper.Observation{X: pt, M: eval(pt)})
+	randomPts := space.SampleN(budget, rng)
+	pe := hypermapper.ParallelEvaluator{Eval: eval, Workers: opts.Workers}
+	for i, m := range pe.EvalAll(randomPts) {
+		res.RandomOnly = append(res.RandomOnly, hypermapper.Observation{X: randomPts[i], M: m})
 	}
 
 	// Default configuration marker.
@@ -302,28 +310,35 @@ func RunFig3(tuned kfusion.Config, scale Scale, seed int64) (*Fig3Result, error)
 	}
 
 	res := &Fig3Result{Min: math.Inf(1), Max: math.Inf(-1)}
-	var speeds []float64
-	for _, p := range phones.Catalogue(seed) {
+	// Each phone's replay is independent: fan the catalogue out across
+	// the worker pool and aggregate in catalogue order.
+	perPhone := parallel.MapOrdered(0, phones.Catalogue(seed), func(_ int, p device.Profile) PhoneSpeedup {
 		m := device.NewModel(p)
 		d := meanLatency(m, defCosts)
 		t := meanLatency(m, tunedCosts)
 		if t <= 0 {
-			continue
+			return PhoneSpeedup{}
 		}
-		s := d / t
-		res.Phones = append(res.Phones, PhoneSpeedup{
+		return PhoneSpeedup{
 			Device:     p.Name,
 			Year:       p.Year,
-			Speedup:    s,
+			Speedup:    d / t,
 			DefaultFPS: 1 / d,
 			TunedFPS:   1 / t,
-		})
-		speeds = append(speeds, s)
-		if s < res.Min {
-			res.Min = s
 		}
-		if s > res.Max {
-			res.Max = s
+	})
+	var speeds []float64
+	for _, ps := range perPhone {
+		if ps.Speedup <= 0 {
+			continue
+		}
+		res.Phones = append(res.Phones, ps)
+		speeds = append(speeds, ps.Speedup)
+		if ps.Speedup < res.Min {
+			res.Min = ps.Speedup
+		}
+		if ps.Speedup > res.Max {
+			res.Max = ps.Speedup
 		}
 	}
 	if len(speeds) == 0 {

@@ -114,13 +114,6 @@ func LivingRoomKT(kt int, opts PresetOptions) (*MemorySequence, error) {
 	})
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // OfficeKT builds the office-room sequences (the ICL-NUIM "office"
 // analogue): kt0 orbits the desks, kt1 dollies along the room towards
 // the bookshelf.

@@ -1,0 +1,24 @@
+package hypermapper
+
+import "slamgo/internal/parallel"
+
+// ParallelEvaluator fans an Evaluator out over a bounded worker pool.
+// Results come back in input order, so callers that append observations
+// sequentially stay deterministic for any worker count. The wrapped
+// Evaluator must be safe for concurrent calls (the bundled SLAM
+// evaluator is: each call builds its own pipeline over a shared
+// read-only sequence).
+type ParallelEvaluator struct {
+	// Eval is the underlying black box.
+	Eval Evaluator
+	// Workers bounds concurrency; 0 means GOMAXPROCS, 1 restores fully
+	// serial evaluation.
+	Workers int
+}
+
+// EvalAll measures every point and returns metrics in input order.
+func (p ParallelEvaluator) EvalAll(pts []Point) []Metrics {
+	return parallel.MapOrdered(p.Workers, pts, func(_ int, pt Point) Metrics {
+		return p.Eval(pt)
+	})
+}

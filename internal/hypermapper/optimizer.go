@@ -6,12 +6,15 @@ import (
 	"math"
 	"math/rand"
 
+	"slamgo/internal/parallel"
 	"slamgo/internal/rf"
 )
 
 // Evaluator measures one configuration (runs the SLAM pipeline on the
 // modelled device). It is the expensive black box the DSE minimises calls
-// to.
+// to. Optimize invokes it from multiple goroutines unless
+// OptimizerConfig.Workers is 1, so it must be safe for concurrent calls
+// (a pure function, or one whose shared state is read-only).
 type Evaluator func(Point) Metrics
 
 // OptimizerConfig controls the two-phase exploration of Figure 2:
@@ -38,11 +41,20 @@ type OptimizerConfig struct {
 	// ConstraintObjective, together with ConstraintLimit, switches the
 	// acquisition into the paper's constrained mode: minimise
 	// objective 0 subject to objective[ConstraintObjective] ≤ limit
-	// (e.g. runtime s.t. max ATE ≤ 0.05 m). Zero value (with
-	// ConstraintLimit == 0) keeps the unconstrained hypervolume mode.
+	// (e.g. runtime s.t. max ATE ≤ 0.05 m). Leave both at their zero
+	// values for the unconstrained hypervolume mode. Setting
+	// ConstraintLimit > 0 requires ConstraintObjective ≥ 1: objective 0
+	// is always the minimisation target, so constraining it is
+	// contradictory and Optimize rejects the combination rather than
+	// silently falling back to hypervolume mode.
 	ConstraintObjective int
 	// ConstraintLimit is the feasibility bound for the constrained mode.
 	ConstraintLimit float64
+	// Workers bounds the parallelism of candidate evaluation, surrogate
+	// fitting and pool scoring; 0 means GOMAXPROCS, 1 is fully serial.
+	// The exploration is deterministic for any value: a fixed Seed yields
+	// an identical Result whatever the worker count.
+	Workers int
 	// Seed drives every stochastic choice.
 	Seed int64
 	// Log, when non-nil, receives progress lines.
@@ -94,6 +106,14 @@ func Optimize(space *Space, eval Evaluator, cfg OptimizerConfig) (*Result, error
 	if cfg.RandomSamples < 2 {
 		return nil, errors.New("hypermapper: need ≥2 random samples")
 	}
+	if cfg.ConstraintLimit > 0 && cfg.ConstraintObjective <= 0 {
+		return nil, errors.New("hypermapper: ConstraintLimit is set but ConstraintObjective is 0 (the primary objective); constrained mode minimises objective 0 subject to a bound on another objective, so set ConstraintObjective ≥ 1")
+	}
+	if cfg.ConstraintLimit > 0 {
+		if dims := len(cfg.Objectives(Metrics{})); cfg.ConstraintObjective >= dims {
+			return nil, fmt.Errorf("hypermapper: ConstraintObjective %d out of range for %d objectives", cfg.ConstraintObjective, dims)
+		}
+	}
 	if cfg.BatchPerIteration < 1 {
 		cfg.BatchPerIteration = 1
 	}
@@ -114,15 +134,22 @@ func Optimize(space *Space, eval Evaluator, cfg OptimizerConfig) (*Result, error
 
 	res := &Result{}
 	seen := map[string]bool{}
+	pe := ParallelEvaluator{Eval: eval, Workers: cfg.Workers}
 
-	// --- Phase 1: stratified random sampling.
+	// --- Phase 1: stratified random sampling, evaluated concurrently.
+	// Deduplication and observation order are fixed before any evaluation
+	// starts, so the result is independent of the worker count.
+	var seedPts []Point
 	for _, pt := range space.LatinHypercube(cfg.RandomSamples, rng) {
 		k := space.Key(pt)
 		if seen[k] {
 			continue
 		}
 		seen[k] = true
-		res.Observations = append(res.Observations, Observation{X: pt, M: eval(pt)})
+		seedPts = append(seedPts, pt)
+	}
+	for i, m := range pe.EvalAll(seedPts) {
+		res.Observations = append(res.Observations, Observation{X: seedPts[i], M: m})
 	}
 	res.RandomPhase = len(res.Observations)
 	logf("random phase: %d evaluations", res.RandomPhase)
@@ -150,21 +177,26 @@ func Optimize(space *Space, eval Evaluator, cfg OptimizerConfig) (*Result, error
 			}
 		}
 
-		// Predict every unseen candidate once.
+		// Predict every unseen candidate once, scoring the pool in
+		// parallel chunks: predictions are pure forest lookups, so the
+		// scored pool is identical for any worker count.
+		var unseen []Point
+		for _, c := range candidates {
+			if seen[space.Key(c)] {
+				continue
+			}
+			unseen = append(unseen, c)
+		}
 		type cand struct {
 			pt   Point
 			opt  []float64 // optimistic objective estimate
 			unc  float64
 			used bool
 		}
-		var pool []cand
-		for _, c := range candidates {
-			if seen[space.Key(c)] {
-				continue
-			}
+		pool := parallel.MapOrdered(cfg.Workers, unseen, func(_ int, c Point) cand {
 			opt, unc := predictOptimistic(c, models, cfg)
-			pool = append(pool, cand{pt: c, opt: opt, unc: unc})
-		}
+			return cand{pt: c, opt: opt, unc: unc}
+		})
 		if len(pool) == 0 {
 			break
 		}
@@ -172,11 +204,17 @@ func Optimize(space *Space, eval Evaluator, cfg OptimizerConfig) (*Result, error
 		// Greedy hypervolume-conditioned batch: each pick is scored
 		// against the front *plus the batch's previous optimistic picks*,
 		// so one iteration spreads across the front instead of piling
-		// into a single predicted-good corner.
+		// into a single predicted-good corner. The whole batch is
+		// selected first — on the surrogate's optimistic estimates and
+		// the observations frozen at the start of the iteration — and
+		// only then evaluated concurrently, which keeps the selection
+		// (and therefore the full exploration trace) byte-identical for
+		// any worker count.
 		predFront := make([][]float64, 0, len(front)+cfg.BatchPerIteration)
 		for _, fo := range front {
 			predFront = append(predFront, cfg.Objectives(fo.M))
 		}
+		var picks []Point
 		for b := 0; b < cfg.BatchPerIteration; b++ {
 			bi := -1
 			bestScore := math.Inf(-1)
@@ -213,8 +251,11 @@ func Optimize(space *Space, eval Evaluator, cfg OptimizerConfig) (*Result, error
 				continue
 			}
 			seen[k] = true
-			res.Observations = append(res.Observations, Observation{X: pt, M: eval(pt)})
+			picks = append(picks, pt)
 			predFront = append(predFront, pool[bi].opt)
+		}
+		for i, m := range pe.EvalAll(picks) {
+			res.Observations = append(res.Observations, Observation{X: picks[i], M: m})
 		}
 		logf("active iteration %d: %d total evaluations", iter, len(res.Observations))
 	}
@@ -251,6 +292,7 @@ func fitSurrogates(obs []Observation, cfg OptimizerConfig) (*surrogate, bool) {
 	for _, y := range ys {
 		fcfg := cfg.Forest
 		fcfg.Seed = cfg.Seed + int64(len(s.forests)) + 17
+		fcfg.Workers = cfg.Workers
 		f, err := rf.FitForest(X, y, fcfg)
 		if err != nil {
 			return nil, false

@@ -1,0 +1,122 @@
+package hypermapper
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestOptimizeDeterministicAcrossWorkers is the contract the parallel
+// DSE engine must honour: a seeded exploration produces a byte-identical
+// Result — every observation, in order, and the final Pareto front — for
+// any worker count.
+func TestOptimizeDeterministicAcrossWorkers(t *testing.T) {
+	s := testSpace()
+	eval := syntheticEvaluator(s)
+
+	run := func(workers int) *Result {
+		cfg := DefaultOptimizerConfig()
+		cfg.RandomSamples = 12
+		cfg.ActiveIterations = 3
+		cfg.BatchPerIteration = 4
+		cfg.CandidatePool = 400
+		cfg.Seed = 7
+		cfg.Workers = workers
+		res, err := Optimize(s, eval, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+
+	ref := run(1)
+	if len(ref.Front) == 0 {
+		t.Fatal("reference run produced an empty front")
+	}
+	for _, workers := range []int{4, 8} {
+		got := run(workers)
+		if !reflect.DeepEqual(got.Observations, ref.Observations) {
+			t.Fatalf("workers=%d: observations diverge from serial run", workers)
+		}
+		if got.RandomPhase != ref.RandomPhase {
+			t.Fatalf("workers=%d: random phase %d != %d", workers, got.RandomPhase, ref.RandomPhase)
+		}
+		if !reflect.DeepEqual(got.Front, ref.Front) {
+			t.Fatalf("workers=%d: Pareto front diverges from serial run", workers)
+		}
+	}
+}
+
+// TestOptimizeDeterministicConstrained covers the same contract in the
+// paper's constrained-acquisition mode.
+func TestOptimizeDeterministicConstrained(t *testing.T) {
+	s := testSpace()
+	eval := syntheticEvaluator(s)
+
+	run := func(workers int) *Result {
+		cfg := DefaultOptimizerConfig()
+		cfg.RandomSamples = 10
+		cfg.ActiveIterations = 3
+		cfg.BatchPerIteration = 3
+		cfg.CandidatePool = 300
+		cfg.Seed = 3
+		cfg.Workers = workers
+		cfg.ConstraintObjective = 1
+		cfg.ConstraintLimit = 0.1
+		res, err := Optimize(s, eval, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+
+	ref := run(1)
+	for _, workers := range []int{4, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: constrained result diverges from serial run", workers)
+		}
+	}
+}
+
+func TestConstrainedConfigValidation(t *testing.T) {
+	s := testSpace()
+	eval := syntheticEvaluator(s)
+
+	cfg := DefaultOptimizerConfig()
+	cfg.ConstraintLimit = 0.05
+	cfg.ConstraintObjective = 0
+	if _, err := Optimize(s, eval, cfg); err == nil {
+		t.Fatal("ConstraintLimit with ConstraintObjective=0 accepted")
+	}
+
+	cfg.ConstraintObjective = 5 // RuntimeAccuracy has 2 objectives
+	if _, err := Optimize(s, eval, cfg); err == nil {
+		t.Fatal("out-of-range ConstraintObjective accepted")
+	}
+
+	// The valid constrained combination still works.
+	cfg.ConstraintObjective = 1
+	cfg.RandomSamples = 8
+	cfg.ActiveIterations = 1
+	if _, err := Optimize(s, eval, cfg); err != nil {
+		t.Fatalf("valid constrained config rejected: %v", err)
+	}
+}
+
+func TestParallelEvaluatorOrder(t *testing.T) {
+	eval := func(pt Point) Metrics { return Metrics{Runtime: pt[0]} }
+	pts := make([]Point, 100)
+	for i := range pts {
+		pts[i] = Point{float64(i)}
+	}
+	for _, workers := range []int{1, 8} {
+		ms := ParallelEvaluator{Eval: eval, Workers: workers}.EvalAll(pts)
+		if len(ms) != len(pts) {
+			t.Fatalf("workers=%d: %d results for %d points", workers, len(ms), len(pts))
+		}
+		for i, m := range ms {
+			if m.Runtime != float64(i) {
+				t.Fatalf("workers=%d: result %d out of order", workers, i)
+			}
+		}
+	}
+}

@@ -11,12 +11,11 @@ package icp
 
 import (
 	"math"
-	"runtime"
-	"sync"
 
 	"slamgo/internal/camera"
 	"slamgo/internal/imgproc"
 	"slamgo/internal/math3"
+	"slamgo/internal/parallel"
 )
 
 // Params controls one ICP solve.
@@ -131,106 +130,90 @@ func Solve(ref Reference, frame Frame, initPose math3.SE3, p Params) Result {
 	return res
 }
 
+// partial is one chunk's share of the normal equations.
+type partial struct {
+	sys     math3.Sym6
+	visited int64
+}
+
 // accumulate builds the normal equations for the current pose estimate,
-// sharding image rows across CPUs.
+// sharding image rows across CPUs. Chunk boundaries and the merge order
+// of the per-chunk partial sums depend only on the image height, so the
+// accumulated system — and therefore the solved pose — is bit-identical
+// for any worker count.
 func accumulate(ref Reference, frame Frame, pose math3.SE3, worldToRef math3.SE3, p Params) (*math3.Sym6, imgproc.Cost) {
 	h := frame.Vertices.Height
 	w := frame.Vertices.Width
-	workers := runtime.NumCPU()
-	if workers > h {
-		workers = h
-	}
-	systems := make([]math3.Sym6, workers)
-	var pixelsVisited int64
-	var mtx sync.Mutex
-
-	var wg sync.WaitGroup
-	chunk := (h + workers - 1) / workers
 	cosThresh := math.Cos(p.NormalThreshold)
-	for wi := 0; wi < workers; wi++ {
-		ylo := wi * chunk
-		yhi := ylo + chunk
-		if yhi > h {
-			yhi = h
-		}
-		if ylo >= yhi {
-			break
-		}
-		wg.Add(1)
-		go func(wi, ylo, yhi int) {
-			defer wg.Done()
-			sys := &systems[wi]
-			var visited int64
-			for y := ylo; y < yhi; y++ {
-				for x := 0; x < w; x++ {
-					visited++
-					pv, ok := frame.Vertices.At(x, y)
-					if !ok {
-						continue
-					}
-					nv, ok := frame.Normals.At(x, y)
-					if !ok {
-						continue
-					}
-					// Current estimate: frame point/normal in world.
-					pw := pose.Apply(pv)
-					nw := pose.ApplyDir(nv)
 
-					// Project into the reference camera.
-					pr := worldToRef.Apply(pw)
-					uv, vis := ref.Intr.Project(pr)
-					if !vis {
-						continue
-					}
-					u := int(uv.X + 0.5)
-					v := int(uv.Y + 0.5)
-					if u < 0 || v < 0 || u >= ref.Vertices.Width || v >= ref.Vertices.Height {
-						continue
-					}
-					qw, ok := ref.Vertices.At(u, v)
-					if !ok {
-						continue
-					}
-					qn, ok := ref.Normals.At(u, v)
-					if !ok {
-						continue
-					}
-					diff := qw.Sub(pw)
-					if diff.Norm() > p.DistThreshold {
-						continue
-					}
-					if nw.Dot(qn) < cosThresh {
-						continue
-					}
-					if p.PointToPoint {
-						// Three residual rows, one per component of
-						// e = q - T·p, with ∂(T·p)/∂ξ = [I | -[T·p]ₓ].
-						sys.AddRow([6]float64{1, 0, 0, 0, pw.Z, -pw.Y}, diff.X)
-						sys.AddRow([6]float64{0, 1, 0, -pw.Z, 0, pw.X}, diff.Y)
-						sys.AddRow([6]float64{0, 0, 1, pw.Y, -pw.X, 0}, diff.Z)
-						continue
-					}
-					// Point-to-plane residual and Jacobian w.r.t. the
-					// twist (v, ω) applied on the left of the pose.
-					e := diff.Dot(qn)
-					cross := pw.Cross(qn)
-					row := [6]float64{qn.X, qn.Y, qn.Z, cross.X, cross.Y, cross.Z}
-					sys.AddRow(row, e)
+	total := parallel.Reduce(h, 0, func(ylo, yhi int) partial {
+		var pt partial
+		sys := &pt.sys
+		for y := ylo; y < yhi; y++ {
+			for x := 0; x < w; x++ {
+				pt.visited++
+				pv, ok := frame.Vertices.At(x, y)
+				if !ok {
+					continue
 				}
-			}
-			mtx.Lock()
-			pixelsVisited += visited
-			mtx.Unlock()
-		}(wi, ylo, yhi)
-	}
-	wg.Wait()
+				nv, ok := frame.Normals.At(x, y)
+				if !ok {
+					continue
+				}
+				// Current estimate: frame point/normal in world.
+				pw := pose.Apply(pv)
+				nw := pose.ApplyDir(nv)
 
-	total := &systems[0]
-	for i := 1; i < len(systems); i++ {
-		total.Merge(&systems[i])
-	}
-	return total, imgproc.Cost{
-		Ops:   pixelsVisited*40 + int64(total.Count)*60,
-		Bytes: pixelsVisited * 56,
+				// Project into the reference camera.
+				pr := worldToRef.Apply(pw)
+				uv, vis := ref.Intr.Project(pr)
+				if !vis {
+					continue
+				}
+				u := int(uv.X + 0.5)
+				v := int(uv.Y + 0.5)
+				if u < 0 || v < 0 || u >= ref.Vertices.Width || v >= ref.Vertices.Height {
+					continue
+				}
+				qw, ok := ref.Vertices.At(u, v)
+				if !ok {
+					continue
+				}
+				qn, ok := ref.Normals.At(u, v)
+				if !ok {
+					continue
+				}
+				diff := qw.Sub(pw)
+				if diff.Norm() > p.DistThreshold {
+					continue
+				}
+				if nw.Dot(qn) < cosThresh {
+					continue
+				}
+				if p.PointToPoint {
+					// Three residual rows, one per component of
+					// e = q - T·p, with ∂(T·p)/∂ξ = [I | -[T·p]ₓ].
+					sys.AddRow([6]float64{1, 0, 0, 0, pw.Z, -pw.Y}, diff.X)
+					sys.AddRow([6]float64{0, 1, 0, -pw.Z, 0, pw.X}, diff.Y)
+					sys.AddRow([6]float64{0, 0, 1, pw.Y, -pw.X, 0}, diff.Z)
+					continue
+				}
+				// Point-to-plane residual and Jacobian w.r.t. the
+				// twist (v, ω) applied on the left of the pose.
+				e := diff.Dot(qn)
+				cross := pw.Cross(qn)
+				row := [6]float64{qn.X, qn.Y, qn.Z, cross.X, cross.Y, cross.Z}
+				sys.AddRow(row, e)
+			}
+		}
+		return pt
+	}, func(acc *partial, o partial) {
+		acc.sys.Merge(&o.sys)
+		acc.visited += o.visited
+	})
+
+	return &total.sys, imgproc.Cost{
+		Ops:   total.visited*40 + int64(total.sys.Count)*60,
+		Bytes: total.visited * 56,
 	}
 }

@@ -191,8 +191,14 @@ func MmToM(raw []uint16, out *DepthMap) Cost {
 // reference value contribute (this mirrors KinectFusion's half-sampling
 // kernel, which avoids averaging across depth discontinuities).
 func HalfSampleDepth(src *DepthMap, band float32) (*DepthMap, Cost) {
-	w, h := src.Width/2, src.Height/2
-	dst := NewDepthMap(w, h)
+	dst := NewDepthMap(src.Width/2, src.Height/2)
+	return dst, HalfSampleDepthInto(dst, src, band)
+}
+
+// HalfSampleDepthInto is the allocation-free variant: dst must be half
+// src's size and every dst pixel is overwritten.
+func HalfSampleDepthInto(dst, src *DepthMap, band float32) Cost {
+	w, h := dst.Width, dst.Height
 	var ops int64
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
@@ -214,11 +220,13 @@ func HalfSampleDepth(src *DepthMap, band float32) (*DepthMap, Cost) {
 			}
 			if cnt > 0 {
 				dst.Set(x, y, sum/float32(cnt))
+			} else {
+				dst.Set(x, y, 0)
 			}
 			ops += 8
 		}
 	}
-	return dst, Cost{Ops: ops, Bytes: int64(w * h * 4 * 5)}
+	return Cost{Ops: ops, Bytes: int64(w * h * 4 * 5)}
 }
 
 func absf32(v float32) float32 {
@@ -232,16 +240,23 @@ func absf32(v float32) float32 {
 // camera-frame point cloud.
 func DepthToVertexMap(d *DepthMap, backProject func(u, v, depth float64) math3.Vec3) (*VertexMap, Cost) {
 	vm := NewVertexMap(d.Width, d.Height)
+	return vm, DepthToVertexMapInto(vm, d, backProject)
+}
+
+// DepthToVertexMapInto is the allocation-free variant: every vm pixel is
+// overwritten (set or invalidated), so vm may hold stale data.
+func DepthToVertexMapInto(vm *VertexMap, d *DepthMap, backProject func(u, v, depth float64) math3.Vec3) Cost {
 	for y := 0; y < d.Height; y++ {
 		for x := 0; x < d.Width; x++ {
 			z := d.At(x, y)
 			if z <= 0 {
+				vm.Mask[y*vm.Width+x] = false
 				continue
 			}
 			vm.Set(x, y, backProject(float64(x), float64(y), float64(z)))
 		}
 	}
-	return vm, Cost{
+	return Cost{
 		Ops:   int64(d.Width * d.Height * 6),
 		Bytes: int64(d.Width * d.Height * (4 + 24)),
 	}
@@ -252,13 +267,22 @@ func DepthToVertexMap(d *DepthMap, backProject func(u, v, depth float64) math3.V
 // point towards the camera (-Z half-space).
 func VertexToNormalMap(vm *VertexMap) (*NormalMap, Cost) {
 	nm := NewNormalMap(vm.Width, vm.Height)
+	return nm, VertexToNormalMapInto(nm, vm)
+}
+
+// VertexToNormalMapInto is the allocation-free variant: every nm pixel is
+// overwritten (set or invalidated), so nm may hold stale data.
+func VertexToNormalMapInto(nm *NormalMap, vm *VertexMap) Cost {
 	for y := 0; y < vm.Height; y++ {
 		for x := 0; x < vm.Width; x++ {
+			i := y*nm.Width + x
 			if x == 0 || y == 0 || x == vm.Width-1 || y == vm.Height-1 {
+				nm.Mask[i] = false
 				continue
 			}
 			c, ok := vm.At(x, y)
 			if !ok {
+				nm.Mask[i] = false
 				continue
 			}
 			r, okR := vm.At(x+1, y)
@@ -266,10 +290,12 @@ func VertexToNormalMap(vm *VertexMap) (*NormalMap, Cost) {
 			d, okD := vm.At(x, y+1)
 			u, okU := vm.At(x, y-1)
 			if !okR || !okL || !okD || !okU {
+				nm.Mask[i] = false
 				continue
 			}
 			n := r.Sub(l).Cross(d.Sub(u))
 			if n.Norm() < 1e-12 {
+				nm.Mask[i] = false
 				continue
 			}
 			n = n.Normalized()
@@ -280,7 +306,7 @@ func VertexToNormalMap(vm *VertexMap) (*NormalMap, Cost) {
 			nm.Set(x, y, n)
 		}
 	}
-	return nm, Cost{
+	return Cost{
 		Ops:   int64(vm.Width * vm.Height * 30),
 		Bytes: int64(vm.Width * vm.Height * 24 * 5),
 	}

@@ -1,0 +1,84 @@
+package imgproc
+
+import "sync"
+
+// dim keys pooled buffers by their pixel dimensions.
+type dim struct{ w, h int }
+
+// BufferPool recycles the dense per-frame maps of the front-end —
+// depth maps, vertex maps and normal maps — so the pipeline's steady
+// state allocates nothing per frame. It is backed by one sync.Pool per
+// size class, so buffers survive across frames but are still released
+// under memory pressure.
+//
+// Vertex and normal maps come back all-invalid (mask cleared) — the
+// precondition RaycastInto needs. Depth maps come back with stale
+// pixels: every depth consumer is an Into-kernel that overwrites its
+// whole destination, so clearing them would be a pure memset tax on the
+// per-frame hot path. Returning a buffer with Put* while anything still
+// reads it is a use-after-free in spirit; the pipeline returns buffers
+// only once a frame is fully processed. The zero value is ready to use,
+// and all methods are safe for concurrent callers.
+type BufferPool struct {
+	mu     sync.Mutex
+	depth  map[dim]*sync.Pool
+	vertex map[dim]*sync.Pool
+}
+
+func (p *BufferPool) class(m *map[dim]*sync.Pool, w, h int, fresh func() any) *sync.Pool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if *m == nil {
+		*m = map[dim]*sync.Pool{}
+	}
+	k := dim{w, h}
+	sp := (*m)[k]
+	if sp == nil {
+		sp = &sync.Pool{New: fresh}
+		(*m)[k] = sp
+	}
+	return sp
+}
+
+// Depth returns a w×h depth map that may hold stale pixels; pass it
+// only to kernels that overwrite every destination pixel (all the
+// *Into kernels do).
+func (p *BufferPool) Depth(w, h int) *DepthMap {
+	sp := p.class(&p.depth, w, h, func() any { return NewDepthMap(w, h) })
+	return sp.Get().(*DepthMap)
+}
+
+// PutDepth recycles a depth map obtained from Depth.
+func (p *BufferPool) PutDepth(d *DepthMap) {
+	if d == nil {
+		return
+	}
+	sp := p.class(&p.depth, d.Width, d.Height, func() any { return NewDepthMap(d.Width, d.Height) })
+	sp.Put(d)
+}
+
+// Vertex returns an all-invalid w×h vertex map. Stale point data may
+// remain behind cleared mask bits; every read path is mask-gated, so it
+// is unobservable.
+func (p *BufferPool) Vertex(w, h int) *VertexMap {
+	sp := p.class(&p.vertex, w, h, func() any { return NewVertexMap(w, h) })
+	m := sp.Get().(*VertexMap)
+	clear(m.Mask)
+	return m
+}
+
+// PutVertex recycles a vertex (or normal) map obtained from this pool.
+func (p *BufferPool) PutVertex(m *VertexMap) {
+	if m == nil {
+		return
+	}
+	sp := p.class(&p.vertex, m.Width, m.Height, func() any { return NewVertexMap(m.Width, m.Height) })
+	sp.Put(m)
+}
+
+// Normal returns an all-invalid w×h normal map (NormalMap aliases
+// VertexMap, so normals share the vertex size classes).
+func (p *BufferPool) Normal(w, h int) *NormalMap { return p.Vertex(w, h) }
+
+// PutNormal recycles a normal map.
+func (p *BufferPool) PutNormal(m *NormalMap) { p.PutVertex(m) }

@@ -1,0 +1,147 @@
+package imgproc
+
+import (
+	"math/rand"
+	"testing"
+
+	"slamgo/internal/math3"
+)
+
+func TestBufferPoolReturnsClearedBuffers(t *testing.T) {
+	var pool BufferPool
+
+	// Depth maps are recycled dirty by contract (every consumer
+	// overwrites all pixels); only the shape must hold.
+	d := pool.Depth(8, 6)
+	for i := range d.Pix {
+		d.Pix[i] = 3.5
+	}
+	pool.PutDepth(d)
+	if d2 := pool.Depth(8, 6); d2.Width != 8 || d2.Height != 6 || len(d2.Pix) != 48 {
+		t.Fatalf("recycled depth has wrong shape %dx%d", d2.Width, d2.Height)
+	}
+
+	m := pool.Vertex(8, 6)
+	m.Set(3, 2, math3.V3(1, 2, 3))
+	pool.PutVertex(m)
+	m2 := pool.Vertex(8, 6)
+	if n := m2.ValidCount(); n != 0 {
+		t.Fatalf("recycled vertex map has %d valid pixels", n)
+	}
+
+	// Distinct size classes never hand back the wrong shape.
+	small := pool.Depth(4, 3)
+	if small.Width != 4 || small.Height != 3 || len(small.Pix) != 12 {
+		t.Fatalf("wrong buffer shape %dx%d", small.Width, small.Height)
+	}
+
+	// Nil puts are no-ops (first raycast has no previous reference).
+	pool.PutDepth(nil)
+	pool.PutVertex(nil)
+	pool.PutNormal(nil)
+}
+
+// TestIntoVariantsMatchAllocating feeds the Into-kernels dirty recycled
+// buffers and checks they produce exactly what the allocating versions
+// produce from scratch — the zero-allocation pipeline must not leak
+// stale data between frames.
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const w, h = 31, 22
+	src := NewDepthMap(w, h)
+	for i := range src.Pix {
+		if rng.Float64() < 0.8 {
+			src.Pix[i] = 0.5 + 3*rng.Float32()
+		}
+	}
+
+	dirtyDepth := func(w, h int) *DepthMap {
+		d := NewDepthMap(w, h)
+		for i := range d.Pix {
+			d.Pix[i] = 99
+		}
+		return d
+	}
+
+	// Bilateral.
+	want, wantCost := BilateralFilter(src, 2, 4.0, 0.1)
+	got := dirtyDepth(w, h)
+	gotCost := BilateralFilterInto(got, src, 2, 4.0, 0.1)
+	if wantCost != gotCost {
+		t.Fatalf("bilateral cost %+v != %+v", gotCost, wantCost)
+	}
+	for i := range want.Pix {
+		if want.Pix[i] != got.Pix[i] {
+			t.Fatalf("bilateral pixel %d: into %v, allocating %v", i, got.Pix[i], want.Pix[i])
+		}
+	}
+
+	// Half-sampling.
+	wantHalf, _ := HalfSampleDepth(src, 0.1)
+	gotHalf := dirtyDepth(w/2, h/2)
+	HalfSampleDepthInto(gotHalf, src, 0.1)
+	for i := range wantHalf.Pix {
+		if wantHalf.Pix[i] != gotHalf.Pix[i] {
+			t.Fatalf("halfsample pixel %d differs", i)
+		}
+	}
+
+	// Vertex + normal maps, through dirty recycled maps.
+	back := func(u, v, z float64) math3.Vec3 { return math3.V3(u*z, v*z, z) }
+	wantVM, _ := DepthToVertexMap(src, back)
+	gotVM := NewVertexMap(w, h)
+	for i := range gotVM.Mask {
+		gotVM.Mask[i] = true
+		gotVM.Points[i] = math3.V3(9, 9, 9)
+	}
+	DepthToVertexMapInto(gotVM, src, back)
+	for i := range wantVM.Mask {
+		if wantVM.Mask[i] != gotVM.Mask[i] {
+			t.Fatalf("vertex mask %d differs", i)
+		}
+		if wantVM.Mask[i] && wantVM.Points[i] != gotVM.Points[i] {
+			t.Fatalf("vertex point %d differs", i)
+		}
+	}
+
+	wantNM, _ := VertexToNormalMap(wantVM)
+	gotNM := NewNormalMap(w, h)
+	for i := range gotNM.Mask {
+		gotNM.Mask[i] = true
+		gotNM.Points[i] = math3.V3(9, 9, 9)
+	}
+	VertexToNormalMapInto(gotNM, gotVM)
+	for i := range wantNM.Mask {
+		if wantNM.Mask[i] != gotNM.Mask[i] {
+			t.Fatalf("normal mask %d differs", i)
+		}
+		if wantNM.Mask[i] && wantNM.Points[i] != gotNM.Points[i] {
+			t.Fatalf("normal %d differs", i)
+		}
+	}
+}
+
+// TestBilateralSteadyStateAllocs is the headline allocation claim: with
+// a pooled destination the filter allocates nothing per frame.
+func TestBilateralSteadyStateAllocs(t *testing.T) {
+	src := NewDepthMap(64, 48)
+	for i := range src.Pix {
+		src.Pix[i] = 1.5
+	}
+	var pool BufferPool
+	// Warm the pool and the spatial-kernel cache.
+	d := pool.Depth(64, 48)
+	BilateralFilterInto(d, src, 2, 4.0, 0.1)
+	pool.PutDepth(d)
+
+	allocs := testing.AllocsPerRun(20, func() {
+		d := pool.Depth(64, 48)
+		BilateralFilterInto(d, src, 2, 4.0, 0.1)
+		pool.PutDepth(d)
+	})
+	// A handful of allocations remain for the worker goroutines of the
+	// parallel row loop; the per-pixel buffers are gone.
+	if allocs > 12 {
+		t.Fatalf("bilateral steady state allocates %.0f objects/frame", allocs)
+	}
+}

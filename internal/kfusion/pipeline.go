@@ -84,6 +84,9 @@ type Pipeline struct {
 	hasRef  bool
 	ref     icp.Reference
 	frameNo int
+	// pool recycles every per-frame map (pyramid depths, vertex/normal
+	// maps, raycast buffers) so the steady state allocates nothing.
+	pool imgproc.BufferPool
 	// integratedSinceRaycast counts integrations since the last model
 	// raycast, for the rendering-rate knob.
 	integratedSinceRaycast int
@@ -135,6 +138,10 @@ func (p *Pipeline) TrackingFailures() int { return p.failures }
 // Reference returns the current model raycast (world-frame vertex and
 // normal maps) used as the tracking reference, and whether one exists
 // yet. The GUI renders this as its 3D model pane.
+//
+// The returned maps are owned by the pipeline's buffer pool: they stay
+// valid until the next ProcessFrame call, which may recycle them. Hold
+// them across frames only via a deep copy.
 func (p *Pipeline) Reference() (icp.Reference, bool) { return p.ref, p.hasRef }
 
 // ProcessFrame runs the full pipeline on one depth image (at sensor
@@ -147,8 +154,11 @@ func (p *Pipeline) ProcessFrame(depth *imgproc.DepthMap) (*FrameResult, error) {
 	res := &FrameResult{Index: p.frameNo}
 
 	// --- Preprocess: downsample, denoise, pyramid, vertex/normal maps.
+	// Every map lives in the buffer pool and is recycled once the frame
+	// is done.
 	t0 := time.Now()
 	pyr, cost := p.preprocess(depth)
+	defer p.release(pyr)
 	res.KernelCosts[KernelPreprocess] = cost
 	res.KernelTimes[KernelPreprocess] = time.Since(t0)
 
@@ -190,7 +200,14 @@ func (p *Pipeline) ProcessFrame(depth *imgproc.DepthMap) (*FrameResult, error) {
 	// --- Raycast the model to refresh the tracking reference.
 	if res.Integrated && (p.integratedSinceRaycast >= p.cfg.RenderingRate || !p.hasRef) {
 		t0 = time.Now()
-		rc := p.volume.Raycast(p.pose, p.in, p.cfg.Mu, 0.1, p.cfg.VolumeSize*1.8)
+		// Recycle the outgoing reference maps (nil on the first raycast)
+		// and march into fresh pool buffers — steady state ping-pongs
+		// between the same two map pairs.
+		p.pool.PutVertex(p.ref.Vertices)
+		p.pool.PutNormal(p.ref.Normals)
+		verts := p.pool.Vertex(p.in.Width, p.in.Height)
+		norms := p.pool.Normal(p.in.Width, p.in.Height)
+		rc := p.volume.RaycastInto(verts, norms, p.pose, p.in, p.cfg.Mu, 0.1, p.cfg.VolumeSize*1.8)
 		res.KernelCosts[KernelRaycast] = rc.Cost
 		res.KernelTimes[KernelRaycast] = time.Since(t0)
 		p.ref = icp.Reference{
@@ -218,36 +235,59 @@ type preprocessed struct {
 func (p *Pipeline) preprocess(depth *imgproc.DepthMap) (*preprocessed, imgproc.Cost) {
 	var total imgproc.Cost
 
-	// Downsample to compute resolution (ratio is a power of two).
+	// Downsample to compute resolution (ratio is a power of two). The
+	// caller's input map is only ever read; intermediates come from the
+	// pool and go straight back.
 	work := depth
 	for r := p.cfg.ComputeSizeRatio; r > 1; r /= 2 {
-		var c imgproc.Cost
-		work, c = imgproc.HalfSampleDepth(work, p.cfg.PyramidDiscontinuity)
-		total.Add(c)
+		half := p.pool.Depth(work.Width/2, work.Height/2)
+		total.Add(imgproc.HalfSampleDepthInto(half, work, p.cfg.PyramidDiscontinuity))
+		if work != depth {
+			p.pool.PutDepth(work)
+		}
+		work = half
 	}
 
 	// Bilateral denoise at compute resolution.
-	filtered, c := imgproc.BilateralFilter(
-		work, p.cfg.BilateralRadius, p.cfg.BilateralSpatialSigma, p.cfg.BilateralRangeSigma,
-	)
-	total.Add(c)
+	filtered := p.pool.Depth(work.Width, work.Height)
+	total.Add(imgproc.BilateralFilterInto(
+		filtered, work, p.cfg.BilateralRadius, p.cfg.BilateralSpatialSigma, p.cfg.BilateralRangeSigma,
+	))
+	if work != depth {
+		p.pool.PutDepth(work)
+	}
 
 	levels := p.cfg.pyramidLevels()
-	depths, c := imgproc.BuildDepthPyramid(filtered, levels, p.cfg.PyramidDiscontinuity)
+	depths, c := imgproc.BuildDepthPyramidPooled(&p.pool, filtered, levels, p.cfg.PyramidDiscontinuity)
 	total.Add(c)
 
 	pp := &preprocessed{Depth: depths}
 	for l, d := range depths {
 		in := p.in.Downsample(l)
-		vm, c1 := imgproc.DepthToVertexMap(d, in.BackProject)
-		nm, c2 := imgproc.VertexToNormalMap(vm)
-		total.Add(c1)
-		total.Add(c2)
+		vm := p.pool.Vertex(d.Width, d.Height)
+		total.Add(imgproc.DepthToVertexMapInto(vm, d, in.BackProject))
+		nm := p.pool.Normal(d.Width, d.Height)
+		total.Add(imgproc.VertexToNormalMapInto(nm, vm))
 		pp.Vertices = append(pp.Vertices, vm)
 		pp.Normals = append(pp.Normals, nm)
 		pp.Intr = append(pp.Intr, in)
 	}
 	return pp, total
+}
+
+// release returns one frame's scratch maps to the pool. The pyramid's
+// depth maps all originate from the pool (level 0 is the bilateral
+// output, never the caller's input), as do the vertex and normal maps.
+func (p *Pipeline) release(pp *preprocessed) {
+	for _, d := range pp.Depth {
+		p.pool.PutDepth(d)
+	}
+	for _, m := range pp.Vertices {
+		p.pool.PutVertex(m)
+	}
+	for _, m := range pp.Normals {
+		p.pool.PutNormal(m)
+	}
 }
 
 // track runs coarse-to-fine ICP against the model reference.

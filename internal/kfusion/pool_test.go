@@ -1,0 +1,54 @@
+package kfusion
+
+import (
+	"testing"
+
+	"slamgo/internal/dataset"
+)
+
+// TestPipelineDeterministicWithPooledBuffers runs the same sequence
+// through two pipelines and demands bit-identical trajectories: the
+// recycled buffers must behave exactly like fresh allocations, and the
+// chunk-ordered kernel reductions must not depend on scheduling.
+func TestPipelineDeterministicWithPooledBuffers(t *testing.T) {
+	seq, err := dataset.LivingRoomKT(0, dataset.PresetOptions{
+		Width: 160, Height: 120, Frames: 8, FPS: 30, Noisy: true, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.VolumeResolution = 64
+	cfg.ComputeSizeRatio = 2
+
+	run := func() []FrameResult {
+		f0, _ := seq.Frame(0)
+		p, err := New(cfg, seq.Intrinsics(), f0.GroundTruth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []FrameResult
+		for i := 0; i < seq.Len(); i++ {
+			f, _ := seq.Frame(i)
+			r, err := p.ProcessFrame(f.Depth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, *r)
+		}
+		return out
+	}
+
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Pose != b[i].Pose {
+			t.Fatalf("frame %d: pose diverges between identical runs", i)
+		}
+		if a[i].Tracked != b[i].Tracked || a[i].Integrated != b[i].Integrated {
+			t.Fatalf("frame %d: control flow diverges between identical runs", i)
+		}
+		if a[i].KernelCosts != b[i].KernelCosts {
+			t.Fatalf("frame %d: kernel costs diverge between identical runs", i)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package parallel is the shared concurrency substrate of the
+// reproduction: a bounded worker pool over contiguous index chunks, a
+// deterministic chunked map-reduce, and an ordered map for expensive
+// uneven tasks (DSE evaluations, forest fitting).
+//
+// Determinism is the design constraint that shapes everything here. The
+// DSE must produce byte-identical results for any worker count, and the
+// frame kernels reduce floating-point sums whose value depends on
+// association order. Both are solved the same way: work is split into
+// chunks whose boundaries depend only on the problem size n — never on
+// the worker count — and per-chunk partial results are merged serially
+// in ascending chunk order. Workers race only over *which* chunk they
+// pull next (an atomic counter), not over where chunk boundaries fall or
+// the order partials combine, so ICP normal equations, raycast step
+// counts and surrogate predictions are bit-identical whether the host
+// has 1 core or 64.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxChunks bounds how finely an index range is split. More chunks than
+// workers gives the atomic-counter scheduler room to balance uneven
+// work (rays that march far, rows dense with correspondences) without
+// making per-chunk partials costly to merge.
+const maxChunks = 64
+
+// active counts workers currently running across all parallel regions.
+// Nested parallelism (a ParallelEvaluator fanning out SLAM evaluations
+// whose kernels themselves call Reduce) would otherwise oversubscribe
+// the CPU with Workers × GOMAXPROCS runnable goroutines; capWorkers
+// gives inner regions only the cores the outer region left idle. This
+// is pure scheduling backpressure — chunk boundaries and merge order
+// never depend on it, so results are unaffected.
+var active atomic.Int64
+
+// capWorkers shrinks a requested worker count to the idle core budget.
+// Top-level regions (no other region running) get what they asked for;
+// nested regions get at most the cores the enclosing regions left idle,
+// always at least one.
+func capWorkers(w int) int {
+	a := int(active.Load())
+	if a == 0 {
+		return w
+	}
+	idle := runtime.GOMAXPROCS(0) - a
+	if w > idle {
+		w = idle
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Workers resolves a worker-count knob: n ≥ 1 is used as-is, anything
+// else (the zero value of a config field) means GOMAXPROCS.
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// chunkCount splits n items into a chunk count that depends only on n.
+func chunkCount(n int) int {
+	if n < maxChunks {
+		return n
+	}
+	return maxChunks
+}
+
+// For runs body over [0,n) split into contiguous chunks scheduled across
+// at most workers goroutines (workers ≤ 0 means GOMAXPROCS). Chunk
+// boundaries depend only on n, so any chunk-local side effects land
+// identically regardless of worker count. body must not touch the same
+// memory from two different chunks, and its effects must not depend on
+// how the range is subdivided (with one worker the whole range may
+// arrive as a single call) — per-chunk accumulators belong in Reduce.
+func For(n, workers int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	nc := chunkCount(n)
+	w := Workers(workers)
+	if w > nc {
+		w = nc
+	}
+	w = capWorkers(w)
+	if w <= 1 {
+		body(0, n)
+		return
+	}
+	active.Add(int64(w))
+	defer active.Add(-int64(w))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nc {
+					return
+				}
+				lo, hi := chunkBounds(n, nc, c)
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// chunkBounds returns the half-open range of chunk c of nc chunks over n.
+func chunkBounds(n, nc, c int) (lo, hi int) {
+	size := n / nc
+	rem := n % nc
+	// The first rem chunks carry one extra item.
+	if c < rem {
+		lo = c * (size + 1)
+		hi = lo + size + 1
+		return lo, hi
+	}
+	lo = rem*(size+1) + (c-rem)*size
+	return lo, lo + size
+}
+
+// Reduce computes a per-chunk partial with body and folds the partials
+// with merge in ascending chunk order. Because the chunking depends only
+// on n, the fold is associated identically for every worker count —
+// floating-point reductions (ICP normal equations, cost sums) come out
+// bit-exact no matter the parallelism.
+func Reduce[A any](n, workers int, body func(lo, hi int) A, merge func(*A, A)) A {
+	var zero A
+	if n <= 0 {
+		return zero
+	}
+	nc := chunkCount(n)
+	w := Workers(workers)
+	if w > nc {
+		w = nc
+	}
+	w = capWorkers(w)
+	if w <= 1 {
+		// Same chunking as the parallel path so the fold associates
+		// identically — workers=1 is the reference everything must match.
+		lo, hi := chunkBounds(n, nc, 0)
+		acc := body(lo, hi)
+		for c := 1; c < nc; c++ {
+			lo, hi = chunkBounds(n, nc, c)
+			merge(&acc, body(lo, hi))
+		}
+		return acc
+	}
+	active.Add(int64(w))
+	defer active.Add(-int64(w))
+	partials := make([]A, nc)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nc {
+					return
+				}
+				lo, hi := chunkBounds(n, nc, c)
+				partials[c] = body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	acc := partials[0]
+	for c := 1; c < nc; c++ {
+		merge(&acc, partials[c])
+	}
+	return acc
+}
+
+// MapOrdered applies fn to every item on a bounded pool and returns the
+// results in input order. Items are claimed one at a time from an atomic
+// counter, which keeps long tasks (a slow SLAM evaluation, a deep tree)
+// from serialising behind short ones. fn receives the item index so
+// callers can derive per-item deterministic state (e.g. seeds).
+func MapOrdered[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
+	n := len(items)
+	if n == 0 {
+		return nil
+	}
+	out := make([]R, n)
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	w = capWorkers(w)
+	if w <= 1 {
+		for i, it := range items {
+			out[i] = fn(i, it)
+		}
+		return out
+	}
+	active.Add(int64(w))
+	defer active.Add(-int64(w))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i, items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

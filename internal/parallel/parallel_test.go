@@ -1,0 +1,136 @@
+package parallel
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestChunkBoundsCoverExactly(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 63, 64, 65, 100, 1000, 4096} {
+		nc := chunkCount(n)
+		covered := 0
+		prevHi := 0
+		for c := 0; c < nc; c++ {
+			lo, hi := chunkBounds(n, nc, c)
+			if lo != prevHi {
+				t.Fatalf("n=%d chunk %d starts at %d, want %d", n, c, lo, prevHi)
+			}
+			if hi <= lo {
+				t.Fatalf("n=%d chunk %d empty [%d,%d)", n, c, lo, hi)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != n || prevHi != n {
+			t.Fatalf("n=%d covered %d ending at %d", n, covered, prevHi)
+		}
+	}
+}
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 32} {
+		const n = 1337
+		var hits [n]atomic.Int32
+		For(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	called := false
+	For(0, 4, func(lo, hi int) { called = true })
+	For(-3, 4, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("body called for empty range")
+	}
+}
+
+// TestReduceDeterministicAcrossWorkers is the core contract: a
+// floating-point sum must be bit-identical for every worker count
+// because chunk boundaries and merge order depend only on n.
+func TestReduceDeterministicAcrossWorkers(t *testing.T) {
+	const n = 10007
+	vals := make([]float64, n)
+	for i := range vals {
+		// Values at wildly different magnitudes so association order
+		// actually matters.
+		vals[i] = math.Pow(10, float64(i%30)-15) * float64(1+i%7)
+	}
+	sum := func(workers int) float64 {
+		return Reduce(n, workers, func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += vals[i]
+			}
+			return s
+		}, func(acc *float64, p float64) { *acc += p })
+	}
+	want := sum(1)
+	for _, w := range []int{2, 3, 4, 8, 16, 64} {
+		if got := sum(w); got != want {
+			t.Fatalf("workers=%d sum %v != workers=1 sum %v", w, got, want)
+		}
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	got := Reduce(0, 4, func(lo, hi int) int { return 1 }, func(a *int, b int) { *a += b })
+	if got != 0 {
+		t.Fatalf("empty reduce = %d", got)
+	}
+}
+
+func TestMapOrderedPreservesOrder(t *testing.T) {
+	items := make([]int, 513)
+	for i := range items {
+		items[i] = i * 3
+	}
+	for _, workers := range []int{1, 2, 8, 100} {
+		out := MapOrdered(workers, items, func(i, v int) int { return v + i })
+		for i, v := range out {
+			if v != i*4 {
+				t.Fatalf("workers=%d out[%d]=%d want %d", workers, i, v, i*4)
+			}
+		}
+	}
+	if MapOrdered(4, []int(nil), func(i, v int) int { return v }) != nil {
+		t.Fatal("nil items should map to nil")
+	}
+}
+
+func TestWorkersKnob(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("explicit worker count ignored")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Fatal("defaulted worker count < 1")
+	}
+}
+
+func BenchmarkReduceSum(b *testing.B) {
+	b.ReportAllocs()
+	const n = 1 << 16
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Reduce(n, 0, func(lo, hi int) float64 {
+			s := 0.0
+			for j := lo; j < hi; j++ {
+				s += vals[j]
+			}
+			return s
+		}, func(acc *float64, p float64) { *acc += p })
+	}
+}

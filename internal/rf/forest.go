@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+
+	"slamgo/internal/parallel"
 )
 
 // ForestConfig controls random-forest training.
@@ -15,6 +17,10 @@ type ForestConfig struct {
 	Tree TreeConfig
 	// Seed makes training deterministic.
 	Seed int64
+	// Workers bounds how many trees are fit concurrently; 0 means
+	// GOMAXPROCS. The trained forest is identical for every worker count
+	// because each tree's RNG is seeded by a serial pre-draw.
+	Workers int
 }
 
 // DefaultForestConfig mirrors the scikit-learn defaults HyperMapper used.
@@ -44,25 +50,39 @@ func FitForest(X [][]float64, y []float64, cfg ForestConfig) (*Forest, error) {
 	}
 	d := len(X[0])
 	if cfg.Tree.MTry <= 0 {
-		cfg.Tree.MTry = maxInt(1, d/3)
+		cfg.Tree.MTry = max(1, d/3)
 	}
+	// Per-tree seeds are drawn serially so the ensemble is byte-identical
+	// for any worker count; the trees themselves fit concurrently.
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	f := &Forest{dims: d}
+	seeds := make([]int64, cfg.Trees)
+	for t := range seeds {
+		seeds[t] = rng.Int63()
+	}
 	n := len(X)
-	for t := 0; t < cfg.Trees; t++ {
+	type fitted struct {
+		tree *RegressionTree
+		err  error
+	}
+	results := parallel.MapOrdered(cfg.Workers, seeds, func(_ int, seed int64) fitted {
+		trng := rand.New(rand.NewSource(seed))
 		// Bootstrap sample.
 		bx := make([][]float64, n)
 		by := make([]float64, n)
 		for i := 0; i < n; i++ {
-			j := rng.Intn(n)
+			j := trng.Intn(n)
 			bx[i] = X[j]
 			by[i] = y[j]
 		}
-		tree, err := FitRegression(bx, by, cfg.Tree, rng)
-		if err != nil {
-			return nil, err
+		tree, err := FitRegression(bx, by, cfg.Tree, trng)
+		return fitted{tree: tree, err: err}
+	})
+	f := &Forest{dims: d}
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
 		}
-		f.trees = append(f.trees, tree)
+		f.trees = append(f.trees, r.tree)
 	}
 	return f, nil
 }
@@ -122,11 +142,4 @@ func (f *Forest) R2Score(X [][]float64, y []float64) float64 {
 		return math.Inf(-1)
 	}
 	return 1 - ssRes/ssTot
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -67,10 +67,3 @@ func ReconstructionError(mesh *tsdf.Mesh, scene sdf.Field, maxSamples int) (Reco
 	}
 	return st, nil
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

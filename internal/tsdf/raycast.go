@@ -2,12 +2,11 @@ package tsdf
 
 import (
 	"math"
-	"runtime"
-	"sync"
 
 	"slamgo/internal/camera"
 	"slamgo/internal/imgproc"
 	"slamgo/internal/math3"
+	"slamgo/internal/parallel"
 )
 
 // RaycastResult holds the world-frame vertex and normal maps produced by
@@ -29,58 +28,43 @@ type RaycastResult struct {
 func (v *Volume) Raycast(pose math3.SE3, in camera.Intrinsics, mu, near, far float64) RaycastResult {
 	verts := imgproc.NewVertexMap(in.Width, in.Height)
 	norms := imgproc.NewNormalMap(in.Width, in.Height)
+	return v.RaycastInto(verts, norms, pose, in, mu, near, far)
+}
+
+// RaycastInto is the allocation-free variant: it marches into
+// caller-provided maps, which must be all-invalid (freshly allocated or
+// drawn from an imgproc.BufferPool). Rays are marched in parallel with
+// the per-worker step counts merged in a fixed chunk order, so the
+// result is identical for any worker count.
+func (v *Volume) RaycastInto(verts *imgproc.VertexMap, norms *imgproc.NormalMap, pose math3.SE3, in camera.Intrinsics, mu, near, far float64) RaycastResult {
 	if mu <= 0 {
 		mu = v.VoxelSize() * 4
 	}
 	coarse := math.Max(0.75*mu, v.VoxelSize())
 	fine := v.VoxelSize() * 0.5
 
-	var steps int64
-	var mtx sync.Mutex
-
-	workers := runtime.NumCPU()
-	if workers > in.Height {
-		workers = in.Height
-	}
-	var wg sync.WaitGroup
-	chunk := (in.Height + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		ylo := w * chunk
-		yhi := ylo + chunk
-		if yhi > in.Height {
-			yhi = in.Height
-		}
-		if ylo >= yhi {
-			break
-		}
-		wg.Add(1)
-		go func(ylo, yhi int) {
-			defer wg.Done()
-			var localSteps int64
-			for y := ylo; y < yhi; y++ {
-				for x := 0; x < in.Width; x++ {
-					dir := in.Ray(float64(x), float64(y))
-					wdir := pose.ApplyDir(dir)
-					hit, ok, n := v.marchRay(pose.T, wdir, coarse, fine, near, far)
-					localSteps += n
-					if !ok {
-						continue
-					}
-					p := pose.T.Add(wdir.Scale(hit))
-					g, gok := v.Gradient(p)
-					if !gok {
-						continue
-					}
-					verts.Set(x, y, p)
-					norms.Set(x, y, g)
+	steps := parallel.Reduce(in.Height, 0, func(ylo, yhi int) int64 {
+		var localSteps int64
+		for y := ylo; y < yhi; y++ {
+			for x := 0; x < in.Width; x++ {
+				dir := in.Ray(float64(x), float64(y))
+				wdir := pose.ApplyDir(dir)
+				hit, ok, n := v.marchRay(pose.T, wdir, coarse, fine, near, far)
+				localSteps += n
+				if !ok {
+					continue
 				}
+				p := pose.T.Add(wdir.Scale(hit))
+				g, gok := v.Gradient(p)
+				if !gok {
+					continue
+				}
+				verts.Set(x, y, p)
+				norms.Set(x, y, g)
 			}
-			mtx.Lock()
-			steps += localSteps
-			mtx.Unlock()
-		}(ylo, yhi)
-	}
-	wg.Wait()
+		}
+		return localSteps
+	}, func(acc *int64, p int64) { *acc += p })
 
 	return RaycastResult{
 		Vertices: verts,

@@ -11,12 +11,11 @@ package tsdf
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"slamgo/internal/camera"
 	"slamgo/internal/imgproc"
 	"slamgo/internal/math3"
+	"slamgo/internal/parallel"
 )
 
 // Volume is the dense TSDF grid.
@@ -224,69 +223,50 @@ func (v *Volume) Integrate(depth *imgproc.DepthMap, pose math3.SE3, in camera.In
 	worldToCam := pose.Inverse()
 	s := v.VoxelSize()
 
-	workers := runtime.NumCPU()
-	if workers > v.Res {
-		workers = v.Res
-	}
-	var wg sync.WaitGroup
-	chunk := (v.Res + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		zlo := w * chunk
-		zhi := zlo + chunk
-		if zhi > v.Res {
-			zhi = v.Res
-		}
-		if zlo >= zhi {
-			break
-		}
-		wg.Add(1)
-		go func(zlo, zhi int) {
-			defer wg.Done()
-			for z := zlo; z < zhi; z++ {
-				for y := 0; y < v.Res; y++ {
-					// Walk one x-row; the camera-frame point advances by a
-					// constant delta per step, saving a full transform.
-					base := v.Origin.Add(math3.V3(0.5*s, (float64(y)+0.5)*s, (float64(z)+0.5)*s))
-					pc := worldToCam.Apply(base)
-					dx := worldToCam.R.Col(0).Scale(s)
-					for x := 0; x < v.Res; x++ {
-						if x > 0 {
-							pc = pc.Add(dx)
-						}
-						if pc.Z <= 1e-6 {
-							continue
-						}
-						u := in.Fx*pc.X/pc.Z + in.Cx
-						vv := in.Fy*pc.Y/pc.Z + in.Cy
-						ui := int(u + 0.5)
-						vi := int(vv + 0.5)
-						if ui < 0 || vi < 0 || ui >= in.Width || vi >= in.Height {
-							continue
-						}
-						zm := depth.At(ui, vi)
-						if zm <= 0 {
-							continue
-						}
-						// Signed distance along the ray, projected on Z.
-						sdfVal := float64(zm) - pc.Z
-						if sdfVal < -mu {
-							continue // behind the surface: occluded, skip
-						}
-						t := math3.Clamp(sdfVal/mu, -1, 1)
-						i := (z*v.Res+y)*v.Res + x
-						wOld := v.W[i]
-						wNew := wOld + 1
-						v.D[i] = float32((float64(v.D[i])*float64(wOld) + t) / float64(wNew))
-						if wNew > maxWeight {
-							wNew = maxWeight
-						}
-						v.W[i] = wNew
+	parallel.For(v.Res, 0, func(zlo, zhi int) {
+		for z := zlo; z < zhi; z++ {
+			for y := 0; y < v.Res; y++ {
+				// Walk one x-row; the camera-frame point advances by a
+				// constant delta per step, saving a full transform.
+				base := v.Origin.Add(math3.V3(0.5*s, (float64(y)+0.5)*s, (float64(z)+0.5)*s))
+				pc := worldToCam.Apply(base)
+				dx := worldToCam.R.Col(0).Scale(s)
+				for x := 0; x < v.Res; x++ {
+					if x > 0 {
+						pc = pc.Add(dx)
 					}
+					if pc.Z <= 1e-6 {
+						continue
+					}
+					u := in.Fx*pc.X/pc.Z + in.Cx
+					vv := in.Fy*pc.Y/pc.Z + in.Cy
+					ui := int(u + 0.5)
+					vi := int(vv + 0.5)
+					if ui < 0 || vi < 0 || ui >= in.Width || vi >= in.Height {
+						continue
+					}
+					zm := depth.At(ui, vi)
+					if zm <= 0 {
+						continue
+					}
+					// Signed distance along the ray, projected on Z.
+					sdfVal := float64(zm) - pc.Z
+					if sdfVal < -mu {
+						continue // behind the surface: occluded, skip
+					}
+					t := math3.Clamp(sdfVal/mu, -1, 1)
+					i := (z*v.Res+y)*v.Res + x
+					wOld := v.W[i]
+					wNew := wOld + 1
+					v.D[i] = float32((float64(v.D[i])*float64(wOld) + t) / float64(wNew))
+					if wNew > maxWeight {
+						wNew = maxWeight
+					}
+					v.W[i] = wNew
 				}
 			}
-		}(zlo, zhi)
-	}
-	wg.Wait()
+		}
+	})
 
 	n := int64(v.Res) * int64(v.Res) * int64(v.Res)
 	return imgproc.Cost{Ops: n * 14, Bytes: n * 10}

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Benchmark snapshot + regression check, modelled on wand's bench
+# scripts: run the figure/kernel benchmarks into benchmarks/latest.txt,
+# compare against benchmarks/baseline.txt with benchstat when one is
+# installed, and distill the run into BENCH_1.json for tooling.
+#
+#   BENCH_PATTERN=Kernel BENCH_COUNT=10 ./scripts/bench-compare.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCH_PATTERN="${BENCH_PATTERN:-.}"
+BENCH_COUNT="${BENCH_COUNT:-3}"
+OUT_DIR="benchmarks"
+mkdir -p "$OUT_DIR"
+
+echo "running benchmarks (pattern '$BENCH_PATTERN', count $BENCH_COUNT)..."
+go test -run '^$' -bench "$BENCH_PATTERN" -benchmem -count "$BENCH_COUNT" . \
+  | tee "$OUT_DIR/latest.txt"
+
+if [ -f "$OUT_DIR/baseline.txt" ]; then
+  if command -v benchstat >/dev/null 2>&1; then
+    echo
+    echo "benchstat baseline vs latest:"
+    benchstat "$OUT_DIR/baseline.txt" "$OUT_DIR/latest.txt" | tee "$OUT_DIR/compare.txt"
+  else
+    echo "benchstat not installed; skipping statistical compare" >&2
+    echo "(go install golang.org/x/perf/cmd/benchstat@latest when networked)" >&2
+  fi
+else
+  echo "no $OUT_DIR/baseline.txt; run 'make bench-save' to pin this run as the baseline"
+fi
+
+# Distill the raw 'go test -bench' output into a JSON array so CI and
+# the next PR can diff allocation counts without parsing benchmark text.
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+  name = $1; iters = $2
+  ns = ""; bytes = ""; allocs = ""
+  extras = ""
+  for (i = 3; i < NF; i += 2) {
+    val = $i; unit = $(i + 1)
+    if (unit == "ns/op") ns = val
+    else if (unit == "B/op") bytes = val
+    else if (unit == "allocs/op") allocs = val
+    else {
+      gsub(/"/, "", unit)
+      extras = extras sprintf(", \"%s\": %s", unit, val)
+    }
+  }
+  if (!first) print ","
+  first = 0
+  printf "  {\"name\": \"%s\", \"iters\": %s", name, iters
+  if (ns != "") printf ", \"ns_per_op\": %s", ns
+  if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+  if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+  printf "%s}", extras
+}
+END { print ""; print "]" }
+' "$OUT_DIR/latest.txt" > BENCH_1.json
+echo "wrote BENCH_1.json ($(grep -c '"name"' BENCH_1.json) benchmarks)"
