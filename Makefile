@@ -12,9 +12,11 @@ bench:
 	go test -run '^$$' -bench . -benchmem .
 
 # Snapshot the benchmarks, compare against the saved baseline with
-# benchstat (when available) and distill the run into BENCH_1.json.
+# benchstat (when available) and distill the run into
+# BENCH_$(BENCH_INDEX).json (the per-PR snapshot series).
+BENCH_INDEX ?= 2
 bench-compare:
-	./scripts/bench-compare.sh
+	./scripts/bench-compare.sh $(BENCH_INDEX)
 
 # Promote the latest benchmark snapshot to the baseline future runs are
 # compared against.

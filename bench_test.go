@@ -212,6 +212,81 @@ func BenchmarkFig2_ActiveLearningStep(b *testing.B) {
 	}
 }
 
+// BenchmarkFig2_FlatPredictBatch measures the flat surrogate inference
+// engine in isolation: one fitted forest compiled to rf.FlatForest
+// scoring a full candidate pool (1000 rows) through PredictBatch into
+// reused buffers — the per-iteration inner loop of the active learner.
+func BenchmarkFig2_FlatPredictBatch(b *testing.B) {
+	space := core.DSESpace()
+	rng := rand.New(rand.NewSource(2))
+	X := make([][]float64, 60)
+	y := make([]float64, 60)
+	for i := range X {
+		pt := space.Sample(rng)
+		X[i] = pt
+		y[i] = pt[0]*1e-4 + pt[1]*0.01 + rng.Float64()*0.01
+	}
+	fcfg := rf.DefaultForestConfig()
+	fcfg.Tree.MTry = len(space.Params)
+	forest, err := rf.FitForest(X, y, fcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flat := forest.Flatten()
+	const pool = 1000
+	d := flat.Dims()
+	Xm := make([]float64, pool*d)
+	for i := 0; i < pool; i++ {
+		space.SampleInto(Xm[i*d:(i+1)*d], rng)
+	}
+	mean := make([]float64, pool)
+	std := make([]float64, pool)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flat.PredictBatch(Xm, mean, std, 0)
+	}
+}
+
+// BenchmarkFig2_PointerPredictPool is the contrast: the same pool
+// scored through the pointer-tree Forest one candidate at a time (the
+// shape of the old candidate scorer). Note the pointer walk also got
+// faster this PR — the fitting arena lays its nodes out contiguously —
+// so on a single core the two are near parity; the flat engine's edge
+// is the allocation-free batched API and PredictBatch's multicore
+// scaling, which the per-candidate pointer path cannot offer.
+func BenchmarkFig2_PointerPredictPool(b *testing.B) {
+	space := core.DSESpace()
+	rng := rand.New(rand.NewSource(2))
+	X := make([][]float64, 60)
+	y := make([]float64, 60)
+	for i := range X {
+		pt := space.Sample(rng)
+		X[i] = pt
+		y[i] = pt[0]*1e-4 + pt[1]*0.01 + rng.Float64()*0.01
+	}
+	fcfg := rf.DefaultForestConfig()
+	fcfg.Tree.MTry = len(space.Params)
+	forest, err := rf.FitForest(X, y, fcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const pool = 1000
+	pts := make([]hypermapper.Point, pool)
+	for i := range pts {
+		pts[i] = space.Sample(rng)
+	}
+	mean := make([]float64, pool)
+	std := make([]float64, pool)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, pt := range pts {
+			mean[j], std[j] = forest.PredictWithStd(pt)
+		}
+	}
+}
+
 // ---- E3 / Figure 2 (right): knowledge extraction ----
 
 // BenchmarkFig2_KnowledgeExtraction measures fitting the knowledge
@@ -372,6 +447,7 @@ func BenchmarkKernel_Raycast(b *testing.B) {
 		if res.Vertices.ValidCount() == 0 {
 			b.Fatal("raycast found nothing")
 		}
+		res.Release()
 	}
 }
 

@@ -21,6 +21,8 @@ func main() {
 		limit     = flag.Float64("limit", 0.05, "accuracy limit (max ATE, metres)")
 		seed      = flag.Int64("seed", 1, "exploration seed")
 		workers   = flag.Int("workers", 0, "parallel evaluation workers (0 = all CPUs; results are identical for any value)")
+		mfStride  = flag.Int("mf-stride", 0, "multi-fidelity frame stride (>1 screens candidates on a subsampled sequence; 0 = full fidelity only)")
+		mfPromote = flag.Float64("mf-promote", 0.25, "fraction of each batch promoted to full-fidelity runs (with -mf-stride)")
 		quick     = flag.Bool("quick", false, "use the reduced quick scale")
 		frames    = flag.Int("frames", 0, "override sequence length")
 		scatter   = flag.String("scatter", "", "write the Figure 2 scatter CSV here")
@@ -43,6 +45,8 @@ func main() {
 	opts.AccuracyLimit = *limit
 	opts.Seed = *seed
 	opts.Workers = *workers
+	opts.FidelityStride = *mfStride
+	opts.PromoteFraction = *mfPromote
 	opts.Log = func(s string) { fmt.Println("  [dse]", s) }
 
 	fmt.Printf("design-space exploration on lr_kt%d (%dx%d, %d frames), accuracy limit %.3f m\n",
@@ -127,7 +131,7 @@ func printScatterSummary(fig2 *core.Fig2Result) {
 	countFeasible := func(obs []hypermapper.Observation) int {
 		n := 0
 		for _, o := range obs {
-			if !o.M.Failed && o.M.MaxATE <= fig2.AccuracyLimit {
+			if !o.M.Failed && !o.M.LowFidelity && o.M.MaxATE <= fig2.AccuracyLimit {
 				n++
 			}
 		}

@@ -33,6 +33,37 @@
 // and rf.ForestConfig.Workers; 0 means GOMAXPROCS, 1 is fully serial;
 // cmd/hypermapper and cmd/experiments expose it as -workers).
 //
+// # Surrogate inference and the evaluation ladder
+//
+// Surrogate inference runs on rf.FlatForest, a structure-of-arrays
+// compilation of the fitted pointer forest: contiguous
+// feature/threshold/left/right/value slices (plus a packed 16-byte
+// walk mirror with leaf values folded in and preorder-implicit left
+// children), predicted through allocation-free PredictInto /
+// PredictWithStdInto and a PredictBatch that fans rows across
+// internal/parallel with the usual fixed-chunk determinism. The
+// optimizer samples each round's candidate pool straight into a reused
+// row-major matrix, deduplicates against the evaluated set with binary
+// point keys (hypermapper.AppendKey; map probes allocate nothing), and
+// scores the whole pool with one batched prediction per objective — an
+// active-learning round allocates a few buffers instead of a hundred
+// thousand tree-walk temporaries, and tree fitting itself grows nodes
+// from a preallocated arena with in-place index partitions.
+//
+// Repeated measurements are cut by two opt-in layers. A
+// hypermapper.MemoEvaluator content-addresses Metrics by the exact
+// binary encoding of the point, so any configuration re-sampled across
+// phases (active batches, random-only baselines, headline re-runs) is
+// simulated once. A hypermapper.MultiFidelity batch evaluator —
+// plugged into OptimizerConfig.BatchEval, built by
+// core.NewMultiFidelityEvaluator over slambench.Subsample — screens
+// every batch candidate on a frame-subsampled sequence and promotes
+// only the top-ranked fraction to full-fidelity runs; both rungs are
+// memoized and the promotion ranking breaks ties by batch position, so
+// the ladder keeps the workers-independence guarantee
+// (cmd/hypermapper and cmd/experiments expose it as -mf-stride and
+// -mf-promote; stride ≤ 1 leaves every run at full fidelity).
+//
 // The frame kernels are allocation-free in the steady state: an
 // imgproc.BufferPool (sync.Pool-backed, one pool per map size) recycles
 // every per-frame depth/vertex/normal map, the bilateral filter's

@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"slamgo/internal/dataset"
 	"slamgo/internal/device"
@@ -175,4 +176,57 @@ func NewEvaluator(space *hypermapper.Space, seq dataset.Sequence, model *device.
 		}
 		return Evaluate(seq, model, cfg)
 	}
+}
+
+// FidelityOptions configure the multi-fidelity evaluation ladder.
+type FidelityOptions struct {
+	// Stride subsamples the sequence for the low-fidelity pass; values
+	// ≤ 1 disable the ladder (every evaluation runs at full fidelity).
+	Stride int
+	// PromoteFraction is the share of each batch promoted to a
+	// full-fidelity run (default 0.25).
+	PromoteFraction float64
+	// AccuracyLimit, when > 0, makes the promotion ranking
+	// constraint-aware: candidates whose low-fidelity max ATE exceeds
+	// the limit rank behind every feasible one.
+	AccuracyLimit float64
+	// Workers bounds the ladder's evaluation parallelism.
+	Workers int
+}
+
+// NewMultiFidelityEvaluator builds the evaluation ladder over the DSE
+// space: a memoized low-fidelity evaluator on the stride-subsampled
+// sequence screens every candidate, and a memoized full-fidelity
+// evaluator measures only the promoted share of each batch. Both memos
+// are content-addressed on the encoded point, so no configuration is
+// ever simulated twice at the same fidelity. The returned MultiFidelity
+// plugs into hypermapper.OptimizerConfig.BatchEval; full is the
+// memoized full-fidelity evaluator for point queries (default marker,
+// random baselines) that should share the cache.
+func NewMultiFidelityEvaluator(space *hypermapper.Space, seq dataset.Sequence, model *device.Model, opts FidelityOptions) (ladder *hypermapper.MultiFidelity, full hypermapper.Evaluator) {
+	high := hypermapper.NewMemoEvaluator(NewEvaluator(space, seq, model))
+	low := hypermapper.NewMemoEvaluator(
+		NewEvaluator(space, slambench.Subsample(seq, opts.Stride), model))
+	var rank func(hypermapper.Metrics) float64
+	if limit := opts.AccuracyLimit; limit > 0 {
+		rank = func(m hypermapper.Metrics) float64 {
+			switch {
+			case m.Failed:
+				return math.Inf(1)
+			case m.MaxATE > limit:
+				// Infeasible at low fidelity: rank behind every feasible
+				// candidate, closest to the bound first.
+				return 1e6 + (m.MaxATE - limit)
+			default:
+				return m.Runtime
+			}
+		}
+	}
+	return &hypermapper.MultiFidelity{
+		Low:             low.Evaluate,
+		High:            high.Evaluate,
+		PromoteFraction: opts.PromoteFraction,
+		Rank:            rank,
+		Workers:         opts.Workers,
+	}, high.Evaluate
 }

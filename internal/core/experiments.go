@@ -52,7 +52,14 @@ type Fig2Options struct {
 	// (and the parallelism of surrogate fitting); 0 means GOMAXPROCS.
 	// The exploration result is identical for any value.
 	Workers int
-	Log     func(string)
+	// FidelityStride > 1 enables the multi-fidelity evaluation ladder:
+	// candidates are screened on a sequence subsampled by this stride
+	// and only the most promising share of each batch is promoted to a
+	// full-fidelity run.
+	FidelityStride int
+	// PromoteFraction is the promoted share per batch (default 0.25).
+	PromoteFraction float64
+	Log             func(string)
 }
 
 // DefaultFig2Options returns the standard experiment setup.
@@ -104,7 +111,23 @@ func RunFig2(opts Fig2Options) (*Fig2Result, error) {
 	}
 	model := device.NewModel(device.OdroidXU3())
 	space := DSESpace()
-	eval := NewEvaluator(space, seq, model)
+
+	// Every full-fidelity measurement flows through one content-addressed
+	// memo, so a configuration re-sampled anywhere in the experiment —
+	// active batches, the random-only baseline, the default marker — is
+	// simulated exactly once.
+	var eval hypermapper.Evaluator
+	var ladder *hypermapper.MultiFidelity
+	if opts.FidelityStride > 1 {
+		ladder, eval = NewMultiFidelityEvaluator(space, seq, model, FidelityOptions{
+			Stride:          opts.FidelityStride,
+			PromoteFraction: opts.PromoteFraction,
+			AccuracyLimit:   opts.AccuracyLimit,
+			Workers:         opts.Workers,
+		})
+	} else {
+		eval = hypermapper.NewMemoEvaluator(NewEvaluator(space, seq, model)).Evaluate
+	}
 
 	cfg := hypermapper.DefaultOptimizerConfig()
 	if opts.RandomSamples > 0 {
@@ -121,6 +144,9 @@ func RunFig2(opts Fig2Options) (*Fig2Result, error) {
 	cfg.Workers = opts.Workers
 	cfg.ConstraintObjective = 1 // MaxATE
 	cfg.ConstraintLimit = opts.AccuracyLimit
+	if ladder != nil {
+		cfg.BatchEval = ladder
+	}
 
 	active, err := hypermapper.Optimize(space, eval, cfg)
 	if err != nil {
@@ -152,8 +178,16 @@ func RunFig2(opts Fig2Options) (*Fig2Result, error) {
 	res.BestFeasible = best
 	res.HasBestFeasible = ok
 
-	// Knowledge extraction over everything evaluated.
-	all := append(append([]hypermapper.Observation(nil), active.Observations...), res.RandomOnly...)
+	// Knowledge extraction over everything evaluated at full fidelity.
+	// Low-fidelity screening runs are surrogate fuel only: PaperClasses
+	// labels use absolute FPS/ATE thresholds, so subsampled metrics
+	// would systematically mislabel the rules (and skew importance).
+	var all []hypermapper.Observation
+	for _, o := range append(append([]hypermapper.Observation(nil), active.Observations...), res.RandomOnly...) {
+		if !o.M.LowFidelity {
+			all = append(all, o)
+		}
+	}
 	label, names := hypermapper.PaperClasses(opts.AccuracyLimit, 30, 3.0)
 	tree, rules, err := hypermapper.Knowledge(space, all, label, names, 3)
 	if err == nil {
@@ -173,7 +207,7 @@ func parameterImportance(space *hypermapper.Space, obs []hypermapper.Observation
 	var X [][]float64
 	var y []float64
 	for _, o := range obs {
-		if o.M.Failed {
+		if o.M.Failed || o.M.LowFidelity {
 			continue
 		}
 		X = append(X, o.X)

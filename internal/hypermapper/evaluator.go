@@ -2,6 +2,17 @@ package hypermapper
 
 import "slamgo/internal/parallel"
 
+// BatchEvaluator measures a whole batch of configurations at once.
+// Implementations see the full batch, which enables strategies a
+// point-at-a-time Evaluator cannot express — the multi-fidelity ladder
+// promotes only the batch's most promising members to full-fidelity
+// runs. EvalAll must return metrics in input order and be deterministic
+// for any internal parallelism. ParallelEvaluator and MultiFidelity
+// both satisfy it; plug one into OptimizerConfig.BatchEval.
+type BatchEvaluator interface {
+	EvalAll(pts []Point) []Metrics
+}
+
 // ParallelEvaluator fans an Evaluator out over a bounded worker pool.
 // Results come back in input order, so callers that append observations
 // sequentially stay deterministic for any worker count. The wrapped

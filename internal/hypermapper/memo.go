@@ -1,0 +1,67 @@
+package hypermapper
+
+import "sync"
+
+// MemoEvaluator wraps an Evaluator with a content-addressed result
+// cache: the key is the exact binary encoding of the point (AppendKey),
+// so a configuration that was already simulated — in an earlier
+// optimizer phase, the random-only baseline, a headline re-measurement,
+// or a previous batch — returns its Metrics without touching the
+// pipeline again. The wrapped evaluator must be pure (same point, same
+// metrics); under that contract memoisation never changes results, only
+// removes repeated work.
+//
+// MemoEvaluator is safe for concurrent use. Two goroutines that miss on
+// the same key simultaneously may both run the evaluator; purity makes
+// the duplicate harmless and the first result wins the cache slot.
+type MemoEvaluator struct {
+	eval Evaluator
+
+	mu     sync.Mutex
+	cache  map[string]Metrics
+	hits   int
+	misses int
+}
+
+// NewMemoEvaluator wraps eval with an empty cache.
+func NewMemoEvaluator(eval Evaluator) *MemoEvaluator {
+	return &MemoEvaluator{eval: eval, cache: map[string]Metrics{}}
+}
+
+// Evaluate is an Evaluator (use the method value m.Evaluate): it returns
+// the cached metrics for pt, running the wrapped evaluator only on the
+// first sighting of a configuration.
+func (m *MemoEvaluator) Evaluate(pt Point) Metrics {
+	key := AppendKey(make([]byte, 0, 8*len(pt)), pt)
+	m.mu.Lock()
+	if v, ok := m.cache[string(key)]; ok {
+		m.hits++
+		m.mu.Unlock()
+		return v
+	}
+	m.mu.Unlock()
+
+	v := m.eval(pt)
+
+	m.mu.Lock()
+	if _, ok := m.cache[string(key)]; !ok {
+		m.cache[string(key)] = v
+	}
+	m.misses++
+	m.mu.Unlock()
+	return v
+}
+
+// Stats reports cache hits and evaluator invocations so far.
+func (m *MemoEvaluator) Stats() (hits, misses int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses
+}
+
+// Len returns the number of distinct configurations cached.
+func (m *MemoEvaluator) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.cache)
+}

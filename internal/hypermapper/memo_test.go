@@ -1,0 +1,202 @@
+package hypermapper
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMemoEvaluatorCaches(t *testing.T) {
+	var calls atomic.Int64
+	memo := NewMemoEvaluator(func(pt Point) Metrics {
+		calls.Add(1)
+		return Metrics{Runtime: pt[0] * 2}
+	})
+
+	a := Point{1.5, 2}
+	b := Point{1.5, 3}
+	if m := memo.Evaluate(a); m.Runtime != 3 {
+		t.Fatalf("first eval: %v", m.Runtime)
+	}
+	if m := memo.Evaluate(a); m.Runtime != 3 {
+		t.Fatalf("cached eval: %v", m.Runtime)
+	}
+	if m := memo.Evaluate(b); m.Runtime != 3 {
+		t.Fatalf("distinct point: %v", m.Runtime)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("evaluator ran %d times, want 2", got)
+	}
+	hits, misses := memo.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("stats hits=%d misses=%d, want 1/2", hits, misses)
+	}
+	if memo.Len() != 2 {
+		t.Fatalf("cache size %d, want 2", memo.Len())
+	}
+}
+
+// TestMemoEvaluatorDistinguishesBitPatterns: the content address is the
+// exact binary encoding, so points that merely print alike stay apart.
+func TestMemoEvaluatorDistinguishesBitPatterns(t *testing.T) {
+	var calls atomic.Int64
+	memo := NewMemoEvaluator(func(pt Point) Metrics {
+		calls.Add(1)
+		return Metrics{}
+	})
+	a, b := 0.1, 0.2
+	memo.Evaluate(Point{a + b}) // 0.30000000000000004
+	memo.Evaluate(Point{0.3})
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("0.1+0.2 and 0.3 collided (%d calls)", got)
+	}
+}
+
+// TestMemoEvaluatorConcurrent hammers one memo from many goroutines
+// (run under -race via make race).
+func TestMemoEvaluatorConcurrent(t *testing.T) {
+	memo := NewMemoEvaluator(func(pt Point) Metrics {
+		return Metrics{Runtime: pt[0]}
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				pt := Point{float64(i % 17)}
+				if m := memo.Evaluate(pt); m.Runtime != pt[0] {
+					t.Errorf("goroutine %d: wrong cached value", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if memo.Len() != 17 {
+		t.Fatalf("cache size %d, want 17", memo.Len())
+	}
+}
+
+func TestMultiFidelityPromotes(t *testing.T) {
+	var lowCalls, highCalls atomic.Int64
+	mf := &MultiFidelity{
+		Low: func(pt Point) Metrics {
+			lowCalls.Add(1)
+			return Metrics{Runtime: pt[0]}
+		},
+		High: func(pt Point) Metrics {
+			highCalls.Add(1)
+			return Metrics{Runtime: pt[0], Power: 42}
+		},
+		PromoteFraction: 0.5,
+	}
+	pts := []Point{{4}, {1}, {3}, {2}}
+	out := mf.EvalAll(pts)
+	if len(out) != 4 {
+		t.Fatalf("got %d metrics", len(out))
+	}
+	// The two fastest low-fidelity candidates ({1} and {2}) are promoted:
+	// only they carry the high evaluator's Power marker.
+	for i, m := range out {
+		promoted := m.Power == 42
+		wantPromoted := pts[i][0] <= 2
+		if promoted != wantPromoted {
+			t.Fatalf("point %v promoted=%v", pts[i], promoted)
+		}
+		if m.Runtime != pts[i][0] {
+			t.Fatalf("point %v metrics out of order", pts[i])
+		}
+	}
+	if lowCalls.Load() != 4 || highCalls.Load() != 2 {
+		t.Fatalf("low=%d high=%d, want 4/2", lowCalls.Load(), highCalls.Load())
+	}
+	low, high := mf.Stats()
+	if low != 4 || high != 2 {
+		t.Fatalf("stats low=%d high=%d", low, high)
+	}
+}
+
+// TestLowFidelityExcludedFromFrontAndBest: subsampled measurements are
+// surrogate fuel, not results — they must never win a front slot or a
+// best-config query, however good they look.
+func TestLowFidelityExcludedFromFrontAndBest(t *testing.T) {
+	obs := []Observation{
+		{M: Metrics{Runtime: 0.5, MaxATE: 0.5}},
+		// Dominates everything, but measured on a reduced workload.
+		{M: Metrics{Runtime: 0.01, MaxATE: 0.01, LowFidelity: true}},
+	}
+	front := ParetoFront(obs, RuntimeAccuracy)
+	if len(front) != 1 || front[0].M.LowFidelity {
+		t.Fatalf("low-fidelity observation entered the front: %+v", front)
+	}
+	best, ok := Best(obs, nil, func(m Metrics) float64 { return m.Runtime })
+	if !ok || best.M.LowFidelity {
+		t.Fatalf("low-fidelity observation won Best: %+v ok=%v", best.M, ok)
+	}
+}
+
+// TestMultiFidelityMarksUnpromoted: every rung-one metric carries the
+// LowFidelity mark; promoted ones are full measurements.
+func TestMultiFidelityMarksUnpromoted(t *testing.T) {
+	mf := &MultiFidelity{
+		Low:             func(pt Point) Metrics { return Metrics{Runtime: pt[0]} },
+		High:            func(pt Point) Metrics { return Metrics{Runtime: pt[0]} },
+		PromoteFraction: 0.25,
+	}
+	out := mf.EvalAll([]Point{{3}, {1}, {2}, {4}})
+	for i, m := range out {
+		wantLow := i != 1 // {1} is the single promoted candidate
+		if m.LowFidelity != wantLow {
+			t.Fatalf("point %d LowFidelity=%v, want %v", i, m.LowFidelity, wantLow)
+		}
+	}
+}
+
+func TestMultiFidelityFailedRanksLast(t *testing.T) {
+	mf := &MultiFidelity{
+		Low: func(pt Point) Metrics {
+			if pt[0] == 0 {
+				return Metrics{Failed: true}
+			}
+			return Metrics{Runtime: pt[0]}
+		},
+		High:            func(pt Point) Metrics { return Metrics{Runtime: pt[0], Power: 1} },
+		PromoteFraction: 0.34,
+	}
+	out := mf.EvalAll([]Point{{0}, {5}, {9}})
+	if out[0].Power == 1 {
+		t.Fatal("failed low-fidelity run was promoted")
+	}
+	if out[1].Power != 1 {
+		t.Fatal("best non-failed candidate not promoted")
+	}
+}
+
+// TestMultiFidelityDeterministicAcrossWorkers: the promoted set and the
+// returned metrics are identical for any worker count, including rank
+// ties (broken by batch position).
+func TestMultiFidelityDeterministicAcrossWorkers(t *testing.T) {
+	pts := make([]Point, 40)
+	for i := range pts {
+		pts[i] = Point{float64(i % 5), float64(i)} // many rank ties
+	}
+	run := func(workers int) []Metrics {
+		mf := &MultiFidelity{
+			Low:             func(pt Point) Metrics { return Metrics{Runtime: pt[0]} },
+			High:            func(pt Point) Metrics { return Metrics{Runtime: pt[0], Power: pt[1]} },
+			PromoteFraction: 0.2,
+			Workers:         workers,
+		}
+		return mf.EvalAll(pts)
+	}
+	ref := run(1)
+	for _, workers := range []int{4, 8} {
+		got := run(workers)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: metrics %d diverge", workers, i)
+			}
+		}
+	}
+}

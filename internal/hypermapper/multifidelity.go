@@ -1,0 +1,129 @@
+package hypermapper
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"slamgo/internal/parallel"
+)
+
+// MultiFidelity is the evaluation ladder of the DSE engine: every
+// candidate in a batch first runs on the cheap Low evaluator (typically
+// the SLAM pipeline over a frame-subsampled sequence), and only the
+// most promising fraction of the batch — ranked by Rank over the
+// low-fidelity metrics — is promoted to the expensive High evaluator.
+// Unpromoted candidates keep their low-fidelity metrics — marked
+// Metrics.LowFidelity, so Pareto fronts, Best queries and the
+// constrained-acquisition baseline exclude them — which is still
+// enough signal for the surrogate to steer away from them; promoted
+// ones get the full measurement the Pareto front is built from.
+//
+// EvalAll is deterministic for any Workers value: both fidelity passes
+// run through parallel.MapOrdered, and the promotion ranking breaks
+// ties by batch position.
+type MultiFidelity struct {
+	// Low is the cheap evaluator every candidate runs on.
+	Low Evaluator
+	// High is the full-fidelity evaluator promoted candidates run on.
+	High Evaluator
+	// PromoteFraction is the share of each batch promoted to High
+	// (clamped to (0,1]; default 0.25). At least one candidate per
+	// non-empty batch is always promoted.
+	PromoteFraction float64
+	// Rank scores low-fidelity metrics; lower is more promising. Nil
+	// ranks by Runtime with failed runs last — override for
+	// constraint-aware ladders.
+	Rank func(Metrics) float64
+	// Workers bounds the parallelism of both passes (0 = GOMAXPROCS).
+	Workers int
+
+	mu       sync.Mutex
+	lowRuns  int
+	highRuns int
+}
+
+// rankOf applies Rank or its default.
+func (m *MultiFidelity) rankOf(mt Metrics) float64 {
+	if m.Rank != nil {
+		return m.Rank(mt)
+	}
+	if mt.Failed {
+		return math.Inf(1)
+	}
+	return mt.Runtime
+}
+
+// EvalAll implements BatchEvaluator.
+func (m *MultiFidelity) EvalAll(pts []Point) []Metrics {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	out := parallel.MapOrdered(m.Workers, pts, func(_ int, pt Point) Metrics {
+		return m.Low(pt)
+	})
+	// Every rung-one measurement is marked low-fidelity; promotion
+	// below overwrites the winners with full runs. The mark is what
+	// keeps subsampled metrics out of Pareto fronts and best-config
+	// queries while still feeding the surrogate.
+	for i := range out {
+		out[i].LowFidelity = true
+	}
+
+	// Rank the batch (each candidate scored once); ties resolve by
+	// batch position so the promoted set is identical for any worker
+	// count.
+	ranks := make([]float64, n)
+	for i, mt := range out {
+		ranks[i] = m.rankOf(mt)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := ranks[order[a]], ranks[order[b]]
+		if ra != rb {
+			return ra < rb
+		}
+		return order[a] < order[b]
+	})
+
+	f := m.PromoteFraction
+	if f <= 0 || f > 1 {
+		f = 0.25
+	}
+	promote := int(math.Ceil(f * float64(n)))
+	if promote < 1 {
+		promote = 1
+	}
+	if promote > n {
+		promote = n
+	}
+
+	chosen := order[:promote]
+	highPts := make([]Point, len(chosen))
+	for i, idx := range chosen {
+		highPts[i] = pts[idx]
+	}
+	highMs := parallel.MapOrdered(m.Workers, highPts, func(_ int, pt Point) Metrics {
+		return m.High(pt)
+	})
+	for i, idx := range chosen {
+		out[idx] = highMs[i]
+	}
+
+	m.mu.Lock()
+	m.lowRuns += n
+	m.highRuns += promote
+	m.mu.Unlock()
+	return out
+}
+
+// Stats reports how many low- and high-fidelity evaluations ran.
+func (m *MultiFidelity) Stats() (low, high int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lowRuns, m.highRuns
+}

@@ -6,7 +6,6 @@ import (
 	"math"
 	"math/rand"
 
-	"slamgo/internal/parallel"
 	"slamgo/internal/rf"
 )
 
@@ -50,6 +49,12 @@ type OptimizerConfig struct {
 	ConstraintObjective int
 	// ConstraintLimit is the feasibility bound for the constrained mode.
 	ConstraintLimit float64
+	// BatchEval, when non-nil, replaces the default ParallelEvaluator
+	// around eval for every batch of real measurements — the hook the
+	// multi-fidelity ladder plugs into. It must return metrics in input
+	// order and be deterministic for any internal parallelism. When set,
+	// the eval argument of Optimize may be nil.
+	BatchEval BatchEvaluator
 	// Workers bounds the parallelism of candidate evaluation, surrogate
 	// fitting and pool scoring; 0 means GOMAXPROCS, 1 is fully serial.
 	// The exploration is deterministic for any value: a fixed Seed yields
@@ -93,11 +98,18 @@ type Result struct {
 }
 
 // Optimize runs the full random + active-learning exploration.
+//
+// The candidate-scoring hot path is flat: each round's pool is sampled
+// directly into a reused row-major matrix, deduplicated against the
+// evaluated set via binary keys (no per-candidate strings), and scored
+// through the surrogates' rf.FlatForest compilation with PredictBatch —
+// so a round allocates a handful of buffers instead of tens of
+// thousands of tree-walk temporaries.
 func Optimize(space *Space, eval Evaluator, cfg OptimizerConfig) (*Result, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
 	}
-	if eval == nil {
+	if eval == nil && cfg.BatchEval == nil {
 		return nil, errors.New("hypermapper: nil evaluator")
 	}
 	if cfg.Objectives == nil {
@@ -109,10 +121,9 @@ func Optimize(space *Space, eval Evaluator, cfg OptimizerConfig) (*Result, error
 	if cfg.ConstraintLimit > 0 && cfg.ConstraintObjective <= 0 {
 		return nil, errors.New("hypermapper: ConstraintLimit is set but ConstraintObjective is 0 (the primary objective); constrained mode minimises objective 0 subject to a bound on another objective, so set ConstraintObjective ≥ 1")
 	}
-	if cfg.ConstraintLimit > 0 {
-		if dims := len(cfg.Objectives(Metrics{})); cfg.ConstraintObjective >= dims {
-			return nil, fmt.Errorf("hypermapper: ConstraintObjective %d out of range for %d objectives", cfg.ConstraintObjective, dims)
-		}
+	objDims := len(cfg.Objectives(Metrics{}))
+	if cfg.ConstraintLimit > 0 && cfg.ConstraintObjective >= objDims {
+		return nil, fmt.Errorf("hypermapper: ConstraintObjective %d out of range for %d objectives", cfg.ConstraintObjective, objDims)
 	}
 	if cfg.BatchPerIteration < 1 {
 		cfg.BatchPerIteration = 1
@@ -134,27 +145,41 @@ func Optimize(space *Space, eval Evaluator, cfg OptimizerConfig) (*Result, error
 
 	res := &Result{}
 	seen := map[string]bool{}
-	pe := ParallelEvaluator{Eval: eval, Workers: cfg.Workers}
+	var keyBuf []byte
+	batch := cfg.BatchEval
+	if batch == nil {
+		batch = ParallelEvaluator{Eval: eval, Workers: cfg.Workers}
+	}
 
 	// --- Phase 1: stratified random sampling, evaluated concurrently.
 	// Deduplication and observation order are fixed before any evaluation
 	// starts, so the result is independent of the worker count.
 	var seedPts []Point
 	for _, pt := range space.LatinHypercube(cfg.RandomSamples, rng) {
-		k := space.Key(pt)
-		if seen[k] {
+		keyBuf = AppendKey(keyBuf[:0], pt)
+		if seen[string(keyBuf)] {
 			continue
 		}
-		seen[k] = true
+		seen[string(keyBuf)] = true
 		seedPts = append(seedPts, pt)
 	}
-	for i, m := range pe.EvalAll(seedPts) {
+	for i, m := range batch.EvalAll(seedPts) {
 		res.Observations = append(res.Observations, Observation{X: seedPts[i], M: m})
 	}
 	res.RandomPhase = len(res.Observations)
 	logf("random phase: %d evaluations", res.RandomPhase)
 
-	// --- Phase 2: active learning.
+	// --- Phase 2: active learning over the flat scoring pipeline.
+	d := len(space.Params)
+	var (
+		poolX  = make([]float64, cfg.CandidatePool*d)       // candidate matrix, reused
+		meanB  = make([]float64, cfg.CandidatePool)         // per-objective batch means
+		stdB   = make([]float64, cfg.CandidatePool)         // per-objective batch stds
+		optBuf = make([]float64, cfg.CandidatePool*objDims) // optimistic estimates
+		uncB   = make([]float64, cfg.CandidatePool)         // summed uncertainty
+		used   = make([]bool, cfg.CandidatePool)
+		scorer hv2DScorer
+	)
 	for iter := 0; iter < cfg.ActiveIterations; iter++ {
 		models, ok := fitSurrogates(res.Observations, cfg)
 		if !ok {
@@ -165,40 +190,52 @@ func Optimize(space *Space, eval Evaluator, cfg OptimizerConfig) (*Result, error
 		ref := referencePoint(res.Observations, cfg.Objectives)
 
 		// Candidate pool: half random, half mutations of front members
-		// (HyperMapper similarly mixes global and local proposals).
-		var candidates []Point
+		// (HyperMapper similarly mixes global and local proposals), drawn
+		// straight into rows of the reused matrix. Already-evaluated
+		// configurations are dropped on the spot — the binary-key probe
+		// against the seen set allocates nothing — and their row is
+		// overwritten by the next draw.
+		rows := 0
+		tryRow := func() bool {
+			row := poolX[rows*d : (rows+1)*d]
+			keyBuf = AppendKey(keyBuf[:0], row)
+			if seen[string(keyBuf)] {
+				return false
+			}
+			rows++
+			return true
+		}
 		for i := 0; i < cfg.CandidatePool/2; i++ {
-			candidates = append(candidates, space.Sample(rng))
+			space.SampleInto(poolX[rows*d:(rows+1)*d], rng)
+			tryRow()
 		}
 		if len(front) > 0 {
 			for i := 0; i < cfg.CandidatePool-cfg.CandidatePool/2; i++ {
-				base := front[rng.Intn(len(front))].X
-				candidates = append(candidates, space.Mutate(base, 1+rng.Intn(2), rng))
+				row := poolX[rows*d : (rows+1)*d]
+				copy(row, front[rng.Intn(len(front))].X)
+				space.MutateInPlace(row, 1+rng.Intn(2), rng)
+				tryRow()
 			}
+		}
+		if rows == 0 {
+			break
 		}
 
-		// Predict every unseen candidate once, scoring the pool in
-		// parallel chunks: predictions are pure forest lookups, so the
-		// scored pool is identical for any worker count.
-		var unseen []Point
-		for _, c := range candidates {
-			if seen[space.Key(c)] {
-				continue
+		// Score the whole pool through the flat surrogates: one batched
+		// prediction per objective over the matrix, fanned across the
+		// worker pool. Rows are independent, so the scored pool is
+		// identical for any worker count.
+		mean, std, unc := meanB[:rows], stdB[:rows], uncB[:rows]
+		for j, ff := range models.flat {
+			ff.PredictBatch(poolX[:rows*d], mean, std, cfg.Workers)
+			for i := 0; i < rows; i++ {
+				optBuf[i*objDims+j] = mean[i] - cfg.ExplorationWeight*std[i]
+				if j == 0 {
+					unc[i] = std[i]
+				} else {
+					unc[i] += std[i]
+				}
 			}
-			unseen = append(unseen, c)
-		}
-		type cand struct {
-			pt   Point
-			opt  []float64 // optimistic objective estimate
-			unc  float64
-			used bool
-		}
-		pool := parallel.MapOrdered(cfg.Workers, unseen, func(_ int, c Point) cand {
-			opt, unc := predictOptimistic(c, models, cfg)
-			return cand{pt: c, opt: opt, unc: unc}
-		})
-		if len(pool) == 0 {
-			break
 		}
 
 		// Greedy hypervolume-conditioned batch: each pick is scored
@@ -214,27 +251,40 @@ func Optimize(space *Space, eval Evaluator, cfg OptimizerConfig) (*Result, error
 		for _, fo := range front {
 			predFront = append(predFront, cfg.Objectives(fo.M))
 		}
+		bestFeasible := math.Inf(1)
+		if cfg.constrained() {
+			bestFeasible = bestFeasibleObjective(res.Observations, cfg)
+		}
+		clear(used[:rows])
 		var picks []Point
 		for b := 0; b < cfg.BatchPerIteration; b++ {
-			bi := -1
-			bestScore := math.Inf(-1)
 			// Alternate exploitation (predicted hypervolume gain) with
 			// pure exploration (maximum surrogate disagreement): the
 			// surrogate is only trustworthy near evaluated points, so a
 			// batch must also buy information in unexplored regions.
 			explore := b%2 == 1
-			for i := range pool {
-				if pool[i].used {
+			useHV := !explore && !cfg.constrained() && objDims == 2 &&
+				len(predFront) > 0 && ref != nil
+			if useHV {
+				scorer.Reset(predFront, ref)
+			}
+			bi := -1
+			bestScore := math.Inf(-1)
+			for i := 0; i < rows; i++ {
+				if used[i] {
 					continue
 				}
+				opt := optBuf[i*objDims : (i+1)*objDims]
 				var s float64
 				switch {
 				case explore:
-					s = pool[i].unc
+					s = unc[i]
 				case cfg.constrained():
-					s = constrainedAcquisition(pool[i].opt, pool[i].unc, res.Observations, cfg)
+					s = constrainedAcquisition(opt, unc[i], bestFeasible, cfg)
+				case useHV:
+					s = scorer.Gain(opt[0], opt[1]) + 0.01*unc[i]
 				default:
-					s = acquisition(pool[i].opt, pool[i].unc, predFront, ref)
+					s = acquisition(opt, unc[i], predFront, ref)
 				}
 				if s > bestScore {
 					bestScore = s
@@ -244,17 +294,17 @@ func Optimize(space *Space, eval Evaluator, cfg OptimizerConfig) (*Result, error
 			if bi < 0 {
 				break
 			}
-			pool[bi].used = true
-			pt := pool[bi].pt
-			k := space.Key(pt)
-			if seen[k] {
+			used[bi] = true
+			pt := Point(poolX[bi*d : (bi+1)*d])
+			keyBuf = AppendKey(keyBuf[:0], pt)
+			if seen[string(keyBuf)] {
 				continue
 			}
-			seen[k] = true
-			picks = append(picks, pt)
-			predFront = append(predFront, pool[bi].opt)
+			seen[string(keyBuf)] = true
+			picks = append(picks, pt.Clone())
+			predFront = append(predFront, optBuf[bi*objDims:(bi+1)*objDims])
 		}
-		for i, m := range pe.EvalAll(picks) {
+		for i, m := range batch.EvalAll(picks) {
 			res.Observations = append(res.Observations, Observation{X: picks[i], M: m})
 		}
 		logf("active iteration %d: %d total evaluations", iter, len(res.Observations))
@@ -264,9 +314,12 @@ func Optimize(space *Space, eval Evaluator, cfg OptimizerConfig) (*Result, error
 	return res, nil
 }
 
-// surrogate bundles one forest per objective dimension.
+// surrogate bundles one forest per objective dimension, both in pointer
+// form (kept for training/introspection) and as the flat inference
+// engine the candidate scorer runs on.
 type surrogate struct {
 	forests []*rf.Forest
+	flat    []*rf.FlatForest
 }
 
 func fitSurrogates(obs []Observation, cfg OptimizerConfig) (*surrogate, bool) {
@@ -298,6 +351,7 @@ func fitSurrogates(obs []Observation, cfg OptimizerConfig) (*surrogate, bool) {
 			return nil, false
 		}
 		s.forests = append(s.forests, f)
+		s.flat = append(s.flat, f.Flatten())
 	}
 	return s, true
 }
@@ -327,23 +381,35 @@ func referencePoint(obs []Observation, objectives Objectives) []float64 {
 	return ref
 }
 
+// bestFeasibleObjective returns the best (lowest) primary objective
+// among full-fidelity observations meeting the constraint — the
+// improvement baseline of the constrained acquisition, computed once
+// per iteration. Low-fidelity measurements are skipped: a subsampled
+// run's fake-good runtime must not raise the bar real candidates are
+// scored against.
+func bestFeasibleObjective(obs []Observation, cfg OptimizerConfig) float64 {
+	limit := cfg.ConstraintLimit
+	ci := cfg.ConstraintObjective
+	best := math.Inf(1)
+	for _, o := range obs {
+		if o.M.Failed || o.M.LowFidelity {
+			continue
+		}
+		v := cfg.Objectives(o.M)
+		if v[ci] <= limit && v[0] < best {
+			best = v[0]
+		}
+	}
+	return best
+}
+
 // constrainedAcquisition implements the paper's feasibility-constrained
 // search: predicted improvement of the primary objective over the best
 // currently feasible observation, for candidates predicted feasible;
 // infeasible predictions are scored by how close they come to the bound.
-func constrainedAcquisition(opt []float64, unc float64, obs []Observation, cfg OptimizerConfig) float64 {
+func constrainedAcquisition(opt []float64, unc, bestFeasible float64, cfg OptimizerConfig) float64 {
 	limit := cfg.ConstraintLimit
 	ci := cfg.ConstraintObjective
-	bestFeasible := math.Inf(1)
-	for _, o := range obs {
-		if o.M.Failed {
-			continue
-		}
-		v := cfg.Objectives(o.M)
-		if v[ci] <= limit && v[0] < bestFeasible {
-			bestFeasible = v[0]
-		}
-	}
 	if opt[ci] <= limit {
 		if math.IsInf(bestFeasible, 1) {
 			// Nothing feasible yet: any predicted-feasible point is gold.
@@ -355,38 +421,19 @@ func constrainedAcquisition(opt []float64, unc float64, obs []Observation, cfg O
 	return -(opt[ci] - limit) + 0.02*unc
 }
 
-// predictOptimistic returns the surrogate's optimistic objective vector
-// (mean − w·std per objective) and the summed uncertainty.
-func predictOptimistic(pt Point, s *surrogate, cfg OptimizerConfig) ([]float64, float64) {
-	opt := make([]float64, len(s.forests))
-	var unc float64
-	for i, f := range s.forests {
-		m, std := f.PredictWithStd(pt)
-		opt[i] = m - cfg.ExplorationWeight*std
-		unc += std
-	}
-	return opt, unc
-}
-
-// acquisition scores an optimistic objective estimate by the hypervolume
-// it would add to the (predicted) front — an EHVI-style criterion — with
-// a small uncertainty bonus. For >2 objectives it falls back to
-// dominance counting.
+// acquisition scores an optimistic objective estimate against the
+// (predicted) front for ≥3 objectives by dominance counting, with a
+// small uncertainty bonus. The 2-objective hypervolume-gain criterion
+// lives in hv2DScorer, which the pick loop drives directly so the
+// front is sorted once per pick instead of once per candidate.
 func acquisition(opt []float64, unc float64, frontPts [][]float64, ref []float64) float64 {
 	if len(frontPts) == 0 || ref == nil {
 		return unc
 	}
 	if len(opt) == 2 {
-		base := hv2D(frontPts, ref)
-		with := hv2D(append(frontPts, opt), ref)
-		gain := with - base
-		// Normalise against the reference box so the uncertainty bonus
-		// stays on a comparable scale.
-		box := ref[0] * ref[1]
-		if box > 0 {
-			gain /= box
-		}
-		return gain + 0.01*unc
+		var s hv2DScorer
+		s.Reset(frontPts, ref)
+		return s.Gain(opt[0], opt[1]) + 0.01*unc
 	}
 	score := 0.0
 	dominatedByAny := false

@@ -102,6 +102,66 @@ func TestConstrainedConfigValidation(t *testing.T) {
 	}
 }
 
+// TestOptimizeMemoMultiFidelityDeterministic extends the determinism
+// contract to the full evaluation ladder: a seeded Optimize whose
+// batches run through memoized low/high evaluators under the
+// multi-fidelity promoter yields an identical Result — observations and
+// Pareto front — for workers ∈ {1, 4, 8} (run under -race via
+// make race).
+func TestOptimizeMemoMultiFidelityDeterministic(t *testing.T) {
+	s := testSpace()
+	full := syntheticEvaluator(s)
+	// The low-fidelity surface is a cheap distortion of the full one —
+	// same shape, noisier values — like a frame-subsampled SLAM run.
+	cheap := func(pt Point) Metrics {
+		m := full(pt)
+		m.Runtime *= 0.25
+		m.MaxATE *= 1.3
+		return m
+	}
+
+	run := func(workers int) *Result {
+		low := NewMemoEvaluator(cheap)
+		high := NewMemoEvaluator(full)
+		cfg := DefaultOptimizerConfig()
+		cfg.RandomSamples = 12
+		cfg.ActiveIterations = 3
+		cfg.BatchPerIteration = 4
+		cfg.CandidatePool = 400
+		cfg.Seed = 13
+		cfg.Workers = workers
+		cfg.BatchEval = &MultiFidelity{
+			Low:             low.Evaluate,
+			High:            high.Evaluate,
+			PromoteFraction: 0.5,
+			Workers:         workers,
+		}
+		res, err := Optimize(s, high.Evaluate, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if _, misses := high.Stats(); misses > len(res.Observations) {
+			t.Fatalf("workers=%d: memoized evaluator ran %d times for %d observations",
+				workers, misses, len(res.Observations))
+		}
+		return res
+	}
+
+	ref := run(1)
+	if len(ref.Front) == 0 {
+		t.Fatal("reference run produced an empty front")
+	}
+	for _, workers := range []int{4, 8} {
+		got := run(workers)
+		if !reflect.DeepEqual(got.Observations, ref.Observations) {
+			t.Fatalf("workers=%d: observations diverge from serial run", workers)
+		}
+		if !reflect.DeepEqual(got.Front, ref.Front) {
+			t.Fatalf("workers=%d: Pareto front diverges from serial run", workers)
+		}
+	}
+}
+
 func TestParallelEvaluatorOrder(t *testing.T) {
 	eval := func(pt Point) Metrics { return Metrics{Runtime: pt[0]} }
 	pts := make([]Point, 100)

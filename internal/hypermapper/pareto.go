@@ -16,6 +16,11 @@ type Metrics struct {
 	// Failed marks configurations whose run lost tracking or errored;
 	// they are excluded from fronts and best-config selection.
 	Failed bool
+	// LowFidelity marks measurements taken on a reduced workload (the
+	// unpromoted rung of the multi-fidelity ladder). They carry enough
+	// signal to train surrogates but are not comparable to full runs,
+	// so fronts and best-config selection exclude them like Failed.
+	LowFidelity bool
 }
 
 // Observation pairs a configuration with its measured metrics.
@@ -49,12 +54,13 @@ func Dominates(a, b []float64) bool {
 }
 
 // ParetoFront extracts the non-dominated subset of obs under the given
-// objectives, sorted by the first objective. Failed observations are
-// skipped.
+// objectives, sorted by the first objective. Failed and low-fidelity
+// observations are skipped — the front is built only from full
+// measurements.
 func ParetoFront(obs []Observation, objectives Objectives) []Observation {
 	var valid []Observation
 	for _, o := range obs {
-		if !o.M.Failed {
+		if !o.M.Failed && !o.M.LowFidelity {
 			valid = append(valid, o)
 		}
 	}
@@ -103,12 +109,13 @@ func And(cs ...Constraint) Constraint {
 }
 
 // Best returns the feasible observation minimising key, and whether any
-// feasible observation exists.
+// feasible observation exists. Failed and low-fidelity observations
+// never qualify.
 func Best(obs []Observation, feasible Constraint, key func(Metrics) float64) (Observation, bool) {
 	found := false
 	var best Observation
 	for _, o := range obs {
-		if o.M.Failed || (feasible != nil && !feasible(o.M)) {
+		if o.M.Failed || o.M.LowFidelity || (feasible != nil && !feasible(o.M)) {
 			continue
 		}
 		if !found || key(o.M) < key(best.M) {
@@ -133,28 +140,93 @@ func HypervolumeProxy(front []Observation, objectives Objectives, ref []float64)
 // hv2D computes the dominated area of 2-objective minimisation points
 // below reference ref.
 func hv2D(points [][]float64, ref []float64) float64 {
-	type p2 struct{ x, y float64 }
-	var pts []p2
-	for _, v := range points {
+	var s hv2DScorer
+	s.Reset(points, ref)
+	return s.Base()
+}
+
+// p2 is one 2-objective point of the hypervolume scorer.
+type p2 struct{ x, y float64 }
+
+// hv2DScorer scores the hypervolume gain of single candidate points
+// against a fixed 2-objective front. Reset sorts the front once; every
+// Gain call then merges one extra point into the sorted sweep in O(front)
+// with zero allocations — the shape the optimizer's pick loop needs,
+// where one frozen front is probed by a thousand candidates.
+type hv2DScorer struct {
+	pts  []p2 // in-reference front points, sorted by x; reused across Resets
+	ref  [2]float64
+	base float64
+	box  float64 // normalisation area ref[0]*ref[1] (0 disables)
+}
+
+// Reset installs a new front and reference point.
+func (h *hv2DScorer) Reset(front [][]float64, ref []float64) {
+	h.pts = h.pts[:0]
+	h.ref = [2]float64{ref[0], ref[1]}
+	for _, v := range front {
 		if v[0] >= ref[0] || v[1] >= ref[1] {
 			continue
 		}
-		pts = append(pts, p2{v[0], v[1]})
+		h.pts = append(h.pts, p2{v[0], v[1]})
 	}
-	if len(pts) == 0 {
+	sort.Sort(byX(h.pts))
+	h.base = h.area(p2{}, false)
+	h.box = ref[0] * ref[1]
+}
+
+// byX sorts scorer points by the first objective.
+type byX []p2
+
+func (s byX) Len() int           { return len(s) }
+func (s byX) Less(a, b int) bool { return s[a].x < s[b].x }
+func (s byX) Swap(a, b int)      { s[a], s[b] = s[b], s[a] }
+
+// Base returns the front's own dominated area.
+func (h *hv2DScorer) Base() float64 { return h.base }
+
+// Gain returns the normalised hypervolume a candidate at (x, y) would
+// add to the front (the EHVI-style acquisition term).
+func (h *hv2DScorer) Gain(x, y float64) float64 {
+	g := h.area(p2{x, y}, true) - h.base
+	if h.box > 0 {
+		g /= h.box
+	}
+	return g
+}
+
+// area sweeps the sorted front left to right, injecting the extra point
+// at its x position, and accumulates the dominated area below ref.
+func (h *hv2DScorer) area(extra p2, hasExtra bool) float64 {
+	if hasExtra && (extra.x >= h.ref[0] || extra.y >= h.ref[1]) {
+		hasExtra = false
+	}
+	if len(h.pts) == 0 && !hasExtra {
 		return 0
 	}
-	sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
-	area := 0.0
-	prevX := pts[0].x
-	bestY := pts[0].y
-	for _, p := range pts[1:] {
-		area += (p.x - prevX) * (ref[1] - bestY)
+	var prevX, bestY, area float64
+	first := true
+	step := func(p p2) {
+		if first {
+			prevX, bestY, first = p.x, p.y, false
+			return
+		}
+		area += (p.x - prevX) * (h.ref[1] - bestY)
 		if p.y < bestY {
 			bestY = p.y
 		}
 		prevX = p.x
 	}
-	area += (ref[0] - prevX) * (ref[1] - bestY)
+	for _, p := range h.pts {
+		if hasExtra && extra.x < p.x {
+			step(extra)
+			hasExtra = false
+		}
+		step(p)
+	}
+	if hasExtra {
+		step(extra)
+	}
+	area += (h.ref[0] - prevX) * (h.ref[1] - bestY)
 	return area
 }

@@ -6,6 +6,7 @@
 package hypermapper
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -185,10 +186,17 @@ func (s *Space) Index(name string) int {
 // Sample draws one uniform random point.
 func (s *Space) Sample(rng *rand.Rand) Point {
 	pt := make(Point, len(s.Params))
-	for i, p := range s.Params {
-		pt[i] = p.Sample(rng)
-	}
+	s.SampleInto(pt, rng)
 	return pt
+}
+
+// SampleInto fills dst (len(Params) values) with one uniform draw. It
+// consumes the same rng stream as Sample without allocating, so callers
+// can sample straight into rows of a reused candidate matrix.
+func (s *Space) SampleInto(dst Point, rng *rand.Rand) {
+	for i, p := range s.Params {
+		dst[i] = p.Sample(rng)
+	}
 }
 
 // SampleN draws n uniform points.
@@ -237,21 +245,39 @@ func (s *Space) LatinHypercube(n int, rng *rand.Rand) []Point {
 // Mutate returns a copy of pt with k parameters locally perturbed.
 func (s *Space) Mutate(pt Point, k int, rng *rand.Rand) Point {
 	out := pt.Clone()
+	s.MutateInPlace(out, k, rng)
+	return out
+}
+
+// MutateInPlace perturbs k parameters of pt in place (same rng stream
+// as Mutate, no allocation).
+func (s *Space) MutateInPlace(pt Point, k int, rng *rand.Rand) {
 	if k < 1 {
 		k = 1
 	}
 	for i := 0; i < k; i++ {
 		d := rng.Intn(len(s.Params))
-		out[d] = s.Params[d].Mutate(out[d], rng)
+		pt[d] = s.Params[d].Mutate(pt[d], rng)
 	}
-	return out
 }
 
-// Key renders a point as a deduplication key.
+// Key renders a point as a human-readable deduplication key.
 func (s *Space) Key(pt Point) string {
 	out := ""
 	for i, v := range pt {
 		out += fmt.Sprintf("%s=%.6g;", s.Params[i].Name, v)
 	}
 	return out
+}
+
+// AppendKey appends pt's exact binary identity — the raw IEEE-754 bits
+// of every value in order — to buf and returns the extended slice. It
+// is the content address the optimizer's dedup set and the evaluation
+// memo share: used as m[string(AppendKey(buf[:0], pt))], the compiler
+// elides the string copy on lookup, so probing costs no allocation.
+func AppendKey(buf []byte, pt Point) []byte {
+	for _, v := range pt {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
 }

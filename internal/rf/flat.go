@@ -1,0 +1,225 @@
+package rf
+
+import (
+	"fmt"
+	"math"
+
+	"slamgo/internal/parallel"
+)
+
+// FlatForest is a structure-of-arrays compilation of a fitted Forest.
+// Every node of every tree lives in one set of contiguous slices
+// (feature/threshold/left/right/value), with leaves folded into the same
+// arrays (feature < 0 marks a leaf whose prediction sits in value). The
+// pointer-chasing ensemble walk of Forest.PredictWithStd becomes an
+// index walk over flat memory, which is both cache-friendly and
+// allocation-free — the inference engine the DSE candidate scorer runs
+// on. Compile one with Forest.Flatten; the flat form is immutable and
+// safe for concurrent readers. The predictors walk the packed mirror;
+// the SoA slices are retained as the canonical, introspectable layout
+// (what a serialiser or column-vectorised scorer would consume), at a
+// few hundred bytes per surrogate-sized tree.
+type FlatForest struct {
+	dims      int
+	roots     []int32 // root node index per tree
+	feature   []int32 // split feature, or -1 for a leaf
+	threshold []float64
+	left      []int32
+	right     []int32
+	value     []float64 // leaf prediction (internal nodes unused)
+	// packed is the walk-optimised mirror of the SoA arrays: one 16-byte
+	// record per node, leaf values folded into the threshold slot and
+	// the left child implicit (preorder emission puts it at index+1), so
+	// a descent step touches a single cache line instead of four arrays.
+	packed []flatNode
+}
+
+// flatNode is the packed walk record. feat < 0 marks a leaf whose
+// prediction lives in thr; otherwise thr is the split threshold, the
+// left child is the next record and right is explicit.
+type flatNode struct {
+	feat  int32
+	right int32
+	thr   float64
+}
+
+// Flatten compiles the forest into its structure-of-arrays form. The
+// compiled predictor reproduces Forest.Predict/PredictWithStd
+// bit-identically: the same leaves are reached and the ensemble moments
+// accumulate in the same tree order.
+func (f *Forest) Flatten() *FlatForest {
+	ff := &FlatForest{dims: f.dims, roots: make([]int32, 0, len(f.trees))}
+	for _, t := range f.trees {
+		ff.roots = append(ff.roots, int32(len(ff.feature)))
+		ff.emit(t.root)
+	}
+	ff.packed = make([]flatNode, len(ff.feature))
+	for i := range ff.packed {
+		nd := flatNode{feat: ff.feature[i], right: ff.right[i], thr: ff.threshold[i]}
+		if nd.feat < 0 {
+			nd.thr = ff.value[i]
+		}
+		ff.packed[i] = nd
+	}
+	return ff
+}
+
+// emit appends n's subtree in preorder and returns its node index.
+func (ff *FlatForest) emit(n *node) int32 {
+	i := int32(len(ff.feature))
+	if n.leaf {
+		ff.feature = append(ff.feature, -1)
+		ff.threshold = append(ff.threshold, 0)
+		ff.left = append(ff.left, -1)
+		ff.right = append(ff.right, -1)
+		ff.value = append(ff.value, n.value)
+		return i
+	}
+	ff.feature = append(ff.feature, int32(n.feature))
+	ff.threshold = append(ff.threshold, n.threshold)
+	ff.left = append(ff.left, 0)
+	ff.right = append(ff.right, 0)
+	ff.value = append(ff.value, 0)
+	ff.left[i] = ff.emit(n.left)
+	ff.right[i] = ff.emit(n.right)
+	return i
+}
+
+// Trees returns the ensemble size.
+func (ff *FlatForest) Trees() int { return len(ff.roots) }
+
+// Dims returns the feature dimensionality.
+func (ff *FlatForest) Dims() int { return ff.dims }
+
+// Nodes returns the total node count across the ensemble.
+func (ff *FlatForest) Nodes() int { return len(ff.feature) }
+
+// walk descends one tree from root r and returns the leaf value for x.
+// All predictors walk the packed mirror; the SoA slices are the
+// canonical layout it is derived from.
+func (ff *FlatForest) walk(r int32, x []float64) float64 {
+	nodes := ff.packed
+	nd := nodes[r]
+	for nd.feat >= 0 {
+		if x[nd.feat] <= nd.thr {
+			r++ // preorder: the left child is the next record
+		} else {
+			r = nd.right
+		}
+		nd = nodes[r]
+	}
+	return nd.thr
+}
+
+// Predict returns the ensemble mean for one feature vector.
+func (ff *FlatForest) Predict(x []float64) float64 {
+	m, _ := ff.PredictWithStd(x)
+	return m
+}
+
+// PredictWithStd returns the ensemble mean and standard deviation for
+// one feature vector, bit-identical to Forest.PredictWithStd.
+func (ff *FlatForest) PredictWithStd(x []float64) (mean, std float64) {
+	var s, s2 float64
+	for _, r := range ff.roots {
+		v := ff.walk(r, x)
+		s += v
+		s2 += v * v
+	}
+	n := float64(len(ff.roots))
+	mean = s / n
+	variance := s2/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance)
+}
+
+// PredictInto fills out[i] with the ensemble mean of row i of the
+// row-major matrix X (len(out) rows × Dims columns). It allocates
+// nothing.
+func (ff *FlatForest) PredictInto(X []float64, out []float64) {
+	ff.checkMatrix(X, len(out))
+	d := ff.dims
+	for i := range out {
+		row := X[i*d : (i+1)*d]
+		var s float64
+		for _, r := range ff.roots {
+			s += ff.walk(r, row)
+		}
+		out[i] = s / float64(len(ff.roots))
+	}
+}
+
+// PredictWithStdInto fills mean[i] and std[i] for row i of the
+// row-major matrix X. len(std) must equal len(mean). It allocates
+// nothing, and each row matches PredictWithStd bit-identically.
+func (ff *FlatForest) PredictWithStdInto(X []float64, mean, std []float64) {
+	if len(std) != len(mean) {
+		panic(fmt.Sprintf("rf: mean/std length mismatch %d != %d", len(mean), len(std)))
+	}
+	ff.checkMatrix(X, len(mean))
+	ff.predictRange(X, mean, std, 0, len(mean))
+}
+
+// PredictBatch scores the whole row-major matrix X across the worker
+// pool (workers ≤ 0 means GOMAXPROCS), filling mean and std per row.
+// Rows are independent and chunk boundaries depend only on the row
+// count, so the output is bit-identical for any worker count.
+func (ff *FlatForest) PredictBatch(X []float64, mean, std []float64, workers int) {
+	if len(std) != len(mean) {
+		panic(fmt.Sprintf("rf: mean/std length mismatch %d != %d", len(mean), len(std)))
+	}
+	ff.checkMatrix(X, len(mean))
+	parallel.For(len(mean), workers, func(lo, hi int) {
+		ff.predictRange(X, mean, std, lo, hi)
+	})
+}
+
+// predictRange scores rows [lo,hi) with the same moment accumulation as
+// PredictWithStd. The loop is tree-outer: each tree's flat nodes stay
+// hot in cache while it sweeps every row, and mean/std double as the
+// per-row Σv and Σv² accumulators, so per-row values still add in tree
+// order — bit-identical to the scalar path — without scratch memory.
+func (ff *FlatForest) predictRange(X []float64, mean, std []float64, lo, hi int) {
+	d := ff.dims
+	nodes := ff.packed
+	for i := lo; i < hi; i++ {
+		mean[i] = 0
+		std[i] = 0
+	}
+	for _, r := range ff.roots {
+		for i := lo; i < hi; i++ {
+			base := i * d
+			j := r
+			nd := nodes[j]
+			for nd.feat >= 0 {
+				if X[base+int(nd.feat)] <= nd.thr {
+					j++ // preorder: the left child is the next record
+				} else {
+					j = nd.right
+				}
+				nd = nodes[j]
+			}
+			v := nd.thr // leaf prediction folded into the threshold slot
+			mean[i] += v
+			std[i] += v * v
+		}
+	}
+	n := float64(len(ff.roots))
+	for i := lo; i < hi; i++ {
+		m := mean[i] / n
+		variance := std[i]/n - m*m
+		if variance < 0 {
+			variance = 0
+		}
+		mean[i] = m
+		std[i] = math.Sqrt(variance)
+	}
+}
+
+func (ff *FlatForest) checkMatrix(X []float64, rows int) {
+	if len(X) != rows*ff.dims {
+		panic(fmt.Sprintf("rf: matrix size %d != %d rows × %d dims", len(X), rows, ff.dims))
+	}
+}

@@ -1,0 +1,140 @@
+package rf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomTraining builds a synthetic regression problem.
+func randomTraining(n, d int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64() * 10
+		}
+		X[i] = row
+		y[i] = row[0]*row[0] + 3*row[1%d] - row[(d-1)%d] + rng.NormFloat64()*0.1
+	}
+	return X, y
+}
+
+// TestFlatForestGoldenEquivalence is the golden contract of the flat
+// inference engine: on randomized inputs, FlatForest predictions are
+// bit-identical to the pointer-tree Forest they were compiled from.
+func TestFlatForestGoldenEquivalence(t *testing.T) {
+	X, y := randomTraining(120, 6, 11)
+	cfg := DefaultForestConfig()
+	cfg.Seed = 5
+	f, err := FitForest(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := f.Flatten()
+	if ff.Trees() != f.Trees() {
+		t.Fatalf("flat trees %d != %d", ff.Trees(), f.Trees())
+	}
+	if ff.Dims() != f.Dims() {
+		t.Fatalf("flat dims %d != %d", ff.Dims(), f.Dims())
+	}
+	if ff.Nodes() == 0 {
+		t.Fatal("empty flat forest")
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		x := make([]float64, 6)
+		for j := range x {
+			// Mix in-range, negative and far-out-of-range queries.
+			x[j] = rng.Float64()*30 - 10
+		}
+		wantM, wantS := f.PredictWithStd(x)
+		gotM, gotS := ff.PredictWithStd(x)
+		if gotM != wantM || gotS != wantS {
+			t.Fatalf("query %d: flat (%v, %v) != pointer (%v, %v)", i, gotM, gotS, wantM, wantS)
+		}
+		if p := ff.Predict(x); p != f.Predict(x) {
+			t.Fatalf("query %d: Predict diverges", i)
+		}
+	}
+}
+
+// TestFlatForestBatchMatchesScalar checks the matrix entry points
+// against the scalar walk, for every worker count.
+func TestFlatForestBatchMatchesScalar(t *testing.T) {
+	X, y := randomTraining(80, 4, 3)
+	cfg := DefaultForestConfig()
+	cfg.Trees = 17
+	f, err := FitForest(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := f.Flatten()
+
+	const rows = 333
+	rng := rand.New(rand.NewSource(7))
+	Xm := make([]float64, rows*4)
+	for i := range Xm {
+		Xm[i] = rng.Float64()*12 - 2
+	}
+	wantMean := make([]float64, rows)
+	wantStd := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		wantMean[i], wantStd[i] = ff.PredictWithStd(Xm[i*4 : (i+1)*4])
+	}
+
+	mean := make([]float64, rows)
+	std := make([]float64, rows)
+	ff.PredictWithStdInto(Xm, mean, std)
+	for i := range mean {
+		if mean[i] != wantMean[i] || std[i] != wantStd[i] {
+			t.Fatalf("PredictWithStdInto row %d diverges", i)
+		}
+	}
+
+	out := make([]float64, rows)
+	ff.PredictInto(Xm, out)
+	for i := range out {
+		if out[i] != wantMean[i] {
+			t.Fatalf("PredictInto row %d diverges", i)
+		}
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		clear(mean)
+		clear(std)
+		ff.PredictBatch(Xm, mean, std, workers)
+		for i := range mean {
+			if mean[i] != wantMean[i] || std[i] != wantStd[i] {
+				t.Fatalf("PredictBatch workers=%d row %d diverges", workers, i)
+			}
+		}
+	}
+}
+
+// TestFlatForestShapeChecks covers the defensive panics.
+func TestFlatForestShapeChecks(t *testing.T) {
+	X, y := randomTraining(20, 3, 1)
+	f, err := FitForest(X, y, ForestConfig{Trees: 3, Tree: TreeConfig{MaxDepth: 4, MinLeaf: 2}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := f.Flatten()
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic on malformed shapes", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("PredictInto", func() { ff.PredictInto(make([]float64, 5), make([]float64, 2)) })
+	expectPanic("PredictWithStdInto", func() {
+		ff.PredictWithStdInto(make([]float64, 6), make([]float64, 2), make([]float64, 1))
+	})
+	expectPanic("PredictBatch", func() {
+		ff.PredictBatch(make([]float64, 7), make([]float64, 2), make([]float64, 2), 2)
+	})
+}

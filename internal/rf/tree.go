@@ -52,6 +52,13 @@ type RegressionTree struct {
 
 // FitRegression grows a regression tree on X (n×d) and y (n). rng drives
 // feature sub-sampling when cfg.MTry > 0; it may be nil when MTry is 0.
+//
+// The induction runs on a fixed workspace: nodes come from a
+// preallocated arena (a binary tree over n samples has at most 2n-1
+// nodes, so the arena never reallocates and node pointers stay valid),
+// candidate splits sort a reused index scratch, and the winning split
+// partitions the node's index slice in place. Fitting a tree therefore
+// costs a handful of allocations however deep it grows.
 func FitRegression(X [][]float64, y []float64, cfg TreeConfig, rng *rand.Rand) (*RegressionTree, error) {
 	if len(X) == 0 || len(X) != len(y) {
 		return nil, errors.New("rf: empty or mismatched training data")
@@ -72,9 +79,58 @@ func FitRegression(X [][]float64, y []float64, cfg TreeConfig, rng *rand.Rand) (
 	for i := range idx {
 		idx[i] = i
 	}
+	ws := &growWorkspace{
+		arena: make([]node, 0, 2*len(X)+1),
+		order: make([]int, len(X)),
+		feats: make([]int, d),
+	}
+	ws.sorter.X = X
 	t := &RegressionTree{features: d, cfg: cfg}
-	t.root = t.grow(X, y, idx, 0, rng)
+	t.root = t.grow(X, y, idx, 0, rng, ws)
 	return t, nil
+}
+
+// growWorkspace is the per-tree scratch of FitRegression.
+type growWorkspace struct {
+	// arena stores every node; its capacity covers the worst-case node
+	// count so pointers into it survive appends.
+	arena []node
+	// order is the sort scratch candidate splits reuse.
+	order []int
+	// feats is the candidate-feature scratch.
+	feats []int
+	// sorter is the reusable sort.Interface for feature-ordered sorts.
+	sorter featSorter
+}
+
+// newNode appends a node to the arena and returns its stable address.
+func (ws *growWorkspace) newNode(nd node) *node {
+	if len(ws.arena) == cap(ws.arena) {
+		// Unreachable: the arena capacity bounds any binary tree over the
+		// training set. Guard anyway — growing would move earlier nodes.
+		panic("rf: node arena overflow")
+	}
+	ws.arena = append(ws.arena, nd)
+	return &ws.arena[len(ws.arena)-1]
+}
+
+// featSorter sorts an index slice by one feature column without
+// allocating (the same *featSorter is reused for every sort).
+type featSorter struct {
+	X   [][]float64
+	idx []int
+	f   int
+}
+
+func (s *featSorter) Len() int           { return len(s.idx) }
+func (s *featSorter) Less(a, b int) bool { return s.X[s.idx[a]][s.f] < s.X[s.idx[b]][s.f] }
+func (s *featSorter) Swap(a, b int)      { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+// sortByFeature orders idx ascending by feature f.
+func (ws *growWorkspace) sortByFeature(idx []int, f int) {
+	ws.sorter.idx = idx
+	ws.sorter.f = f
+	sort.Sort(&ws.sorter)
 }
 
 func mean(y []float64, idx []int) float64 {
@@ -95,42 +151,47 @@ func sse(y []float64, idx []int) float64 {
 	return s
 }
 
-func (t *RegressionTree) grow(X [][]float64, y []float64, idx []int, depth int, rng *rand.Rand) *node {
-	n := &node{samples: len(idx), value: mean(y, idx), impurity: sse(y, idx)}
+func (t *RegressionTree) grow(X [][]float64, y []float64, idx []int, depth int, rng *rand.Rand, ws *growWorkspace) *node {
+	n := ws.newNode(node{samples: len(idx), value: mean(y, idx), impurity: sse(y, idx)})
 	n.mass = n.impurity
 	if depth >= t.cfg.MaxDepth || len(idx) < 2*t.cfg.MinLeaf || n.impurity < 1e-12 {
 		n.leaf = true
 		return n
 	}
 
-	feats := t.candidateFeatures(rng)
+	feats := t.candidateFeatures(rng, ws)
 	bestFeat, bestThresh := -1, 0.0
 	bestScore := n.impurity
-	var bestLeft, bestRight []int
+	bestK := -1
 
+	order := ws.order[:len(idx)]
 	for _, f := range feats {
-		left, right, thresh, score, ok := bestSplitOn(X, y, idx, f, t.cfg.MinLeaf)
+		k, thresh, score, ok := bestSplitOn(X, y, idx, f, t.cfg.MinLeaf, order, ws)
 		if ok && score < bestScore-1e-12 {
 			bestScore = score
 			bestFeat = f
 			bestThresh = thresh
-			bestLeft = left
-			bestRight = right
+			bestK = k
 		}
 	}
 	if bestFeat < 0 {
 		n.leaf = true
 		return n
 	}
+	// Recover the winning partition by re-sorting the node's own index
+	// slice by the chosen feature (same input, same sort — same order the
+	// split position was computed against), then recurse on the two
+	// sub-slices: the partition costs no allocation.
+	ws.sortByFeature(idx, bestFeat)
 	n.feature = bestFeat
 	n.threshold = bestThresh
-	n.left = t.grow(X, y, bestLeft, depth+1, rng)
-	n.right = t.grow(X, y, bestRight, depth+1, rng)
+	n.left = t.grow(X, y, idx[:bestK+1], depth+1, rng, ws)
+	n.right = t.grow(X, y, idx[bestK+1:], depth+1, rng, ws)
 	return n
 }
 
-func (t *RegressionTree) candidateFeatures(rng *rand.Rand) []int {
-	all := make([]int, t.features)
+func (t *RegressionTree) candidateFeatures(rng *rand.Rand, ws *growWorkspace) []int {
+	all := ws.feats[:t.features]
 	for i := range all {
 		all[i] = i
 	}
@@ -142,15 +203,18 @@ func (t *RegressionTree) candidateFeatures(rng *rand.Rand) []int {
 }
 
 // bestSplitOn finds the SSE-minimising threshold for one feature using a
-// sorted sweep with incremental statistics.
-func bestSplitOn(X [][]float64, y []float64, idx []int, f, minLeaf int) (left, right []int, thresh, score float64, ok bool) {
-	sorted := append([]int(nil), idx...)
-	sort.Slice(sorted, func(a, b int) bool { return X[sorted[a]][f] < X[sorted[b]][f] })
+// sorted sweep with incremental statistics over the reused order scratch
+// (len(order) == len(idx)). It returns the split position k in
+// feature-sorted order (left = first k+1 entries) rather than
+// materialising the partition.
+func bestSplitOn(X [][]float64, y []float64, idx []int, f, minLeaf int, order []int, ws *growWorkspace) (splitK int, thresh, score float64, ok bool) {
+	copy(order, idx)
+	ws.sortByFeature(order, f)
 
-	n := len(sorted)
+	n := len(order)
 	// Suffix statistics.
 	var sumAll, sum2All float64
-	for _, i := range sorted {
+	for _, i := range order {
 		sumAll += y[i]
 		sum2All += y[i] * y[i]
 	}
@@ -158,14 +222,14 @@ func bestSplitOn(X [][]float64, y []float64, idx []int, f, minLeaf int) (left, r
 	best := math.Inf(1)
 	bestK := -1
 	for k := 0; k < n-1; k++ {
-		yi := y[sorted[k]]
+		yi := y[order[k]]
 		sumL += yi
 		sum2L += yi * yi
 		if k+1 < minLeaf || n-k-1 < minLeaf {
 			continue
 		}
 		// Skip ties: can't split between equal feature values.
-		if X[sorted[k]][f] == X[sorted[k+1]][f] {
+		if X[order[k]][f] == X[order[k+1]][f] {
 			continue
 		}
 		nl := float64(k + 1)
@@ -180,12 +244,10 @@ func bestSplitOn(X [][]float64, y []float64, idx []int, f, minLeaf int) (left, r
 		}
 	}
 	if bestK < 0 {
-		return nil, nil, 0, 0, false
+		return -1, 0, 0, false
 	}
-	thresh = (X[sorted[bestK]][f] + X[sorted[bestK+1]][f]) / 2
-	left = append([]int(nil), sorted[:bestK+1]...)
-	right = append([]int(nil), sorted[bestK+1:]...)
-	return left, right, thresh, best, true
+	thresh = (X[order[bestK]][f] + X[order[bestK+1]][f]) / 2
+	return bestK, thresh, best, true
 }
 
 // Predict evaluates the tree on one feature vector.

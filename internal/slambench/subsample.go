@@ -1,0 +1,51 @@
+package slambench
+
+import (
+	"fmt"
+
+	"slamgo/internal/camera"
+	"slamgo/internal/dataset"
+)
+
+// Subsampled is a stride view over a sequence: its frame i is frame
+// stride·i of the base sequence, timestamps and ground truth included.
+// It is the low-fidelity workload of the multi-fidelity evaluation
+// ladder — a configuration that tracks a 4×-subsampled sequence sees
+// 4× the inter-frame motion on a quarter of the frames, so it costs a
+// quarter of a full run while still separating robust configurations
+// from fragile ones. The view shares the base sequence's frames and is
+// safe for concurrent readers whenever the base is.
+type Subsampled struct {
+	Base   dataset.Sequence
+	Stride int
+}
+
+// Subsample wraps base in a stride view; stride ≤ 1 returns base
+// unchanged.
+func Subsample(base dataset.Sequence, stride int) dataset.Sequence {
+	if stride <= 1 {
+		return base
+	}
+	return &Subsampled{Base: base, Stride: stride}
+}
+
+// Name implements dataset.Sequence.
+func (s *Subsampled) Name() string {
+	return fmt.Sprintf("%s~1/%d", s.Base.Name(), s.Stride)
+}
+
+// Intrinsics implements dataset.Sequence.
+func (s *Subsampled) Intrinsics() camera.Intrinsics { return s.Base.Intrinsics() }
+
+// Len implements dataset.Sequence.
+func (s *Subsampled) Len() int {
+	return (s.Base.Len() + s.Stride - 1) / s.Stride
+}
+
+// Frame implements dataset.Sequence.
+func (s *Subsampled) Frame(i int) (*dataset.Frame, error) {
+	if i < 0 || i >= s.Len() {
+		return nil, fmt.Errorf("dataset: frame %d out of range [0,%d)", i, s.Len())
+	}
+	return s.Base.Frame(i * s.Stride)
+}

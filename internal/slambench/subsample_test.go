@@ -1,0 +1,51 @@
+package slambench
+
+import (
+	"strings"
+	"testing"
+
+	"slamgo/internal/dataset"
+)
+
+func TestSubsampleView(t *testing.T) {
+	seq, err := dataset.LivingRoomKT(0, dataset.PresetOptions{
+		Width: 40, Height: 30, Frames: 10, FPS: 30, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := Subsample(seq, 1); got != dataset.Sequence(seq) {
+		t.Fatal("stride 1 should return the base sequence")
+	}
+	if got := Subsample(seq, 0); got != dataset.Sequence(seq) {
+		t.Fatal("stride 0 should return the base sequence")
+	}
+
+	sub := Subsample(seq, 3)
+	if sub.Len() != 4 { // frames 0, 3, 6, 9
+		t.Fatalf("len %d, want 4", sub.Len())
+	}
+	if sub.Intrinsics() != seq.Intrinsics() {
+		t.Fatal("intrinsics changed")
+	}
+	if !strings.Contains(sub.Name(), seq.Name()) {
+		t.Fatalf("name %q should embed base name", sub.Name())
+	}
+	for i := 0; i < sub.Len(); i++ {
+		f, err := sub.Frame(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, _ := seq.Frame(3 * i)
+		if f != base {
+			t.Fatalf("view frame %d is not base frame %d", i, 3*i)
+		}
+	}
+	if _, err := sub.Frame(4); err == nil {
+		t.Fatal("out-of-range frame accepted")
+	}
+	if _, err := sub.Frame(-1); err == nil {
+		t.Fatal("negative frame accepted")
+	}
+}

@@ -15,6 +15,31 @@ type RaycastResult struct {
 	Vertices *imgproc.VertexMap
 	Normals  *imgproc.NormalMap
 	Cost     imgproc.Cost
+	// pooled marks results whose maps came from the package buffer pool
+	// (Raycast); Release only recycles those.
+	pooled bool
+}
+
+// raycastPool recycles the output maps of the convenience Raycast entry
+// point, so repeated standalone raycasts (benchmarks, mesh previews)
+// reach the same steady-state zero-allocation behaviour as the
+// pipeline's RaycastInto + imgproc.BufferPool pairing.
+var raycastPool imgproc.BufferPool
+
+// Release returns the result's maps to the raycast buffer pool and
+// clears them, so releasing the same result twice is safe (only copies
+// of the struct can defeat the latch — release through one variable).
+// It is a no-op for results produced by RaycastInto, whose buffers
+// belong to the caller. After Release the maps must not be read again.
+func (r *RaycastResult) Release() {
+	if !r.pooled {
+		return
+	}
+	r.pooled = false
+	raycastPool.PutVertex(r.Vertices)
+	raycastPool.PutNormal(r.Normals)
+	r.Vertices = nil
+	r.Normals = nil
 }
 
 // Raycast extracts the implicit surface visible from the camera at pose
@@ -24,11 +49,17 @@ type RaycastResult struct {
 // KinectFusion's raycaster does.
 //
 // near and far clip the march range (metres); mu is the truncation band
-// used during integration (sets the safe step length).
+// used during integration (sets the safe step length). The output maps
+// come from a pooled allocator: call Release on the result when done
+// with them to make follow-up raycasts allocation-free (skipping
+// Release is safe — the maps simply fall back to the garbage
+// collector).
 func (v *Volume) Raycast(pose math3.SE3, in camera.Intrinsics, mu, near, far float64) RaycastResult {
-	verts := imgproc.NewVertexMap(in.Width, in.Height)
-	norms := imgproc.NewNormalMap(in.Width, in.Height)
-	return v.RaycastInto(verts, norms, pose, in, mu, near, far)
+	verts := raycastPool.Vertex(in.Width, in.Height)
+	norms := raycastPool.Normal(in.Width, in.Height)
+	res := v.RaycastInto(verts, norms, pose, in, mu, near, far)
+	res.pooled = true
+	return res
 }
 
 // RaycastInto is the allocation-free variant: it marches into

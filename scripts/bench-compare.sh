@@ -2,16 +2,23 @@
 # Benchmark snapshot + regression check, modelled on wand's bench
 # scripts: run the figure/kernel benchmarks into benchmarks/latest.txt,
 # compare against benchmarks/baseline.txt with benchstat when one is
-# installed, and distill the run into BENCH_1.json for tooling.
+# installed, and distill the run into BENCH_<index>.json for tooling.
 #
-#   BENCH_PATTERN=Kernel BENCH_COUNT=10 ./scripts/bench-compare.sh
+# The output index is the first argument (or $BENCH_INDEX); each PR
+# bumps it so the JSON snapshots form a per-PR series next to the
+# BENCH_*.json of earlier PRs.
+#
+#   ./scripts/bench-compare.sh 2
+#   BENCH_PATTERN=Kernel BENCH_COUNT=10 ./scripts/bench-compare.sh 2
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+BENCH_INDEX="${1:-${BENCH_INDEX:-2}}"
 BENCH_PATTERN="${BENCH_PATTERN:-.}"
 BENCH_COUNT="${BENCH_COUNT:-3}"
 OUT_DIR="benchmarks"
+OUT_JSON="BENCH_${BENCH_INDEX}.json"
 mkdir -p "$OUT_DIR"
 
 echo "running benchmarks (pattern '$BENCH_PATTERN', count $BENCH_COUNT)..."
@@ -58,5 +65,5 @@ BEGIN { print "["; first = 1 }
   printf "%s}", extras
 }
 END { print ""; print "]" }
-' "$OUT_DIR/latest.txt" > BENCH_1.json
-echo "wrote BENCH_1.json ($(grep -c '"name"' BENCH_1.json) benchmarks)"
+' "$OUT_DIR/latest.txt" > "$OUT_JSON"
+echo "wrote $OUT_JSON ($(grep -c '"name"' "$OUT_JSON") benchmarks)"
