@@ -1,12 +1,12 @@
-.PHONY: test race bench bench-compare bench-save
+.PHONY: test race bench bench-compare bench-save campaign-smoke
 
 test:
 	go build ./... && go test ./...
 
-# The concurrency substrate and the parallel DSE engine must stay clean
-# under the race detector.
+# The concurrency substrate, the parallel DSE engine and the campaign
+# orchestrator must stay clean under the race detector.
 race:
-	go test -race ./internal/parallel/... ./internal/hypermapper/...
+	go test -race ./internal/parallel/... ./internal/hypermapper/... ./internal/campaign/...
 
 bench:
 	go test -run '^$$' -bench . -benchmem .
@@ -14,7 +14,7 @@ bench:
 # Snapshot the benchmarks, compare against the saved baseline with
 # benchstat (when available) and distill the run into
 # BENCH_$(BENCH_INDEX).json (the per-PR snapshot series).
-BENCH_INDEX ?= 2
+BENCH_INDEX ?= 3
 bench-compare:
 	./scripts/bench-compare.sh $(BENCH_INDEX)
 
@@ -23,3 +23,12 @@ bench-compare:
 bench-save:
 	@test -f benchmarks/latest.txt || { echo "benchmarks/latest.txt not found; run 'make bench-compare' first"; exit 1; }
 	cp benchmarks/latest.txt benchmarks/baseline.txt
+
+# Tiny end-to-end campaign: a 4-cell grid (2 scenarios × 2 devices) at
+# quick scale, with the multi-fidelity ladder on — the CI smoke test of
+# the cross-scene/cross-device engine.
+campaign-smoke:
+	go run ./cmd/experiments -campaign -quick \
+		-campaign-scenes lr_kt0,of_kt0 \
+		-campaign-devices odroid-xu3,pixel-adreno530 \
+		-random 6 -active 1 -batch 2 -mf-stride 2 -mf-promote 0.5

@@ -63,6 +63,44 @@
 // the ladder keeps the workers-independence guarantee
 // (cmd/hypermapper and cmd/experiments expose it as -mf-stride and
 // -mf-promote; stride ≤ 1 leaves every run at full fidelity).
+// Budget accounting is denominated in full-fidelity simulations: the
+// same-budget random baseline of RunFig2 receives exactly as many full
+// runs as the ladder promoted (MultiFidelity.Stats), never one per
+// observation — low-fidelity screening runs are cheaper by the stride
+// and must not inflate the baseline's simulation budget. The
+// feasibility constraint (hypermapper.AccuracyLimit) is fidelity-aware
+// for the same reason: a subsampled measurement's optimistic ATE never
+// certifies a configuration. MemoEvaluator coalesces concurrent misses
+// on the same key (per-key singleflight), so two workers racing on one
+// configuration run a single pipeline simulation and Stats counts true
+// misses only.
+//
+// # Campaign engine
+//
+// internal/campaign replays the whole methodology across scenarios and
+// devices at once — the paper tunes per scene and per device, and the
+// campaign engine makes that a single orchestrated run. A scenario
+// registry enumerates scene × trajectory × resolution × noise cells
+// (the living-room kt0–kt3 and office kt0–kt1 analogues, via
+// core.Scale) crossed with device targets (the ODROID-XU3, the desktop
+// comparator, or named picks from the phone catalogue via
+// phones.ByName). campaign.Run shards the grid over internal/parallel,
+// runs a constrained Fig2-style exploration per cell through a shared
+// per-cell memoized evaluator (the multi-fidelity ladder plugs in per
+// cell), and aggregates the per-cell Pareto fronts into a
+// cross-scenario robust configuration: every cell's best feasible and
+// leading front members are re-measured at full fidelity in every
+// other cell, and hypermapper.RobustBest rank-aggregates them —
+// feasible in all cells first, then minimum worst-case per-cell rank,
+// then rank sum — which quantifies the paper's "one configuration does
+// not fit all scenes" point. Cell order is fixed, per-cell seeds
+// derive from the campaign seed and the cell's grid index, and every
+// layer below is workers-deterministic, so a seeded campaign's report
+// (slambench.WriteCampaignTable/CSV/JSON) is bit-identical for any
+// Workers value. cmd/experiments exposes it as -campaign with
+// -campaign-scenes, -campaign-devices and -campaign-format;
+// `make campaign-smoke` runs a 2-scenario × 2-device quick-scale
+// campaign end to end.
 //
 // The frame kernels are allocation-free in the steady state: an
 // imgproc.BufferPool (sync.Pool-backed, one pool per map size) recycles

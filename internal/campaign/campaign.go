@@ -1,0 +1,464 @@
+// Package campaign is the cross-scene / cross-device DSE engine: it
+// replays the paper's per-scene, per-device tuning methodology over a
+// whole grid of scenario cells instead of one invocation per scene.
+//
+// A campaign enumerates a scenario registry — scene × trajectory ×
+// resolution × noise, the analogues of ICL-NUIM living-room kt0–kt3 and
+// office kt0–kt1 — crossed with a set of device targets (the ODROID-XU3
+// plus named picks from the phone catalogue). Every cell runs a
+// Fig2-style constrained exploration through a shared per-cell
+// memoized evaluator, cells are sharded over internal/parallel, and the
+// per-cell Pareto fronts are aggregated into one cross-scenario
+// *robust* configuration: the candidate that stays feasible in every
+// cell and minimises its worst-case per-cell rank
+// (hypermapper.RobustBest). That makes the paper's "one configuration
+// does not fit all scenes" point quantitative — the per-cell winners
+// are reported next to the single configuration you would ship when
+// the scene is not known in advance.
+//
+// Determinism: the cell grid is enumerated in fixed scenario-major
+// order, each cell derives its seed from the campaign seed and its own
+// grid index, and every layer below (optimizer batches, ladder
+// promotion, parallel map) is already bit-deterministic for any worker
+// count — so a seeded campaign produces an identical report for any
+// Workers value.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"slamgo/internal/core"
+	"slamgo/internal/device"
+	"slamgo/internal/hypermapper"
+	"slamgo/internal/kfusion"
+	"slamgo/internal/parallel"
+	"slamgo/internal/phones"
+	"slamgo/internal/slambench"
+)
+
+// Scenario is one workload cell of the registry: a named scene,
+// trajectory, resolution and noise combination.
+type Scenario struct {
+	// Name identifies the scenario in reports (e.g. "lr_kt2").
+	Name string
+	// Scale fixes the scene, trajectory, resolution, frame count and
+	// noise of the cell's sequence.
+	Scale core.Scale
+}
+
+// Scenarios derives the full scene × trajectory registry at a base
+// scale: the four living-room trajectories and the two office ones,
+// all at the base's resolution, frame count and noise setting.
+func Scenarios(base core.Scale) []Scenario {
+	out := make([]Scenario, 0, 6)
+	for kt := 0; kt <= 3; kt++ {
+		s := base
+		s.KT, s.Office = kt, false
+		out = append(out, Scenario{Name: fmt.Sprintf("lr_kt%d", kt), Scale: s})
+	}
+	for kt := 0; kt <= 1; kt++ {
+		s := base
+		s.KT, s.Office = kt, true
+		out = append(out, Scenario{Name: fmt.Sprintf("of_kt%d", kt), Scale: s})
+	}
+	return out
+}
+
+// SelectScenarios picks named scenarios out of the base registry,
+// preserving the requested order.
+func SelectScenarios(base core.Scale, names []string) ([]Scenario, error) {
+	all := Scenarios(base)
+	byName := make(map[string]Scenario, len(all))
+	for _, s := range all {
+		byName[s.Name] = s
+	}
+	out := make([]Scenario, 0, len(names))
+	for _, n := range names {
+		s, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("campaign: unknown scenario %q (have lr_kt0..lr_kt3, of_kt0..of_kt1)", n)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ResolveTargets maps device names onto profiles: "odroid-xu3" and
+// "desktop-gpu" resolve to the built-in boards, anything else is looked
+// up in the seed's phone catalogue (one phones.ByName batch, so the
+// catalogue is generated once however many phones are named).
+func ResolveTargets(seed int64, names []string) ([]device.Profile, error) {
+	var phoneNames []string
+	for _, n := range names {
+		if n != "odroid-xu3" && n != "desktop-gpu" {
+			phoneNames = append(phoneNames, n)
+		}
+	}
+	picks, err := phones.ByName(seed, phoneNames...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]device.Profile, 0, len(names))
+	for _, n := range names {
+		switch n {
+		case "odroid-xu3":
+			out = append(out, device.OdroidXU3())
+		case "desktop-gpu":
+			out = append(out, device.DesktopGPU())
+		default:
+			out = append(out, picks[0])
+			picks = picks[1:]
+		}
+	}
+	return out, nil
+}
+
+// Cell is one scenario × target combination of the campaign grid.
+type Cell struct {
+	// Index is the cell's position in the fixed grid enumeration; the
+	// cell's exploration seed derives from it.
+	Index    int
+	Scenario Scenario
+	Target   device.Profile
+}
+
+// Grid enumerates scenarios × targets in fixed scenario-major order.
+func Grid(scenarios []Scenario, targets []device.Profile) []Cell {
+	out := make([]Cell, 0, len(scenarios)*len(targets))
+	for _, s := range scenarios {
+		for _, t := range targets {
+			out = append(out, Cell{Index: len(out), Scenario: s, Target: t})
+		}
+	}
+	return out
+}
+
+// Options parameterise a campaign run.
+type Options struct {
+	// Scenarios and Targets span the cell grid (both must be non-empty).
+	Scenarios []Scenario
+	Targets   []device.Profile
+	// RandomSamples / ActiveIterations / BatchPerIteration configure
+	// each cell's exploration; zero values use the Fig2 defaults.
+	RandomSamples     int
+	ActiveIterations  int
+	BatchPerIteration int
+	// AccuracyLimit is the shared feasibility bound (default 0.05 m).
+	AccuracyLimit float64
+	// Seed drives the whole campaign; each cell's exploration seed is
+	// derived from it and the cell's grid index.
+	Seed int64
+	// Workers bounds the parallelism at every level: cells fan out over
+	// the worker pool, and each cell's exploration uses the same knob
+	// (internal/parallel caps nested regions to idle cores). The
+	// campaign result is identical for any value.
+	Workers int
+	// FidelityStride > 1 enables the multi-fidelity ladder inside every
+	// cell (see core.Fig2Options).
+	FidelityStride int
+	// PromoteFraction is the ladder's promoted share per batch.
+	PromoteFraction float64
+	// MaxFrontCandidates caps how many Pareto-front members each cell
+	// contributes to the robust candidate set, fastest first (the
+	// cell's best feasible configuration is always included). Default 3.
+	MaxFrontCandidates int
+	// Log, when non-nil, receives progress lines (order follows
+	// scheduling, not the grid; the report itself stays deterministic).
+	Log func(string)
+}
+
+// CellResult is one cell's exploration outcome.
+type CellResult struct {
+	Cell Cell
+	// Front is the cell's Pareto front (runtime vs max ATE).
+	Front []hypermapper.Observation
+	// BestFeasible is the fastest configuration meeting the accuracy
+	// limit in this cell.
+	BestFeasible    hypermapper.Observation
+	HasBestFeasible bool
+	// Evaluations counts every configuration the cell's *exploration*
+	// observed (screening runs included); FullFidelityEvals and
+	// LowFidelityEvals split that spend by ladder rung (LowFidelityEvals
+	// is 0 without the ladder). The robust aggregation phase afterwards
+	// cross-measures up to CandidateCount-1 foreign winners per cell at
+	// full fidelity; that spend is shared campaign overhead and not part
+	// of these per-cell exploration counters.
+	Evaluations       int
+	FullFidelityEvals int
+	LowFidelityEvals  int
+}
+
+// RobustResult is the cross-scenario aggregation outcome.
+type RobustResult struct {
+	// Point and Config are the winning configuration.
+	Point  hypermapper.Point
+	Config kfusion.Config
+	// Pick carries the winner's per-cell ranks and the aggregation
+	// criteria it minimised.
+	Pick hypermapper.RobustPick
+	// PerCell holds the winner's full-fidelity metrics in every cell,
+	// in grid order.
+	PerCell []hypermapper.Metrics
+}
+
+// Result is a full campaign outcome.
+type Result struct {
+	// Cells are the per-cell results in grid order.
+	Cells []CellResult
+	// AccuracyLimit echoes the option used.
+	AccuracyLimit float64
+	// CandidateCount is the size of the deduplicated cross-cell
+	// candidate set the robust configuration was selected from.
+	CandidateCount int
+	// Robust is the rank-aggregated cross-scenario configuration.
+	Robust    RobustResult
+	HasRobust bool
+}
+
+// cellRun pairs a cell's public result with the memoized full-fidelity
+// evaluator the robust phase re-uses (candidates already measured in
+// their home cell cost nothing there).
+type cellRun struct {
+	result CellResult
+	full   hypermapper.Evaluator
+	err    error
+}
+
+// Run executes the campaign: one constrained Fig2-style exploration per
+// grid cell, sharded over the worker pool, then cross-scenario robust
+// aggregation over the union of per-cell winners.
+func Run(opts Options) (*Result, error) {
+	if len(opts.Scenarios) == 0 || len(opts.Targets) == 0 {
+		return nil, errors.New("campaign: need at least one scenario and one target")
+	}
+	if opts.AccuracyLimit <= 0 {
+		opts.AccuracyLimit = 0.05
+	}
+	if opts.RandomSamples <= 0 {
+		opts.RandomSamples = 20
+	}
+	if opts.ActiveIterations <= 0 {
+		opts.ActiveIterations = 5
+	}
+	if opts.BatchPerIteration <= 0 {
+		opts.BatchPerIteration = 4
+	}
+	if opts.MaxFrontCandidates <= 0 {
+		opts.MaxFrontCandidates = 3
+	}
+	for _, t := range opts.Targets {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	space := core.DSESpace()
+	cells := Grid(opts.Scenarios, opts.Targets)
+	// Cells log from worker goroutines; serialise here so any callback
+	// that is fine for the serial Fig2 hooks is fine for campaigns too.
+	var logMu sync.Mutex
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			logMu.Lock()
+			opts.Log(fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		}
+	}
+
+	// Phase 1: every cell runs its own seeded exploration. MapOrdered
+	// returns outcomes in grid order whatever the scheduling.
+	runs := parallel.MapOrdered(opts.Workers, cells, func(i int, cell Cell) *cellRun {
+		run := exploreCell(space, cell, opts)
+		if run.err == nil {
+			logf("cell %d (%s on %s): %d evaluations, front %d",
+				i, cell.Scenario.Name, cell.Target.Name,
+				run.result.Evaluations, len(run.result.Front))
+		}
+		return run
+	})
+	res := &Result{AccuracyLimit: opts.AccuracyLimit}
+	for _, r := range runs {
+		if r.err != nil {
+			return nil, r.err
+		}
+		res.Cells = append(res.Cells, r.result)
+	}
+
+	// Phase 2: candidate set = the default configuration plus every
+	// cell's best feasible and leading front members, deduplicated in
+	// grid order so the set is identical for any worker count.
+	var candidates []hypermapper.Point
+	seen := map[string]bool{}
+	add := func(pt hypermapper.Point) {
+		key := string(hypermapper.AppendKey(make([]byte, 0, 8*len(pt)), pt))
+		if !seen[key] {
+			seen[key] = true
+			candidates = append(candidates, pt.Clone())
+		}
+	}
+	add(core.DefaultPoint(space))
+	for _, c := range res.Cells {
+		if c.HasBestFeasible {
+			add(c.BestFeasible.X)
+		}
+		for i, o := range c.Front {
+			if i >= opts.MaxFrontCandidates {
+				break
+			}
+			add(o.X)
+		}
+	}
+	res.CandidateCount = len(candidates)
+
+	// Phase 3: measure every candidate in every cell at full fidelity
+	// (per-cell memos absorb the home-cell repeats) and rank-aggregate.
+	type pair struct{ cand, cell int }
+	pairs := make([]pair, 0, len(candidates)*len(cells))
+	for i := range candidates {
+		for j := range cells {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	metrics := parallel.MapOrdered(opts.Workers, pairs, func(_ int, p pair) hypermapper.Metrics {
+		return runs[p.cell].full(candidates[p.cand])
+	})
+	perCandidate := make([][]hypermapper.Metrics, len(candidates))
+	for i := range perCandidate {
+		perCandidate[i] = metrics[i*len(cells) : (i+1)*len(cells)]
+	}
+	pick, ok := hypermapper.RobustBest(perCandidate,
+		hypermapper.AccuracyLimit(opts.AccuracyLimit),
+		func(m hypermapper.Metrics) float64 { return m.Runtime })
+	if !ok {
+		return res, nil
+	}
+	cfg, err := core.ConfigFromPoint(space, candidates[pick.Index])
+	if err != nil {
+		return nil, fmt.Errorf("campaign: robust candidate invalid: %w", err)
+	}
+	res.Robust = RobustResult{
+		Point:   candidates[pick.Index],
+		Config:  cfg,
+		Pick:    pick,
+		PerCell: perCandidate[pick.Index],
+	}
+	res.HasRobust = true
+	logf("robust configuration: candidate %d of %d, worst rank %d, feasible everywhere %v",
+		pick.Index, len(candidates), pick.WorstRank, pick.FeasibleEverywhere)
+	return res, nil
+}
+
+// exploreCell runs one cell's constrained exploration.
+func exploreCell(space *hypermapper.Space, cell Cell, opts Options) *cellRun {
+	seq, err := cell.Scenario.Scale.Sequence()
+	if err != nil {
+		return &cellRun{err: fmt.Errorf("campaign: cell %s/%s: %w", cell.Scenario.Name, cell.Target.Name, err)}
+	}
+	model := device.NewModel(cell.Target)
+
+	// Per-cell seed: fixed function of the campaign seed and the grid
+	// index, so shard order cannot leak into any cell's exploration.
+	seed := opts.Seed + int64(cell.Index+1)*9973
+
+	var eval hypermapper.Evaluator
+	var ladder *hypermapper.MultiFidelity
+	if opts.FidelityStride > 1 {
+		ladder, eval = core.NewMultiFidelityEvaluator(space, seq, model, core.FidelityOptions{
+			Stride:          opts.FidelityStride,
+			PromoteFraction: opts.PromoteFraction,
+			AccuracyLimit:   opts.AccuracyLimit,
+			Workers:         opts.Workers,
+		})
+	} else {
+		eval = hypermapper.NewMemoEvaluator(core.NewEvaluator(space, seq, model)).Evaluate
+	}
+
+	cfg := hypermapper.DefaultOptimizerConfig()
+	cfg.RandomSamples = opts.RandomSamples
+	cfg.ActiveIterations = opts.ActiveIterations
+	cfg.BatchPerIteration = opts.BatchPerIteration
+	cfg.Seed = seed
+	cfg.Workers = opts.Workers
+	cfg.ConstraintObjective = 1 // MaxATE
+	cfg.ConstraintLimit = opts.AccuracyLimit
+	if ladder != nil {
+		cfg.BatchEval = ladder
+	}
+	active, err := hypermapper.Optimize(space, eval, cfg)
+	if err != nil {
+		return &cellRun{err: fmt.Errorf("campaign: cell %s/%s: %w", cell.Scenario.Name, cell.Target.Name, err)}
+	}
+
+	result := CellResult{
+		Cell:              cell,
+		Front:             active.Front,
+		Evaluations:       len(active.Observations),
+		FullFidelityEvals: len(active.Observations),
+	}
+	if ladder != nil {
+		low, high := ladder.Stats()
+		result.LowFidelityEvals = low
+		result.FullFidelityEvals = high
+	}
+	result.BestFeasible, result.HasBestFeasible = hypermapper.Best(active.Observations,
+		hypermapper.AccuracyLimit(opts.AccuracyLimit),
+		func(m hypermapper.Metrics) float64 { return m.Runtime })
+	return &cellRun{result: result, full: eval}
+}
+
+// Report converts the result into the slambench campaign report.
+func (r *Result) Report() *slambench.CampaignReport {
+	rep := &slambench.CampaignReport{
+		AccuracyLimit: r.AccuracyLimit,
+		Candidates:    r.CandidateCount,
+	}
+	feasible := hypermapper.AccuracyLimit(r.AccuracyLimit)
+	for j, c := range r.Cells {
+		row := slambench.CampaignCell{
+			Scenario:          c.Cell.Scenario.Name,
+			Device:            c.Cell.Target.Name,
+			Evaluations:       c.Evaluations,
+			FullFidelityEvals: c.FullFidelityEvals,
+			FrontSize:         len(c.Front),
+			Feasible:          c.HasBestFeasible,
+		}
+		for _, o := range c.Front {
+			row.Front = append(row.Front, slambench.CampaignFrontPoint{
+				Runtime: o.M.Runtime, MaxATE: o.M.MaxATE, Power: o.M.Power,
+			})
+		}
+		if c.HasBestFeasible {
+			row.BestRuntime = c.BestFeasible.M.Runtime
+			row.BestMaxATE = c.BestFeasible.M.MaxATE
+			row.BestPower = c.BestFeasible.M.Power
+		}
+		if r.HasRobust {
+			m := r.Robust.PerCell[j]
+			row.RobustRuntime = m.Runtime
+			row.RobustMaxATE = m.MaxATE
+			row.RobustRank = r.Robust.Pick.Ranks[j]
+			row.RobustFeasible = feasible(m)
+		}
+		rep.Cells = append(rep.Cells, row)
+	}
+	if r.HasRobust {
+		rep.RobustConfig = FormatConfig(r.Robust.Config)
+		rep.RobustWorstRank = r.Robust.Pick.WorstRank
+		rep.RobustFeasibleEverywhere = r.Robust.Pick.FeasibleEverywhere
+	} else {
+		rep.RobustConfig = "none (no candidates)"
+	}
+	return rep
+}
+
+// FormatConfig renders a pipeline configuration compactly for reports.
+func FormatConfig(cfg kfusion.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vr=%d csr=%d mu=%.3g icp=%.1e pyr=%d/%d/%d ir=%d tr=%d",
+		cfg.VolumeResolution, cfg.ComputeSizeRatio, cfg.Mu, cfg.ICPThreshold,
+		cfg.PyramidIterations[0], cfg.PyramidIterations[1], cfg.PyramidIterations[2],
+		cfg.IntegrationRate, cfg.TrackingRate)
+	return b.String()
+}

@@ -88,6 +88,18 @@ type Fig2Result struct {
 	// limit found by the active run.
 	BestFeasible    hypermapper.Observation
 	HasBestFeasible bool
+	// ActiveFullEvals is the number of full-fidelity simulations the
+	// active run actually spent (with the multi-fidelity ladder this is
+	// the promoted count, not the observation count — low-fidelity
+	// screening runs are cheaper by the stride and budgeted separately).
+	ActiveFullEvals int
+	// ActiveLowEvals is the number of low-fidelity screening runs (0
+	// without the ladder).
+	ActiveLowEvals int
+	// BaselineBudget is the full-fidelity simulation budget granted to
+	// the random baseline — equal to ActiveFullEvals, so the comparison
+	// is same-cost.
+	BaselineBudget int
 	// Knowledge is the decision tree + extracted rules (right pane).
 	Knowledge []rf.Rule
 	Tree      *rf.ClassificationTree
@@ -160,7 +172,22 @@ func RunFig2(opts Fig2Options) (*Fig2Result, error) {
 	}
 
 	// Same-budget random baseline, evaluated on the same worker pool.
+	// The budget is denominated in *full-fidelity simulations actually
+	// spent*: without the ladder that is every observation, but with it
+	// only the promoted share of each batch ran the full sequence —
+	// counting observations would hand the baseline a full run for every
+	// cheap screening run and silently inflate its budget.
 	budget := len(active.Observations)
+	if ladder != nil {
+		low, high := ladder.Stats()
+		res.ActiveLowEvals = low
+		budget = high
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	res.ActiveFullEvals = budget
+	res.BaselineBudget = budget
 	rng := newRng(opts.Seed + 7777)
 	randomPts := space.SampleN(budget, rng)
 	pe := hypermapper.ParallelEvaluator{Eval: eval, Workers: opts.Workers}

@@ -35,6 +35,13 @@ func TestFig2AndHeadlineAndFig3(t *testing.T) {
 		t.Fatalf("random baseline budget mismatch: %d vs %d",
 			len(fig2.RandomOnly), len(fig2.Active.Observations))
 	}
+	// Without the ladder every observation is a full run, and the
+	// baseline budget matches it.
+	if fig2.ActiveFullEvals != len(fig2.Active.Observations) ||
+		fig2.BaselineBudget != len(fig2.RandomOnly) || fig2.ActiveLowEvals != 0 {
+		t.Fatalf("full-fidelity accounting off without ladder: full=%d low=%d budget=%d",
+			fig2.ActiveFullEvals, fig2.ActiveLowEvals, fig2.BaselineBudget)
+	}
 	if fig2.DefaultMetrics.Failed {
 		t.Fatal("default configuration failed")
 	}
@@ -96,6 +103,49 @@ func TestFig2AndHeadlineAndFig3(t *testing.T) {
 	// The distribution must actually vary (the whole point of Figure 3).
 	if fig3.Max/fig3.Min < 1.5 {
 		t.Fatalf("speedup spread too narrow: [%v, %v]", fig3.Min, fig3.Max)
+	}
+}
+
+// TestFig2LadderBaselineBudget pins the same-budget fairness of the
+// random baseline under the multi-fidelity ladder: the baseline must
+// consume exactly as many full-fidelity simulations as the active run
+// spent, not one per observation (observations include cheap screening
+// runs, so the old accounting inflated the baseline's budget).
+func TestFig2LadderBaselineBudget(t *testing.T) {
+	opts := DefaultFig2Options()
+	opts.Scale = QuickScale()
+	opts.RandomSamples = 8
+	opts.ActiveIterations = 2
+	opts.BatchPerIteration = 2
+	opts.AccuracyLimit = 0.08
+	opts.FidelityStride = 2
+	opts.PromoteFraction = 0.25
+	res, err := RunFig2(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ActiveLowEvals == 0 {
+		t.Fatal("ladder ran no low-fidelity screening runs")
+	}
+	// The ladder promotes a fraction of each batch: the full-fidelity
+	// spend must be strictly below the observation count, or screening
+	// saved nothing.
+	if res.ActiveFullEvals >= len(res.Active.Observations) {
+		t.Fatalf("full-fidelity evals %d not below observation count %d",
+			res.ActiveFullEvals, len(res.Active.Observations))
+	}
+	if res.BaselineBudget != res.ActiveFullEvals {
+		t.Fatalf("baseline budget %d != active full-fidelity evals %d",
+			res.BaselineBudget, res.ActiveFullEvals)
+	}
+	if len(res.RandomOnly) != res.BaselineBudget {
+		t.Fatalf("baseline ran %d evaluations, budget is %d",
+			len(res.RandomOnly), res.BaselineBudget)
+	}
+	for i, o := range res.RandomOnly {
+		if o.M.LowFidelity {
+			t.Fatalf("baseline observation %d is low fidelity", i)
+		}
 	}
 }
 

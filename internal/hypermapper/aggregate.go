@@ -1,0 +1,110 @@
+package hypermapper
+
+// Cross-scenario aggregation for campaign runs: given the same
+// candidate configurations measured in several scenario cells, pick the
+// configuration that is *robust* — feasible in every cell and with the
+// best worst-case standing. This is the quantitative form of the
+// paper's "one configuration does not fit all scenes" observation: the
+// per-cell winners usually differ, and the robust pick is the
+// configuration you would actually ship when the scene is not known in
+// advance.
+
+// RobustPick describes the outcome of a RobustBest aggregation.
+type RobustPick struct {
+	// Index is the winning candidate's row in the perCandidate matrix.
+	Index int
+	// Ranks is the winner's per-cell rank (1 = fastest feasible
+	// candidate in that cell; len(candidates)+1 marks an infeasible
+	// cell).
+	Ranks []int
+	// WorstRank is the maximum of Ranks — the best-worst-case criterion
+	// the winner minimises.
+	WorstRank int
+	// RankSum is the sum of Ranks (the rank-aggregation tie-breaker).
+	RankSum int
+	// FeasibleEverywhere reports whether the winner met the feasibility
+	// constraint in every cell. When no candidate does, RobustBest still
+	// returns the least-bad candidate (fewest infeasible cells first)
+	// with this flag false.
+	FeasibleEverywhere bool
+}
+
+// RobustBest rank-aggregates candidates across scenario cells.
+// perCandidate[i][j] holds candidate i's full-fidelity metrics in cell
+// j; every row must have the same number of cells. feasible gates
+// per-cell feasibility (nil admits everything not Failed/LowFidelity);
+// key is the per-cell performance objective being ranked (lower is
+// better, e.g. Metrics.Runtime).
+//
+// Within each cell, feasible candidates are ranked by key — ties share
+// the lower rank, so equal measurements cannot make the aggregation
+// depend on candidate order — and infeasible ones sit at rank
+// len(candidates)+1. The winner minimises, in order: number of
+// infeasible cells, worst-case rank, rank sum, candidate index. The
+// whole procedure is deterministic for a fixed candidate order.
+func RobustBest(perCandidate [][]Metrics, feasible Constraint, key func(Metrics) float64) (RobustPick, bool) {
+	n := len(perCandidate)
+	if n == 0 || len(perCandidate[0]) == 0 {
+		return RobustPick{Index: -1}, false
+	}
+	cells := len(perCandidate[0])
+	ok := func(m Metrics) bool {
+		if m.Failed || m.LowFidelity {
+			return false
+		}
+		return feasible == nil || feasible(m)
+	}
+
+	infeasibleRank := n + 1
+	ranks := make([][]int, n)
+	for i := range ranks {
+		ranks[i] = make([]int, cells)
+	}
+	for j := 0; j < cells; j++ {
+		for i := 0; i < n; i++ {
+			if !ok(perCandidate[i][j]) {
+				ranks[i][j] = infeasibleRank
+				continue
+			}
+			r := 1
+			ki := key(perCandidate[i][j])
+			for k := 0; k < n; k++ {
+				if k == i || !ok(perCandidate[k][j]) {
+					continue
+				}
+				if key(perCandidate[k][j]) < ki {
+					r++
+				}
+			}
+			ranks[i][j] = r
+		}
+	}
+
+	best := -1
+	var bestInfeasible, bestWorst, bestSum int
+	for i := 0; i < n; i++ {
+		infeasible, worst, sum := 0, 0, 0
+		for _, r := range ranks[i] {
+			if r == infeasibleRank {
+				infeasible++
+			}
+			if r > worst {
+				worst = r
+			}
+			sum += r
+		}
+		if best < 0 ||
+			infeasible < bestInfeasible ||
+			(infeasible == bestInfeasible && worst < bestWorst) ||
+			(infeasible == bestInfeasible && worst == bestWorst && sum < bestSum) {
+			best, bestInfeasible, bestWorst, bestSum = i, infeasible, worst, sum
+		}
+	}
+	return RobustPick{
+		Index:              best,
+		Ranks:              ranks[best],
+		WorstRank:          bestWorst,
+		RankSum:            bestSum,
+		FeasibleEverywhere: bestInfeasible == 0,
+	}, true
+}

@@ -1,0 +1,93 @@
+package hypermapper
+
+import "testing"
+
+func rt(v float64) Metrics { return Metrics{Runtime: v, MaxATE: 0.01} }
+
+func TestRobustBestPrefersWorstCaseRank(t *testing.T) {
+	// Candidate 0 wins cell 0 outright but collapses in cell 1;
+	// candidate 1 is second everywhere. Best-worst-case picks 1.
+	perCandidate := [][]Metrics{
+		{rt(0.10), rt(0.90)},
+		{rt(0.20), rt(0.30)},
+		{rt(0.30), rt(0.20)},
+	}
+	pick, ok := RobustBest(perCandidate, nil, func(m Metrics) float64 { return m.Runtime })
+	if !ok {
+		t.Fatal("no pick")
+	}
+	if pick.Index == 0 {
+		t.Fatalf("per-cell winner chosen over robust candidate: %+v", pick)
+	}
+	if pick.WorstRank != 2 || !pick.FeasibleEverywhere {
+		t.Fatalf("pick %+v, want worst rank 2 and feasible everywhere", pick)
+	}
+	// Candidates 1 and 2 tie on worst rank (2) and rank sum (3): the
+	// lower index wins deterministically.
+	if pick.Index != 1 {
+		t.Fatalf("tie not broken by candidate index: %+v", pick)
+	}
+}
+
+func TestRobustBestFeasibilityDominates(t *testing.T) {
+	limit := AccuracyLimit(0.05)
+	// Candidate 0 is fastest everywhere but infeasible in cell 1;
+	// candidate 1 is slower yet feasible in both.
+	perCandidate := [][]Metrics{
+		{rt(0.10), {Runtime: 0.10, MaxATE: 0.50}},
+		{rt(0.40), rt(0.40)},
+	}
+	pick, ok := RobustBest(perCandidate, limit, func(m Metrics) float64 { return m.Runtime })
+	if !ok || pick.Index != 1 || !pick.FeasibleEverywhere {
+		t.Fatalf("feasible-everywhere candidate lost: %+v ok=%v", pick, ok)
+	}
+
+	// Failed and low-fidelity measurements are infeasible even with a
+	// nil constraint.
+	perCandidate = [][]Metrics{
+		{rt(0.10), {Runtime: 0.05, Failed: true}},
+		{rt(0.40), {Runtime: 0.30, LowFidelity: true}},
+		{rt(0.50), rt(0.50)},
+	}
+	pick, ok = RobustBest(perCandidate, nil, func(m Metrics) float64 { return m.Runtime })
+	if !ok || pick.Index != 2 {
+		t.Fatalf("only all-full-fidelity candidate should win: %+v", pick)
+	}
+}
+
+func TestRobustBestNoFeasibleCandidate(t *testing.T) {
+	limit := AccuracyLimit(0.05)
+	// Nobody is feasible in cell 1; the pick minimises infeasible cells
+	// and reports the shortfall.
+	perCandidate := [][]Metrics{
+		{{Runtime: 0.1, MaxATE: 0.9}, {Runtime: 0.1, MaxATE: 0.9}},
+		{rt(0.2), {Runtime: 0.2, MaxATE: 0.9}},
+	}
+	pick, ok := RobustBest(perCandidate, limit, func(m Metrics) float64 { return m.Runtime })
+	if !ok {
+		t.Fatal("no pick returned")
+	}
+	if pick.Index != 1 || pick.FeasibleEverywhere {
+		t.Fatalf("want least-infeasible candidate 1 with flag false: %+v", pick)
+	}
+}
+
+func TestRobustBestTiesShareRank(t *testing.T) {
+	// Equal runtimes share the lower rank, so candidate order cannot
+	// leak into the ranks themselves.
+	perCandidate := [][]Metrics{
+		{rt(0.2)},
+		{rt(0.2)},
+		{rt(0.5)},
+	}
+	pick, ok := RobustBest(perCandidate, nil, func(m Metrics) float64 { return m.Runtime })
+	if !ok || pick.Index != 0 || pick.WorstRank != 1 {
+		t.Fatalf("tied candidates: %+v", pick)
+	}
+}
+
+func TestRobustBestEmpty(t *testing.T) {
+	if pick, ok := RobustBest(nil, nil, nil); ok || pick.Index != -1 {
+		t.Fatalf("empty matrix: %+v ok=%v", pick, ok)
+	}
+}

@@ -11,26 +11,40 @@ import "sync"
 // metrics); under that contract memoisation never changes results, only
 // removes repeated work.
 //
-// MemoEvaluator is safe for concurrent use. Two goroutines that miss on
-// the same key simultaneously may both run the evaluator; purity makes
-// the duplicate harmless and the first result wins the cache slot.
+// MemoEvaluator is safe for concurrent use, and concurrent misses on
+// the same key are coalesced: the first goroutine runs the wrapped
+// evaluator while later arrivals block on the in-flight call and share
+// its result, so a full pipeline simulation is never duplicated even
+// when a ParallelEvaluator fans the same configuration out twice.
 type MemoEvaluator struct {
 	eval Evaluator
 
-	mu     sync.Mutex
-	cache  map[string]Metrics
-	hits   int
-	misses int
+	mu       sync.Mutex
+	cache    map[string]Metrics
+	inflight map[string]*memoCall
+	hits     int
+	misses   int
+}
+
+// memoCall is one in-flight evaluation; done closes once m is valid.
+type memoCall struct {
+	done chan struct{}
+	m    Metrics
 }
 
 // NewMemoEvaluator wraps eval with an empty cache.
 func NewMemoEvaluator(eval Evaluator) *MemoEvaluator {
-	return &MemoEvaluator{eval: eval, cache: map[string]Metrics{}}
+	return &MemoEvaluator{
+		eval:     eval,
+		cache:    map[string]Metrics{},
+		inflight: map[string]*memoCall{},
+	}
 }
 
 // Evaluate is an Evaluator (use the method value m.Evaluate): it returns
 // the cached metrics for pt, running the wrapped evaluator only on the
-// first sighting of a configuration.
+// first sighting of a configuration. Goroutines that arrive while that
+// first run is still in flight wait for it instead of re-running it.
 func (m *MemoEvaluator) Evaluate(pt Point) Metrics {
 	key := AppendKey(make([]byte, 0, 8*len(pt)), pt)
 	m.mu.Lock()
@@ -39,20 +53,33 @@ func (m *MemoEvaluator) Evaluate(pt Point) Metrics {
 		m.mu.Unlock()
 		return v
 	}
-	m.mu.Unlock()
-
-	v := m.eval(pt)
-
-	m.mu.Lock()
-	if _, ok := m.cache[string(key)]; !ok {
-		m.cache[string(key)] = v
+	if c, ok := m.inflight[string(key)]; ok {
+		// Coalesce onto the in-flight run: no new evaluator invocation,
+		// so this counts as a hit.
+		m.hits++
+		m.mu.Unlock()
+		<-c.done
+		return c.m
 	}
+	c := &memoCall{done: make(chan struct{})}
+	ks := string(key)
+	m.inflight[ks] = c
 	m.misses++
 	m.mu.Unlock()
-	return v
+
+	c.m = m.eval(pt)
+
+	m.mu.Lock()
+	m.cache[ks] = c.m
+	delete(m.inflight, ks)
+	m.mu.Unlock()
+	close(c.done)
+	return c.m
 }
 
-// Stats reports cache hits and evaluator invocations so far.
+// Stats reports cache hits (including calls coalesced onto an in-flight
+// evaluation) and true misses — the number of times the wrapped
+// evaluator actually ran.
 func (m *MemoEvaluator) Stats() (hits, misses int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()

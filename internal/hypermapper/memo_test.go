@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMemoEvaluatorCaches(t *testing.T) {
@@ -75,6 +76,64 @@ func TestMemoEvaluatorConcurrent(t *testing.T) {
 	wg.Wait()
 	if memo.Len() != 17 {
 		t.Fatalf("cache size %d, want 17", memo.Len())
+	}
+}
+
+// TestMemoEvaluatorCoalescesConcurrentMisses: two workers that miss on
+// the same key at the same time must not both run the wrapped evaluator
+// (under ParallelEvaluator that would be a duplicated full pipeline
+// simulation). The first arrival runs; the rest block on the in-flight
+// call and share its result, and Stats counts exactly one miss.
+func TestMemoEvaluatorCoalescesConcurrentMisses(t *testing.T) {
+	const goroutines = 8
+	var calls atomic.Int64
+	release := make(chan struct{})
+	memo := NewMemoEvaluator(func(pt Point) Metrics {
+		calls.Add(1)
+		<-release // hold the evaluation in flight until every goroutine has arrived
+		return Metrics{Runtime: pt[0] * 3}
+	})
+
+	pt := Point{7}
+	var wg sync.WaitGroup
+	results := make([]Metrics, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = memo.Evaluate(pt)
+		}(g)
+	}
+	// Every goroutine registers (one miss, the rest coalesced hits)
+	// before any can finish: wait for that state, then let the single
+	// evaluation complete.
+	for {
+		hits, misses := memo.Stats()
+		if hits+misses == goroutines {
+			if misses != 1 {
+				t.Fatalf("misses=%d before release, want 1", misses)
+			}
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("evaluator ran %d times for one key, want 1", got)
+	}
+	hits, misses := memo.Stats()
+	if hits != goroutines-1 || misses != 1 {
+		t.Fatalf("stats hits=%d misses=%d, want %d/1", hits, misses, goroutines-1)
+	}
+	for g, m := range results {
+		if m.Runtime != 21 {
+			t.Fatalf("goroutine %d got %v, want 21", g, m.Runtime)
+		}
+	}
+	if memo.Len() != 1 {
+		t.Fatalf("cache size %d, want 1", memo.Len())
 	}
 }
 

@@ -91,9 +91,12 @@ func ParetoFront(obs []Observation, objectives Objectives) []Observation {
 type Constraint func(Metrics) bool
 
 // AccuracyLimit builds the paper's feasibility constraint: max ATE below
-// the limit (0.05 m in Figure 2).
+// the limit (0.05 m in Figure 2). The constraint is fidelity-aware: a
+// low-fidelity measurement never passes, even when composed directly
+// (outside Best's own filter) — a subsampled run's optimistic ATE must
+// not certify a configuration as feasible.
 func AccuracyLimit(limit float64) Constraint {
-	return func(m Metrics) bool { return !m.Failed && m.MaxATE <= limit }
+	return func(m Metrics) bool { return !m.Failed && !m.LowFidelity && m.MaxATE <= limit }
 }
 
 // And conjoins constraints.

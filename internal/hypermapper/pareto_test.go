@@ -1,0 +1,190 @@
+package hypermapper
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestAccuracyLimitFidelityAware(t *testing.T) {
+	c := AccuracyLimit(0.05)
+	cases := []struct {
+		name string
+		m    Metrics
+		want bool
+	}{
+		{"in-limit full run", Metrics{MaxATE: 0.03}, true},
+		{"over-limit full run", Metrics{MaxATE: 0.06}, false},
+		{"failed run", Metrics{MaxATE: 0.01, Failed: true}, false},
+		// The bug this pins: a subsampled measurement with an optimistic
+		// ATE must not pass feasibility when the constraint is composed
+		// directly (outside Best's own filter).
+		{"in-limit low-fidelity run", Metrics{MaxATE: 0.01, LowFidelity: true}, false},
+		{"exactly at limit", Metrics{MaxATE: 0.05}, true},
+	}
+	for _, tc := range cases {
+		if got := c(tc.m); got != tc.want {
+			t.Errorf("%s: feasible=%v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// And composed: And must not resurrect a low-fidelity pass.
+	composed := And(AccuracyLimit(0.05), func(Metrics) bool { return true })
+	if composed(Metrics{MaxATE: 0.01, LowFidelity: true}) {
+		t.Error("composed constraint accepted a low-fidelity measurement")
+	}
+}
+
+// TestEmptyFrontPaths: all-low-fidelity and all-failed observation sets
+// must flow through front extraction, best-config queries and the
+// hypervolume indicator as empty inputs, not as results.
+func TestEmptyFrontPaths(t *testing.T) {
+	allLow := []Observation{
+		{X: Point{1}, M: Metrics{Runtime: 0.1, MaxATE: 0.01, LowFidelity: true}},
+		{X: Point{2}, M: Metrics{Runtime: 0.2, MaxATE: 0.02, LowFidelity: true}},
+	}
+	allFailed := []Observation{
+		{X: Point{1}, M: Metrics{Failed: true}},
+		{X: Point{2}, M: Metrics{Failed: true}},
+	}
+	for name, obs := range map[string][]Observation{
+		"all-low-fidelity": allLow,
+		"all-failed":       allFailed,
+		"nil":              nil,
+	} {
+		if front := ParetoFront(obs, RuntimeAccuracy); len(front) != 0 {
+			t.Errorf("%s: front has %d members, want 0", name, len(front))
+		}
+		if _, ok := Best(obs, nil, func(m Metrics) float64 { return m.Runtime }); ok {
+			t.Errorf("%s: Best found an observation", name)
+		}
+		if hv := HypervolumeProxy(ParetoFront(obs, RuntimeAccuracy), RuntimeAccuracy,
+			[]float64{1, 1}); hv != 0 {
+			t.Errorf("%s: hypervolume %v, want 0", name, hv)
+		}
+	}
+}
+
+// bruteHV is an independent reference for the dominated area of a set of
+// 2-objective minimisation points below ref: sort by x, sweep right,
+// each point extends the region at the running best (lowest) y.
+func bruteHV(pts [][2]float64, ref [2]float64) float64 {
+	var in [][2]float64
+	for _, p := range pts {
+		if p[0] < ref[0] && p[1] < ref[1] {
+			in = append(in, p)
+		}
+	}
+	if len(in) == 0 {
+		return 0
+	}
+	sort.Slice(in, func(i, j int) bool {
+		if in[i][0] != in[j][0] {
+			return in[i][0] < in[j][0]
+		}
+		return in[i][1] < in[j][1]
+	})
+	area, bestY := 0.0, math.Inf(1)
+	for i := range in {
+		if in[i][1] < bestY {
+			bestY = in[i][1]
+		}
+		xNext := ref[0]
+		if i+1 < len(in) {
+			xNext = in[i+1][0]
+		}
+		area += (xNext - in[i][0]) * (ref[1] - bestY)
+	}
+	return area
+}
+
+// TestHv2DScorerGainDuplicateX: a candidate sharing an x coordinate with
+// a front member must score exactly the area it adds below that member
+// (zero-width segments must not corrupt the sweep).
+func TestHv2DScorerGainDuplicateX(t *testing.T) {
+	front := [][]float64{{1, 1}, {2, 0.5}}
+	ref := []float64{4, 2}
+	var s hv2DScorer
+	s.Reset(front, ref)
+	box := ref[0] * ref[1]
+
+	// Candidate at x=1 (duplicate of front[0]) with a better y: adds
+	// (2-1)*(1-0.25) over [1,2] and (4-2)*(0.5-0.25) over [2,4].
+	want := (2-1)*(1-0.25) + (4-2)*(0.5-0.25)
+	if got := s.Gain(1, 0.25) * box; math.Abs(got-want) > 1e-12 {
+		t.Errorf("duplicate-x gain %v, want %v", got, want)
+	}
+	// A duplicate-x candidate with a worse y adds nothing.
+	if got := s.Gain(1, 1.5) * box; got != 0 {
+		t.Errorf("dominated duplicate-x candidate gained %v, want 0", got)
+	}
+	// An exact duplicate of a front point adds nothing.
+	if got := s.Gain(2, 0.5) * box; got != 0 {
+		t.Errorf("exact duplicate gained %v, want 0", got)
+	}
+}
+
+// TestHv2DScorerGainOutsideBox: candidates at or beyond the reference
+// point dominate no area inside the box and must gain exactly zero.
+func TestHv2DScorerGainOutsideBox(t *testing.T) {
+	front := [][]float64{{1, 1}}
+	ref := []float64{4, 2}
+	var s hv2DScorer
+	s.Reset(front, ref)
+	for _, c := range [][2]float64{
+		{4, 0.5}, // x exactly at ref
+		{5, 0.5}, // x beyond ref
+		{0.5, 2}, // y exactly at ref
+		{0.5, 3}, // y beyond ref
+		{9, 9},   // both beyond
+		{4, 2},   // exactly the reference point
+	} {
+		if got := s.Gain(c[0], c[1]); got != 0 {
+			t.Errorf("candidate %v outside the box gained %v, want 0", c, got)
+		}
+	}
+	// Front points outside the box are dropped by Reset: the remaining
+	// base area must come only from in-box members.
+	s.Reset([][]float64{{1, 1}, {5, 0.1}, {0.1, 7}}, ref)
+	if want := (4.0 - 1) * (2.0 - 1); math.Abs(s.Base()-want) > 1e-12 {
+		t.Errorf("base %v with out-of-box front members, want %v", s.Base(), want)
+	}
+}
+
+// TestHv2DScorerGainMatchesBruteForce cross-checks the incremental
+// sweep against the independent reference over random fronts and
+// candidates, duplicated x values and out-of-box points included.
+func TestHv2DScorerGainMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ref := []float64{1, 1}
+	box := ref[0] * ref[1]
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		front := make([][]float64, n)
+		fpts := make([][2]float64, n)
+		for i := range front {
+			// Snap to a coarse grid so duplicate coordinates are common.
+			x := float64(rng.Intn(8)) / 6
+			y := float64(rng.Intn(8)) / 6
+			front[i] = []float64{x, y}
+			fpts[i] = [2]float64{x, y}
+		}
+		var s hv2DScorer
+		s.Reset(front, ref)
+		base := bruteHV(fpts, [2]float64{ref[0], ref[1]})
+		if math.Abs(s.Base()-base) > 1e-12 {
+			t.Fatalf("trial %d: base %v, brute force %v (front %v)", trial, s.Base(), base, front)
+		}
+		for c := 0; c < 10; c++ {
+			cx := float64(rng.Intn(8)) / 6
+			cy := float64(rng.Intn(8)) / 6
+			got := s.Gain(cx, cy) * box
+			want := bruteHV(append(append([][2]float64(nil), fpts...), [2]float64{cx, cy}),
+				[2]float64{ref[0], ref[1]}) - base
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("trial %d: candidate (%v,%v) gain %v, brute force %v (front %v)",
+					trial, cx, cy, got, want, front)
+			}
+		}
+	}
+}

@@ -106,6 +106,27 @@ func Catalogue(seed int64) []device.Profile {
 	return out
 }
 
+// ByName picks named profiles out of the seed's catalogue (the anchors
+// are always present whatever the seed; generated names follow the
+// phone-<year>-<nn> scheme), preserving the requested order — the
+// device-target selection hook of cross-device DSE campaigns.
+func ByName(seed int64, names ...string) ([]device.Profile, error) {
+	cat := Catalogue(seed)
+	byName := make(map[string]device.Profile, len(cat))
+	for _, p := range cat {
+		byName[p.Name] = p
+	}
+	out := make([]device.Profile, 0, len(names))
+	for _, n := range names {
+		p, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("phones: no device %q in the seed-%d catalogue", n, seed)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
 func clampF(x, lo, hi float64) float64 {
 	if x < lo {
 		return lo

@@ -111,3 +111,20 @@ func TestFlagshipsBeatEntryLevel(t *testing.T) {
 		t.Fatal("2017 phones not faster than 2012 phones on average")
 	}
 }
+
+func TestByName(t *testing.T) {
+	got, err := ByName(1, "pixel-adreno530", "galaxy-s3-mali400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "pixel-adreno530" || got[1].Name != "galaxy-s3-mali400" {
+		t.Fatalf("wrong picks: %+v", got)
+	}
+	// Anchors resolve for any seed.
+	if _, err := ByName(99, "pixel-adreno530"); err != nil {
+		t.Fatalf("anchor missing under another seed: %v", err)
+	}
+	if _, err := ByName(1, "no-such-device"); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}

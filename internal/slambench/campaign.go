@@ -1,0 +1,139 @@
+package slambench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// CampaignCell is one scenario × device row of a campaign report: the
+// summary of a full DSE run on that workload/target combination plus
+// the robust configuration's standing when replayed in the cell.
+type CampaignCell struct {
+	// Scenario names the workload cell (scene, trajectory, resolution,
+	// noise — e.g. "lr_kt2").
+	Scenario string `json:"scenario"`
+	// Device names the execution target the cell was tuned for.
+	Device string `json:"device"`
+	// Evaluations is the number of configurations the cell's exploration
+	// observed (screening runs included).
+	Evaluations int `json:"evaluations"`
+	// FullFidelityEvals is the number of full-sequence simulations the
+	// exploration spent (the campaign's robust aggregation phase
+	// cross-measures candidates on top of this).
+	FullFidelityEvals int `json:"full_fidelity_evals"`
+	// FrontSize is the cell's Pareto-front cardinality.
+	FrontSize int `json:"front_size"`
+	// Front lists the cell's Pareto-front measurements, runtime
+	// ascending (rendered in the JSON report; the table shows the size).
+	Front []CampaignFrontPoint `json:"front,omitempty"`
+	// Feasible reports whether any configuration met the accuracy limit.
+	Feasible bool `json:"feasible"`
+	// BestRuntime/BestMaxATE/BestPower describe the cell's own best
+	// feasible configuration (zero when Feasible is false).
+	BestRuntime float64 `json:"best_runtime,omitempty"`
+	BestMaxATE  float64 `json:"best_max_ate,omitempty"`
+	BestPower   float64 `json:"best_power,omitempty"`
+	// RobustRuntime/RobustMaxATE are the cross-scenario robust
+	// configuration's full-fidelity measurements in this cell.
+	RobustRuntime float64 `json:"robust_runtime"`
+	RobustMaxATE  float64 `json:"robust_max_ate"`
+	// RobustRank is the robust configuration's rank among the candidate
+	// set within this cell (1 = fastest feasible candidate).
+	RobustRank int `json:"robust_rank"`
+	// RobustFeasible reports whether the robust configuration met the
+	// accuracy limit in this cell.
+	RobustFeasible bool `json:"robust_feasible"`
+}
+
+// CampaignFrontPoint is one Pareto-front measurement of a campaign cell.
+type CampaignFrontPoint struct {
+	Runtime float64 `json:"runtime"`
+	MaxATE  float64 `json:"max_ate"`
+	Power   float64 `json:"power"`
+}
+
+// CampaignReport aggregates a cross-scene / cross-device DSE campaign:
+// one row per cell plus the rank-aggregated robust configuration.
+type CampaignReport struct {
+	// AccuracyLimit is the feasibility bound shared by every cell.
+	AccuracyLimit float64 `json:"accuracy_limit"`
+	// Cells are the per-cell results in registry order.
+	Cells []CampaignCell `json:"cells"`
+	// Candidates is the size of the cross-cell candidate set the robust
+	// configuration was selected from.
+	Candidates int `json:"candidates"`
+	// RobustConfig renders the winning configuration's parameters.
+	RobustConfig string `json:"robust_config"`
+	// RobustWorstRank is the winner's worst per-cell rank (the
+	// best-worst-case criterion it minimises).
+	RobustWorstRank int `json:"robust_worst_rank"`
+	// RobustFeasibleEverywhere reports whether the winner met the
+	// accuracy limit in every cell.
+	RobustFeasibleEverywhere bool `json:"robust_feasible_everywhere"`
+}
+
+// WriteCampaignTable renders the report as an aligned table — the
+// campaign analogue of WriteTable.
+func WriteCampaignTable(w io.Writer, r *CampaignReport) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tdevice\tevals\tfull\tfront\tbestFPS\tbestATE(m)\trobustFPS\trobustATE(m)\trobustRank\trobustOK")
+	for _, c := range r.Cells {
+		best := "-"
+		bestATE := "-"
+		if c.Feasible {
+			best = fmt.Sprintf("%.1f", fps(c.BestRuntime))
+			bestATE = fmt.Sprintf("%.4f", c.BestMaxATE)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%s\t%s\t%.1f\t%.4f\t%d\t%v\n",
+			c.Scenario, c.Device, c.Evaluations, c.FullFidelityEvals, c.FrontSize,
+			best, bestATE, fps(c.RobustRuntime), c.RobustMaxATE, c.RobustRank, c.RobustFeasible)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\nrobust configuration (of %d candidates, worst rank %d, feasible everywhere: %v):\n  %s\n",
+		r.Candidates, r.RobustWorstRank, r.RobustFeasibleEverywhere, r.RobustConfig)
+	return err
+}
+
+// WriteCampaignCSV emits one row per cell, suitable for external
+// plotting of cross-scenario comparisons.
+func WriteCampaignCSV(w io.Writer, r *CampaignReport) error {
+	if _, err := fmt.Fprintln(w, "scenario,device,evaluations,full_fidelity,front_size,feasible,best_runtime,best_max_ate,best_power,robust_runtime,robust_max_ate,robust_rank,robust_feasible"); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		feas, rfeas := 0, 0
+		if c.Feasible {
+			feas = 1
+		}
+		if c.RobustFeasible {
+			rfeas = 1
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d\n",
+			c.Scenario, c.Device, c.Evaluations, c.FullFidelityEvals, c.FrontSize,
+			feas, c.BestRuntime, c.BestMaxATE, c.BestPower,
+			c.RobustRuntime, c.RobustMaxATE, c.RobustRank, rfeas); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCampaignJSON emits the whole report as indented JSON (field
+// order is fixed by the struct, so the bytes are deterministic).
+func WriteCampaignJSON(w io.Writer, r *CampaignReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// fps converts a per-frame latency to a frame rate (0 stays 0).
+func fps(runtime float64) float64 {
+	if runtime <= 0 {
+		return 0
+	}
+	return 1 / runtime
+}

@@ -1,0 +1,93 @@
+package slambench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func testCampaignReport() *CampaignReport {
+	return &CampaignReport{
+		AccuracyLimit: 0.05,
+		Cells: []CampaignCell{
+			{
+				Scenario: "lr_kt0", Device: "odroid-xu3",
+				Evaluations: 8, FullFidelityEvals: 4, FrontSize: 2,
+				Front: []CampaignFrontPoint{
+					{Runtime: 0.02, MaxATE: 0.01, Power: 2.5},
+					{Runtime: 0.04, MaxATE: 0.005, Power: 2.1},
+				},
+				Feasible: true, BestRuntime: 0.02, BestMaxATE: 0.01, BestPower: 2.5,
+				RobustRuntime: 0.025, RobustMaxATE: 0.012, RobustRank: 2, RobustFeasible: true,
+			},
+			{
+				Scenario: "of_kt1", Device: "pixel-adreno530",
+				Evaluations: 8, FullFidelityEvals: 4, FrontSize: 1,
+				Feasible:      false,
+				RobustRuntime: 0.03, RobustMaxATE: 0.02, RobustRank: 1, RobustFeasible: true,
+			},
+		},
+		Candidates:               5,
+		RobustConfig:             "vr=96 csr=2",
+		RobustWorstRank:          2,
+		RobustFeasibleEverywhere: true,
+	}
+}
+
+func TestWriteCampaignTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCampaignTable(&buf, testCampaignReport()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"lr_kt0", "of_kt1", "pixel-adreno530", "50.0", "vr=96 csr=2", "worst rank 2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// An infeasible cell renders a dash, not a zero frame rate.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "of_kt1") && !strings.Contains(line, "-") {
+			t.Fatalf("infeasible cell row has no dash: %q", line)
+		}
+	}
+}
+
+func TestWriteCampaignCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCampaignCSV(&buf, testCampaignReport()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 rows:\n%s", len(lines), buf.String())
+	}
+	if cols := strings.Count(lines[0], ","); strings.Count(lines[1], ",") != cols || strings.Count(lines[2], ",") != cols {
+		t.Fatalf("ragged CSV:\n%s", buf.String())
+	}
+}
+
+func TestWriteCampaignJSON(t *testing.T) {
+	var buf bytes.Buffer
+	rep := testCampaignReport()
+	if err := WriteCampaignJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back CampaignReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != 2 || back.Cells[0].Scenario != "lr_kt0" ||
+		len(back.Cells[0].Front) != 2 || back.RobustConfig != rep.RobustConfig {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+	// Serialisation must be deterministic byte for byte.
+	var buf2 bytes.Buffer
+	if err := WriteCampaignJSON(&buf2, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("JSON serialisation not deterministic")
+	}
+}
