@@ -1,12 +1,15 @@
-.PHONY: test race bench bench-compare bench-save campaign-smoke
+.PHONY: test race bench bench-compare bench-save campaign-smoke campaign-resume-smoke
 
 test:
 	go build ./... && go test ./...
 
 # The concurrency substrate, the parallel DSE engine and the campaign
-# orchestrator must stay clean under the race detector.
+# orchestrator must stay clean under the race detector. The campaign
+# package replays whole (small) campaigns many times — determinism
+# across workers plus the checkpoint/resume suite — so it needs more
+# than the default 10-minute package timeout under the race detector.
 race:
-	go test -race ./internal/parallel/... ./internal/hypermapper/... ./internal/campaign/...
+	go test -race -timeout 30m ./internal/parallel/... ./internal/hypermapper/... ./internal/campaign/...
 
 bench:
 	go test -run '^$$' -bench . -benchmem .
@@ -14,7 +17,7 @@ bench:
 # Snapshot the benchmarks, compare against the saved baseline with
 # benchstat (when available) and distill the run into
 # BENCH_$(BENCH_INDEX).json (the per-PR snapshot series).
-BENCH_INDEX ?= 3
+BENCH_INDEX ?= 4
 bench-compare:
 	./scripts/bench-compare.sh $(BENCH_INDEX)
 
@@ -32,3 +35,27 @@ campaign-smoke:
 		-campaign-scenes lr_kt0,of_kt0 \
 		-campaign-devices odroid-xu3,pixel-adreno530 \
 		-random 6 -active 1 -batch 2 -mf-stride 2 -mf-promote 0.5
+
+# Checkpoint/resume smoke test of the staged campaign engine: run the
+# same cell-ladder campaign three ways — stopped after the Explore
+# stage, resumed from its checkpoints, and uninterrupted — and require
+# the resumed report to be byte-identical to the uninterrupted one.
+RESUME_SMOKE_DIR := .campaign-resume-smoke
+RESUME_SMOKE_FLAGS := -campaign -quick \
+	-campaign-scenes lr_kt0,of_kt0 \
+	-campaign-devices odroid-xu3,pixel-adreno530 \
+	-random 6 -active 1 -batch 2 \
+	-campaign-cell-stride 2 -campaign-cell-promote 0.5
+campaign-resume-smoke:
+	rm -rf $(RESUME_SMOKE_DIR)
+	mkdir -p $(RESUME_SMOKE_DIR)
+	go run ./cmd/experiments $(RESUME_SMOKE_FLAGS) \
+		-campaign-checkpoint $(RESUME_SMOKE_DIR)/store -campaign-stop-after explore
+	go run ./cmd/experiments $(RESUME_SMOKE_FLAGS) \
+		-campaign-checkpoint $(RESUME_SMOKE_DIR)/store -campaign-resume \
+		-o $(RESUME_SMOKE_DIR)/resumed.txt
+	go run ./cmd/experiments $(RESUME_SMOKE_FLAGS) \
+		-o $(RESUME_SMOKE_DIR)/fresh.txt
+	diff $(RESUME_SMOKE_DIR)/fresh.txt $(RESUME_SMOKE_DIR)/resumed.txt
+	rm -rf $(RESUME_SMOKE_DIR)
+	@echo "campaign-resume-smoke: resumed report byte-identical to uninterrupted run"

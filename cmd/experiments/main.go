@@ -32,10 +32,15 @@ func main() {
 		mfStride  = flag.Int("mf-stride", 0, "multi-fidelity frame stride for the DSE (>1 screens candidates on a subsampled sequence; 0 = full fidelity only)")
 		mfPromote = flag.Float64("mf-promote", 0.25, "fraction of each batch promoted to full-fidelity runs (with -mf-stride)")
 
-		runCampaign = flag.Bool("campaign", false, "run the cross-scene/cross-device DSE campaign instead of the figure experiments")
-		campScenes  = flag.String("campaign-scenes", "", "comma-separated scenario names for -campaign (lr_kt0..lr_kt3, of_kt0..of_kt1; empty = all six)")
-		campDevices = flag.String("campaign-devices", "odroid-xu3,pixel-adreno530", "comma-separated device targets for -campaign (odroid-xu3, desktop-gpu, or phone-catalogue names)")
-		campFormat  = flag.String("campaign-format", "table", "campaign report format: table, csv or json")
+		runCampaign    = flag.Bool("campaign", false, "run the cross-scene/cross-device DSE campaign instead of the figure experiments")
+		campScenes     = flag.String("campaign-scenes", "", "comma-separated scenario names for -campaign (lr_kt0..lr_kt3, of_kt0..of_kt1; empty = all six)")
+		campDevices    = flag.String("campaign-devices", "odroid-xu3,pixel-adreno530", "comma-separated device targets for -campaign (odroid-xu3, desktop-gpu, or phone-catalogue names)")
+		campFormat     = flag.String("campaign-format", "table", "campaign report format: table, csv or json")
+		campCheckpoint = flag.String("campaign-checkpoint", "", "persist per-cell stage artifacts into this directory (created if needed), so a killed campaign can resume")
+		campResume     = flag.Bool("campaign-resume", false, "load matching artifacts from -campaign-checkpoint instead of recomputing them")
+		campCellStride = flag.Int("campaign-cell-stride", 0, "cell-level multi-fidelity frame stride (>1 screens every cell on a subsampled sequence and promotes only competitive cells to full fidelity)")
+		campCellProm   = flag.Float64("campaign-cell-promote", 0.5, "fraction of grid cells promoted to full-fidelity exploration (with -campaign-cell-stride)")
+		campStopAfter  = flag.String("campaign-stop-after", "", "end the campaign cleanly after this stage (plan, explore, promote or crossmeasure) — simulates a kill at a stage boundary for checkpoint/resume workflows")
 	)
 	flag.Parse()
 
@@ -55,20 +60,35 @@ func main() {
 	}
 
 	if *runCampaign {
+		// Every campaign flag is validated here, before any simulation
+		// starts: a typo in -campaign-format or -campaign-stop-after
+		// must fail in milliseconds, not after minutes of exploration.
+		writeReport, err := campaignWriter(*campFormat)
+		if err != nil {
+			fatal(err)
+		}
+		stopAfter, err := campaign.ParseStage(*campStopAfter)
+		if err != nil {
+			fatal(err)
+		}
 		opts := campaign.Options{
-			RandomSamples:     *random,
-			ActiveIterations:  *active,
-			BatchPerIteration: *batch,
-			Seed:              *seed,
-			Workers:           *workers,
-			FidelityStride:    *mfStride,
-			PromoteFraction:   *mfPromote,
-			Log:               eprint,
+			RandomSamples:       *random,
+			ActiveIterations:    *active,
+			BatchPerIteration:   *batch,
+			Seed:                *seed,
+			Workers:             *workers,
+			FidelityStride:      *mfStride,
+			PromoteFraction:     *mfPromote,
+			CellStride:          *campCellStride,
+			CellPromoteFraction: *campCellProm,
+			CheckpointDir:       *campCheckpoint,
+			Resume:              *campResume,
+			StopAfter:           stopAfter,
+			Log:                 eprint,
 		}
 		if *quick {
 			opts.AccuracyLimit = 0.08
 		}
-		var err error
 		if *campScenes == "" {
 			opts.Scenarios = campaign.Scenarios(scale)
 		} else if opts.Scenarios, err = campaign.SelectScenarios(scale, splitList(*campScenes)); err != nil {
@@ -77,25 +97,36 @@ func main() {
 		if opts.Targets, err = campaign.ResolveTargets(*seed, splitList(*campDevices)); err != nil {
 			fatal(err)
 		}
+		if err := opts.Validate(); err != nil {
+			fatal(err)
+		}
 		eprint(fmt.Sprintf("campaign: %d scenarios × %d devices", len(opts.Scenarios), len(opts.Targets)))
 		start := time.Now()
 		res, err := campaign.Run(opts)
 		if err != nil {
 			fatal(err)
 		}
-		rep := res.Report()
-		switch *campFormat {
-		case "table":
-			err = slambench.WriteCampaignTable(w, rep)
-		case "csv":
-			err = slambench.WriteCampaignCSV(w, rep)
-		case "json":
-			err = slambench.WriteCampaignJSON(w, rep)
-		default:
-			err = fmt.Errorf("unknown campaign format %q (want table, csv or json)", *campFormat)
+		if res.StoppedAfter != "" {
+			msg := fmt.Sprintf("campaign stopped after the %s stage in %s",
+				res.StoppedAfter, time.Since(start).Round(time.Second))
+			if *campCheckpoint != "" {
+				msg += "; rerun with -campaign-resume to continue"
+			}
+			eprint(msg)
+			return
 		}
-		if err != nil {
+		rep := res.Report()
+		if err := writeReport(w, rep); err != nil {
 			fatal(err)
+		}
+		if *campCheckpoint != "" {
+			// Execution provenance (which cells were resumed, at which
+			// fidelity) goes to stderr so the report on stdout/-o stays
+			// byte-comparable between fresh and resumed runs.
+			eprint("campaign provenance:")
+			if err := slambench.WriteCampaignProvenance(os.Stderr, rep); err != nil {
+				fatal(err)
+			}
 		}
 		eprint(fmt.Sprintf("campaign done in %s", time.Since(start).Round(time.Second)))
 		return
@@ -285,6 +316,20 @@ func bestFeasibleOf(obs []hypermapper.Observation, limit float64) (float64, bool
 		}
 	}
 	return best, found
+}
+
+// campaignWriter resolves -campaign-format to a report writer, so an
+// unknown format fails before the campaign runs.
+func campaignWriter(format string) (func(io.Writer, *slambench.CampaignReport) error, error) {
+	switch format {
+	case "table":
+		return slambench.WriteCampaignTable, nil
+	case "csv":
+		return slambench.WriteCampaignCSV, nil
+	case "json":
+		return slambench.WriteCampaignJSON, nil
+	}
+	return nil, fmt.Errorf("unknown campaign format %q (want table, csv or json)", format)
 }
 
 // splitList parses a comma-separated flag into trimmed non-empty names.

@@ -24,6 +24,7 @@ import (
 
 func main() {
 	var (
+		slamPath = flag.String("slam", "", "run from a recorded .slam file (see cmd/datasetgen) instead of rendering a synthetic sequence; -kt/-frames/-width/-height/-noisy/-seed and -recon are ignored")
 		kt       = flag.Int("kt", 0, "living-room trajectory (0-3)")
 		frames   = flag.Int("frames", 120, "frames to render")
 		width    = flag.Int("width", 320, "sensor width")
@@ -49,7 +50,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*kt, *frames, *width, *height, *noisy, *seed, *system, *devName,
+	if err := run(*slamPath, *kt, *frames, *width, *height, *noisy, *seed, *system, *devName,
 		*opp, *csr, *volRes, *mu, *intRate, *csvPath, *uiDir, *uiEvery, *meshPath,
 		*kernels, *ascii, *recon, *trajPath, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "slambench:", err)
@@ -57,16 +58,33 @@ func main() {
 	}
 }
 
-func run(kt, frames, width, height int, noisy bool, seed int64, system, devName,
+func run(slamPath string, kt, frames, width, height int, noisy bool, seed int64, system, devName,
 	opp string, csr, volRes int, mu float64, intRate int, csvPath, uiDir string,
 	uiEvery int, meshPath string, kernels, ascii, recon bool, trajPath, jsonPath string) error {
 
-	fmt.Printf("rendering lr_kt%d (%dx%d, %d frames, noisy=%v)…\n", kt, width, height, frames, noisy)
-	seq, err := dataset.LivingRoomKT(kt, dataset.PresetOptions{
-		Width: width, Height: height, Frames: frames, FPS: 30, Noisy: noisy, Seed: seed,
-	})
-	if err != nil {
-		return err
+	// Sequence ownership: a FileSequence holds an open file and this
+	// function owns it — the deferred Close runs on every path out,
+	// error or success. Synthetic sequences are in-memory and need none.
+	var seq dataset.Sequence
+	if slamPath != "" {
+		fs, err := dataset.OpenSlam(slamPath)
+		if err != nil {
+			return err
+		}
+		defer fs.Close()
+		intr := fs.Intrinsics()
+		fmt.Printf("streaming %s (%dx%d, %d frames)…\n", slamPath, intr.Width, intr.Height, fs.Len())
+		seq = fs
+		recon = false // the recorded scene is unknown; no ground-truth SDF to compare against
+	} else {
+		fmt.Printf("rendering lr_kt%d (%dx%d, %d frames, noisy=%v)…\n", kt, width, height, frames, noisy)
+		mem, err := dataset.LivingRoomKT(kt, dataset.PresetOptions{
+			Width: width, Height: height, Frames: frames, FPS: 30, Noisy: noisy, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		seq = mem
 	}
 
 	var model *device.Model

@@ -75,7 +75,7 @@
 // configuration run a single pipeline simulation and Stats counts true
 // misses only.
 //
-// # Campaign engine
+// # Campaign engine: staged, resumable, cell-promoted
 //
 // internal/campaign replays the whole methodology across scenarios and
 // devices at once — the paper tunes per scene and per device, and the
@@ -84,23 +84,48 @@
 // (the living-room kt0–kt3 and office kt0–kt1 analogues, via
 // core.Scale) crossed with device targets (the ODROID-XU3, the desktop
 // comparator, or named picks from the phone catalogue via
-// phones.ByName). campaign.Run shards the grid over internal/parallel,
-// runs a constrained Fig2-style exploration per cell through a shared
-// per-cell memoized evaluator (the multi-fidelity ladder plugs in per
-// cell), and aggregates the per-cell Pareto fronts into a
-// cross-scenario robust configuration: every cell's best feasible and
-// leading front members are re-measured at full fidelity in every
-// other cell, and hypermapper.RobustBest rank-aggregates them —
-// feasible in all cells first, then minimum worst-case per-cell rank,
-// then rank sum — which quantifies the paper's "one configuration does
-// not fit all scenes" point. Cell order is fixed, per-cell seeds
-// derive from the campaign seed and the cell's grid index, and every
-// layer below is workers-deterministic, so a seeded campaign's report
-// (slambench.WriteCampaignTable/CSV/JSON) is bit-identical for any
-// Workers value. cmd/experiments exposes it as -campaign with
-// -campaign-scenes, -campaign-devices and -campaign-format;
-// `make campaign-smoke` runs a 2-scenario × 2-device quick-scale
-// campaign end to end.
+// phones.ByName), in fixed scenario-major order.
+//
+// A campaign runs as a staged job model — Plan → Explore → Promote →
+// CrossMeasure → Aggregate — where every stage consumes and emits
+// serialisable per-cell artifacts. Explore runs a constrained
+// Fig2-style exploration per cell (sharded over internal/parallel,
+// memoized, with the intra-cell multi-fidelity ladder when
+// -mf-stride is set); CrossMeasure re-measures every cell's best
+// feasible and leading front members in every other cell at full
+// fidelity; Aggregate picks the cross-scenario robust configuration
+// with hypermapper.RobustBest — feasible in all cells first, then
+// minimum worst-case per-cell rank, then rank sum — which quantifies
+// the paper's "one configuration does not fit all scenes" point.
+//
+// With -campaign-checkpoint the artifacts persist: one versioned JSON
+// file per cell per stage (campaign.Store), named by the stage kind,
+// the grid index and a content hash of the cell spec + seed + the
+// options that determine the artifact's bytes. A killed campaign
+// rerun with -campaign-resume loads completed cells instead of
+// re-simulating them (a changed option hashes differently and simply
+// misses the stale artifact; a format change bumps the store version
+// and orphans everything). Worker count is excluded from the hash —
+// results are bit-identical for any Workers value — so a campaign
+// interrupted under -workers 1 resumes under -workers 8, and an
+// interrupted-then-resumed campaign renders a byte-identical report to
+// an uninterrupted one (floats round-trip JSON exactly; resumption
+// provenance goes to stderr via slambench.WriteCampaignProvenance, not
+// into the report). `make campaign-resume-smoke` enforces exactly that
+// in CI: run, stop after Explore, resume, diff against an uninterrupted
+// run.
+//
+// -campaign-cell-stride adds cell-level multi-fidelity, the intra-cell
+// ladder replayed at grid granularity: Explore first screens every
+// cell on a stride-subsampled sequence, then the Promote stage scores
+// each screened Pareto front's hypervolume against a shared reference
+// (hypermapper.FrontHypervolumes) and re-explores only the top
+// -campaign-cell-promote fraction of cells (index-tie-broken via the
+// same hypermapper.PromoteTopFraction the batch ladder uses) at full
+// fidelity. Unpromoted cells keep — and are reported at — screening
+// fidelity (the report's fid column), while the robust aggregation
+// still cross-measures every candidate at full fidelity, so the
+// shipped configuration never rests on subsampled metrics.
 //
 // The frame kernels are allocation-free in the steady state: an
 // imgproc.BufferPool (sync.Pool-backed, one pool per map size) recycles

@@ -5,36 +5,49 @@
 // A campaign enumerates a scenario registry — scene × trajectory ×
 // resolution × noise, the analogues of ICL-NUIM living-room kt0–kt3 and
 // office kt0–kt1 — crossed with a set of device targets (the ODROID-XU3
-// plus named picks from the phone catalogue). Every cell runs a
-// Fig2-style constrained exploration through a shared per-cell
-// memoized evaluator, cells are sharded over internal/parallel, and the
-// per-cell Pareto fronts are aggregated into one cross-scenario
-// *robust* configuration: the candidate that stays feasible in every
-// cell and minimises its worst-case per-cell rank
-// (hypermapper.RobustBest). That makes the paper's "one configuration
-// does not fit all scenes" point quantitative — the per-cell winners
-// are reported next to the single configuration you would ship when
-// the scene is not known in advance.
+// plus named picks from the phone catalogue), and runs as a staged job
+// model:
+//
+//	Plan → Explore → Promote → CrossMeasure → Aggregate
+//
+// Every stage consumes and emits serialisable per-cell artifacts. With
+// Options.CheckpointDir set the artifacts are persisted — one versioned
+// JSON file per cell, keyed by a content hash of the cell spec, seed
+// and options (see Store) — and Options.Resume loads them back, so a
+// campaign killed at any point restarts from its completed cells and a
+// changed option automatically invalidates stale artifacts. The Explore
+// stage runs each cell's constrained Fig2-style exploration; with
+// Options.CellStride > 1 it first screens every cell on a
+// stride-subsampled sequence and the Promote stage re-explores only the
+// cells whose screened Pareto fronts are competitive (hypervolume
+// against a shared reference, index-tie-broken like the intra-cell
+// ladder) at full fidelity — the multi-fidelity ladder replayed at grid
+// granularity. CrossMeasure then measures the union of per-cell winners
+// in every cell, and Aggregate picks the cross-scenario *robust*
+// configuration: feasible in every cell and minimal worst-case per-cell
+// rank (hypermapper.RobustBest). That makes the paper's "one
+// configuration does not fit all scenes" point quantitative — the
+// per-cell winners are reported next to the single configuration you
+// would ship when the scene is not known in advance.
 //
 // Determinism: the cell grid is enumerated in fixed scenario-major
 // order, each cell derives its seed from the campaign seed and its own
-// grid index, and every layer below (optimizer batches, ladder
-// promotion, parallel map) is already bit-deterministic for any worker
-// count — so a seeded campaign produces an identical report for any
-// Workers value.
+// grid index, and every layer below (optimizer batches, ladder and cell
+// promotion, parallel map) is bit-deterministic for any worker count —
+// so a seeded campaign produces an identical report for any Workers
+// value, and an interrupted-then-resumed campaign renders byte-identical
+// to an uninterrupted one (artifacts round-trip float64 exactly).
 package campaign
 
 import (
 	"errors"
 	"fmt"
 	"strings"
-	"sync"
 
 	"slamgo/internal/core"
 	"slamgo/internal/device"
 	"slamgo/internal/hypermapper"
 	"slamgo/internal/kfusion"
-	"slamgo/internal/parallel"
 	"slamgo/internal/phones"
 	"slamgo/internal/slambench"
 )
@@ -68,19 +81,29 @@ func Scenarios(base core.Scale) []Scenario {
 }
 
 // SelectScenarios picks named scenarios out of the base registry,
-// preserving the requested order.
+// preserving the requested order. An empty or duplicated selection is
+// rejected — both are configuration mistakes a long campaign should
+// fail on immediately, not minutes in.
 func SelectScenarios(base core.Scale, names []string) ([]Scenario, error) {
+	if len(names) == 0 {
+		return nil, errors.New("campaign: empty scenario selection")
+	}
 	all := Scenarios(base)
 	byName := make(map[string]Scenario, len(all))
 	for _, s := range all {
 		byName[s.Name] = s
 	}
 	out := make([]Scenario, 0, len(names))
+	picked := make(map[string]bool, len(names))
 	for _, n := range names {
 		s, ok := byName[n]
 		if !ok {
 			return nil, fmt.Errorf("campaign: unknown scenario %q (have lr_kt0..lr_kt3, of_kt0..of_kt1)", n)
 		}
+		if picked[n] {
+			return nil, fmt.Errorf("campaign: scenario %q selected twice", n)
+		}
+		picked[n] = true
 		out = append(out, s)
 	}
 	return out, nil
@@ -89,10 +112,19 @@ func SelectScenarios(base core.Scale, names []string) ([]Scenario, error) {
 // ResolveTargets maps device names onto profiles: "odroid-xu3" and
 // "desktop-gpu" resolve to the built-in boards, anything else is looked
 // up in the seed's phone catalogue (one phones.ByName batch, so the
-// catalogue is generated once however many phones are named).
+// catalogue is generated once however many phones are named). As with
+// SelectScenarios, an empty or duplicated selection is an error.
 func ResolveTargets(seed int64, names []string) ([]device.Profile, error) {
+	if len(names) == 0 {
+		return nil, errors.New("campaign: empty device selection")
+	}
+	picked := make(map[string]bool, len(names))
 	var phoneNames []string
 	for _, n := range names {
+		if picked[n] {
+			return nil, fmt.Errorf("campaign: device %q selected twice", n)
+		}
+		picked[n] = true
 		if n != "odroid-xu3" && n != "desktop-gpu" {
 			phoneNames = append(phoneNames, n)
 		}
@@ -157,10 +189,36 @@ type Options struct {
 	// campaign result is identical for any value.
 	Workers int
 	// FidelityStride > 1 enables the multi-fidelity ladder inside every
-	// cell (see core.Fig2Options).
+	// full-fidelity cell exploration (see core.FidelityOptions).
 	FidelityStride int
-	// PromoteFraction is the ladder's promoted share per batch.
+	// PromoteFraction is the intra-cell ladder's promoted share per
+	// batch.
 	PromoteFraction float64
+	// CellStride > 1 enables cell-level multi-fidelity: the Explore
+	// stage first runs every cell's exploration on a CellStride-
+	// subsampled sequence (the screening rung), and the Promote stage
+	// re-explores only the cells whose screened fronts are competitive
+	// at full fidelity. Unpromoted cells keep — and are reported at —
+	// screening fidelity.
+	CellStride int
+	// CellPromoteFraction is the share of grid cells promoted to
+	// full-fidelity exploration (default 0.5; at least one cell is
+	// always promoted).
+	CellPromoteFraction float64
+	// CheckpointDir, when non-empty, persists every stage's per-cell
+	// artifacts into this directory (created if needed) as versioned
+	// JSON files keyed by content hashes of the cell spec + seed +
+	// options, so completed work survives a kill.
+	CheckpointDir string
+	// Resume loads matching artifacts from CheckpointDir instead of
+	// recomputing them; artifacts whose options hash differs are
+	// ignored. Requires CheckpointDir.
+	Resume bool
+	// StopAfter, when non-empty, ends the run cleanly after the named
+	// stage (the checkpoint/resume analogue of a kill at a stage
+	// boundary; Result.StoppedAfter echoes it). The zero value runs to
+	// completion.
+	StopAfter Stage
 	// MaxFrontCandidates caps how many Pareto-front members each cell
 	// contributes to the robust candidate set, fastest first (the
 	// cell's best feasible configuration is always included). Default 3.
@@ -168,12 +226,77 @@ type Options struct {
 	// Log, when non-nil, receives progress lines (order follows
 	// scheduling, not the grid; the report itself stays deterministic).
 	Log func(string)
+
+	// observeSimulation, when non-nil, is called once per actual
+	// pipeline simulation with the cell's grid index and the simulation
+	// class — the hook resume tests use to prove checkpointed cells are
+	// never re-simulated. Memo hits and checkpoint loads never fire it.
+	observeSimulation func(cell int, class string)
+}
+
+// applyDefaults fills zero-valued knobs in place.
+func (o *Options) applyDefaults() {
+	if o.AccuracyLimit <= 0 {
+		o.AccuracyLimit = 0.05
+	}
+	if o.RandomSamples <= 0 {
+		o.RandomSamples = 20
+	}
+	if o.ActiveIterations <= 0 {
+		o.ActiveIterations = 5
+	}
+	if o.BatchPerIteration <= 0 {
+		o.BatchPerIteration = 4
+	}
+	if o.MaxFrontCandidates <= 0 {
+		o.MaxFrontCandidates = 3
+	}
+	if o.CellPromoteFraction <= 0 || o.CellPromoteFraction > 1 {
+		o.CellPromoteFraction = 0.5
+	}
+}
+
+// Validate rejects unrunnable options. It is safe to call on options
+// whose zero values still await applyDefaults, so CLIs can fail fast
+// before any simulation starts.
+func (o Options) Validate() error {
+	if len(o.Scenarios) == 0 || len(o.Targets) == 0 {
+		return errors.New("campaign: need at least one scenario and one target")
+	}
+	for _, t := range o.Targets {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+	}
+	if o.AccuracyLimit < 0 {
+		return fmt.Errorf("campaign: negative accuracy limit %g", o.AccuracyLimit)
+	}
+	if o.FidelityStride < 0 || o.CellStride < 0 {
+		return fmt.Errorf("campaign: negative fidelity stride")
+	}
+	if o.PromoteFraction < 0 || o.PromoteFraction > 1 {
+		return fmt.Errorf("campaign: promote fraction %g outside [0,1]", o.PromoteFraction)
+	}
+	if o.CellPromoteFraction < 0 || o.CellPromoteFraction > 1 {
+		return fmt.Errorf("campaign: cell promote fraction %g outside [0,1]", o.CellPromoteFraction)
+	}
+	if _, err := ParseStage(string(o.StopAfter)); err != nil {
+		return err
+	}
+	if o.StopAfter != "" && o.StopAfter != StagePlan && o.CheckpointDir == "" {
+		return fmt.Errorf("campaign: StopAfter %s without CheckpointDir would discard the stage's work", o.StopAfter)
+	}
+	if o.Resume && o.CheckpointDir == "" {
+		return errors.New("campaign: Resume requires CheckpointDir")
+	}
+	return nil
 }
 
 // CellResult is one cell's exploration outcome.
 type CellResult struct {
 	Cell Cell
-	// Front is the cell's Pareto front (runtime vs max ATE).
+	// Front is the cell's Pareto front (runtime vs max ATE) at the
+	// cell's reported fidelity.
 	Front []hypermapper.Observation
 	// BestFeasible is the fastest configuration meeting the accuracy
 	// limit in this cell.
@@ -181,14 +304,27 @@ type CellResult struct {
 	HasBestFeasible bool
 	// Evaluations counts every configuration the cell's *exploration*
 	// observed (screening runs included); FullFidelityEvals and
-	// LowFidelityEvals split that spend by ladder rung (LowFidelityEvals
-	// is 0 without the ladder). The robust aggregation phase afterwards
+	// LowFidelityEvals split that spend by fidelity (cell-ladder
+	// screening runs and intra-cell ladder screening runs both count as
+	// low fidelity). The robust aggregation phase afterwards
 	// cross-measures up to CandidateCount-1 foreign winners per cell at
 	// full fidelity; that spend is shared campaign overhead and not part
 	// of these per-cell exploration counters.
 	Evaluations       int
 	FullFidelityEvals int
 	LowFidelityEvals  int
+	// Fidelity is the fidelity the cell's reported results were explored
+	// at: FidelityFull, or FidelityScreen for an unpromoted cell of the
+	// cell-level ladder.
+	Fidelity string
+	// Promoted reports that the cell-level ladder promoted this cell
+	// from screening to full-fidelity exploration.
+	Promoted bool
+	// Resumed reports that at least one of the cell's exploration
+	// artifacts was loaded from the checkpoint store instead of being
+	// recomputed. Execution provenance, not part of the deterministic
+	// report surface.
+	Resumed bool
 }
 
 // RobustResult is the cross-scenario aggregation outcome.
@@ -216,196 +352,49 @@ type Result struct {
 	// Robust is the rank-aggregated cross-scenario configuration.
 	Robust    RobustResult
 	HasRobust bool
+	// StoppedAfter is the stage the run ended at when Options.StopAfter
+	// cut it short; empty for a completed campaign. A stopped result
+	// carries whatever per-cell results its completed stages produced
+	// and no robust configuration.
+	StoppedAfter Stage
 }
 
-// cellRun pairs a cell's public result with the memoized full-fidelity
-// evaluator the robust phase re-uses (candidates already measured in
-// their home cell cost nothing there).
-type cellRun struct {
-	result CellResult
-	full   hypermapper.Evaluator
-	err    error
-}
-
-// Run executes the campaign: one constrained Fig2-style exploration per
-// grid cell, sharded over the worker pool, then cross-scenario robust
-// aggregation over the union of per-cell winners.
+// Run executes the staged campaign: Plan (validation + grid), Explore
+// (per-cell exploration, screening fidelity when the cell ladder is
+// on), Promote (full-fidelity re-exploration of competitive cells),
+// CrossMeasure (robust candidates in every cell) and Aggregate
+// (hypermapper.RobustBest). With a checkpoint store every stage's
+// artifacts persist and resume; see Options.
 func Run(opts Options) (*Result, error) {
-	if len(opts.Scenarios) == 0 || len(opts.Targets) == 0 {
-		return nil, errors.New("campaign: need at least one scenario and one target")
+	r, err := newRunner(opts)
+	if err != nil {
+		return nil, err
 	}
-	if opts.AccuracyLimit <= 0 {
-		opts.AccuracyLimit = 0.05
+	if r.opts.StopAfter == StagePlan {
+		return r.result(StagePlan), nil
 	}
-	if opts.RandomSamples <= 0 {
-		opts.RandomSamples = 20
+	if err := r.explore(); err != nil {
+		return nil, err
 	}
-	if opts.ActiveIterations <= 0 {
-		opts.ActiveIterations = 5
+	if r.opts.StopAfter == StageExplore {
+		return r.result(StageExplore), nil
 	}
-	if opts.BatchPerIteration <= 0 {
-		opts.BatchPerIteration = 4
+	if err := r.promote(); err != nil {
+		return nil, err
 	}
-	if opts.MaxFrontCandidates <= 0 {
-		opts.MaxFrontCandidates = 3
+	if r.opts.StopAfter == StagePromote {
+		return r.result(StagePromote), nil
 	}
-	for _, t := range opts.Targets {
-		if err := t.Validate(); err != nil {
-			return nil, err
-		}
+	candidates, perCell, err := r.crossMeasure()
+	if err != nil {
+		return nil, err
 	}
-	space := core.DSESpace()
-	cells := Grid(opts.Scenarios, opts.Targets)
-	// Cells log from worker goroutines; serialise here so any callback
-	// that is fine for the serial Fig2 hooks is fine for campaigns too.
-	var logMu sync.Mutex
-	logf := func(format string, args ...any) {
-		if opts.Log != nil {
-			logMu.Lock()
-			opts.Log(fmt.Sprintf(format, args...))
-			logMu.Unlock()
-		}
-	}
-
-	// Phase 1: every cell runs its own seeded exploration. MapOrdered
-	// returns outcomes in grid order whatever the scheduling.
-	runs := parallel.MapOrdered(opts.Workers, cells, func(i int, cell Cell) *cellRun {
-		run := exploreCell(space, cell, opts)
-		if run.err == nil {
-			logf("cell %d (%s on %s): %d evaluations, front %d",
-				i, cell.Scenario.Name, cell.Target.Name,
-				run.result.Evaluations, len(run.result.Front))
-		}
-		return run
-	})
-	res := &Result{AccuracyLimit: opts.AccuracyLimit}
-	for _, r := range runs {
-		if r.err != nil {
-			return nil, r.err
-		}
-		res.Cells = append(res.Cells, r.result)
-	}
-
-	// Phase 2: candidate set = the default configuration plus every
-	// cell's best feasible and leading front members, deduplicated in
-	// grid order so the set is identical for any worker count.
-	var candidates []hypermapper.Point
-	seen := map[string]bool{}
-	add := func(pt hypermapper.Point) {
-		key := string(hypermapper.AppendKey(make([]byte, 0, 8*len(pt)), pt))
-		if !seen[key] {
-			seen[key] = true
-			candidates = append(candidates, pt.Clone())
-		}
-	}
-	add(core.DefaultPoint(space))
-	for _, c := range res.Cells {
-		if c.HasBestFeasible {
-			add(c.BestFeasible.X)
-		}
-		for i, o := range c.Front {
-			if i >= opts.MaxFrontCandidates {
-				break
-			}
-			add(o.X)
-		}
-	}
-	res.CandidateCount = len(candidates)
-
-	// Phase 3: measure every candidate in every cell at full fidelity
-	// (per-cell memos absorb the home-cell repeats) and rank-aggregate.
-	type pair struct{ cand, cell int }
-	pairs := make([]pair, 0, len(candidates)*len(cells))
-	for i := range candidates {
-		for j := range cells {
-			pairs = append(pairs, pair{i, j})
-		}
-	}
-	metrics := parallel.MapOrdered(opts.Workers, pairs, func(_ int, p pair) hypermapper.Metrics {
-		return runs[p.cell].full(candidates[p.cand])
-	})
-	perCandidate := make([][]hypermapper.Metrics, len(candidates))
-	for i := range perCandidate {
-		perCandidate[i] = metrics[i*len(cells) : (i+1)*len(cells)]
-	}
-	pick, ok := hypermapper.RobustBest(perCandidate,
-		hypermapper.AccuracyLimit(opts.AccuracyLimit),
-		func(m hypermapper.Metrics) float64 { return m.Runtime })
-	if !ok {
+	if r.opts.StopAfter == StageCrossMeasure {
+		res := r.result(StageCrossMeasure)
+		res.CandidateCount = len(candidates)
 		return res, nil
 	}
-	cfg, err := core.ConfigFromPoint(space, candidates[pick.Index])
-	if err != nil {
-		return nil, fmt.Errorf("campaign: robust candidate invalid: %w", err)
-	}
-	res.Robust = RobustResult{
-		Point:   candidates[pick.Index],
-		Config:  cfg,
-		Pick:    pick,
-		PerCell: perCandidate[pick.Index],
-	}
-	res.HasRobust = true
-	logf("robust configuration: candidate %d of %d, worst rank %d, feasible everywhere %v",
-		pick.Index, len(candidates), pick.WorstRank, pick.FeasibleEverywhere)
-	return res, nil
-}
-
-// exploreCell runs one cell's constrained exploration.
-func exploreCell(space *hypermapper.Space, cell Cell, opts Options) *cellRun {
-	seq, err := cell.Scenario.Scale.Sequence()
-	if err != nil {
-		return &cellRun{err: fmt.Errorf("campaign: cell %s/%s: %w", cell.Scenario.Name, cell.Target.Name, err)}
-	}
-	model := device.NewModel(cell.Target)
-
-	// Per-cell seed: fixed function of the campaign seed and the grid
-	// index, so shard order cannot leak into any cell's exploration.
-	seed := opts.Seed + int64(cell.Index+1)*9973
-
-	var eval hypermapper.Evaluator
-	var ladder *hypermapper.MultiFidelity
-	if opts.FidelityStride > 1 {
-		ladder, eval = core.NewMultiFidelityEvaluator(space, seq, model, core.FidelityOptions{
-			Stride:          opts.FidelityStride,
-			PromoteFraction: opts.PromoteFraction,
-			AccuracyLimit:   opts.AccuracyLimit,
-			Workers:         opts.Workers,
-		})
-	} else {
-		eval = hypermapper.NewMemoEvaluator(core.NewEvaluator(space, seq, model)).Evaluate
-	}
-
-	cfg := hypermapper.DefaultOptimizerConfig()
-	cfg.RandomSamples = opts.RandomSamples
-	cfg.ActiveIterations = opts.ActiveIterations
-	cfg.BatchPerIteration = opts.BatchPerIteration
-	cfg.Seed = seed
-	cfg.Workers = opts.Workers
-	cfg.ConstraintObjective = 1 // MaxATE
-	cfg.ConstraintLimit = opts.AccuracyLimit
-	if ladder != nil {
-		cfg.BatchEval = ladder
-	}
-	active, err := hypermapper.Optimize(space, eval, cfg)
-	if err != nil {
-		return &cellRun{err: fmt.Errorf("campaign: cell %s/%s: %w", cell.Scenario.Name, cell.Target.Name, err)}
-	}
-
-	result := CellResult{
-		Cell:              cell,
-		Front:             active.Front,
-		Evaluations:       len(active.Observations),
-		FullFidelityEvals: len(active.Observations),
-	}
-	if ladder != nil {
-		low, high := ladder.Stats()
-		result.LowFidelityEvals = low
-		result.FullFidelityEvals = high
-	}
-	result.BestFeasible, result.HasBestFeasible = hypermapper.Best(active.Observations,
-		hypermapper.AccuracyLimit(opts.AccuracyLimit),
-		func(m hypermapper.Metrics) float64 { return m.Runtime })
-	return &cellRun{result: result, full: eval}
+	return r.aggregate(candidates, perCell)
 }
 
 // Report converts the result into the slambench campaign report.
@@ -421,7 +410,11 @@ func (r *Result) Report() *slambench.CampaignReport {
 			Device:            c.Cell.Target.Name,
 			Evaluations:       c.Evaluations,
 			FullFidelityEvals: c.FullFidelityEvals,
+			LowFidelityEvals:  c.LowFidelityEvals,
 			FrontSize:         len(c.Front),
+			Fidelity:          c.Fidelity,
+			Promoted:          c.Promoted,
+			Resumed:           c.Resumed,
 			Feasible:          c.HasBestFeasible,
 		}
 		for _, o := range c.Front {

@@ -66,6 +66,99 @@ func TestGridAndTargets(t *testing.T) {
 	}
 }
 
+// TestSelectionErrorPaths covers the registry/catalogue failure modes a
+// campaign must reject before any simulation: unknown names (checked in
+// TestScenarioRegistry/TestGridAndTargets too), empty selections and
+// duplicated selections.
+func TestSelectionErrorPaths(t *testing.T) {
+	base := core.QuickScale()
+	if _, err := SelectScenarios(base, nil); err == nil {
+		t.Fatal("empty scenario selection accepted")
+	}
+	if _, err := SelectScenarios(base, []string{"lr_kt0", "of_kt1", "lr_kt0"}); err == nil {
+		t.Fatal("duplicate scenario accepted")
+	}
+	if _, err := ResolveTargets(42, nil); err == nil {
+		t.Fatal("empty device selection accepted")
+	}
+	if _, err := ResolveTargets(42, []string{"odroid-xu3", "odroid-xu3"}); err == nil {
+		t.Fatal("duplicate built-in device accepted")
+	}
+	if _, err := ResolveTargets(42, []string{"pixel-adreno530", "pixel-adreno530"}); err == nil {
+		t.Fatal("duplicate phone accepted")
+	}
+}
+
+func TestGridScenarioMajorOrder(t *testing.T) {
+	scen := Scenarios(core.QuickScale())[:3]
+	targets, err := ResolveTargets(42, []string{"odroid-xu3", "desktop-gpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := Grid(scen, targets)
+	if len(cells) != 6 {
+		t.Fatalf("grid size %d, want 6", len(cells))
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d has index %d", i, c.Index)
+		}
+		if want := scen[i/2].Name; c.Scenario.Name != want {
+			t.Fatalf("cell %d scenario %q, want %q (scenario-major order)", i, c.Scenario.Name, want)
+		}
+		if want := targets[i%2].Name; c.Target.Name != want {
+			t.Fatalf("cell %d target %q, want %q", i, c.Target.Name, want)
+		}
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	scen, err := SelectScenarios(campaignScale(), []string{"lr_kt0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, err := ResolveTargets(42, []string{"odroid-xu3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := Options{Scenarios: scen, Targets: targets}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid zero-default options rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"resume without checkpoint", func(o *Options) { o.Resume = true }},
+		{"unknown stop-after stage", func(o *Options) { o.StopAfter = "sideways" }},
+		{"stop-after without checkpoint discards work", func(o *Options) { o.StopAfter = StageExplore }},
+		{"cell promote fraction > 1", func(o *Options) { o.CellPromoteFraction = 1.5 }},
+		{"negative promote fraction", func(o *Options) { o.PromoteFraction = -0.5 }},
+		{"negative cell stride", func(o *Options) { o.CellStride = -2 }},
+		{"negative accuracy limit", func(o *Options) { o.AccuracyLimit = -1 }},
+	}
+	for _, c := range cases {
+		bad := ok
+		c.mutate(&bad)
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParseStage(t *testing.T) {
+	for _, s := range []string{"", "plan", "explore", "promote", "crossmeasure"} {
+		if _, err := ParseStage(s); err != nil {
+			t.Fatalf("ParseStage(%q): %v", s, err)
+		}
+	}
+	for _, s := range []string{"aggregate", "Explore", "bogus"} {
+		if _, err := ParseStage(s); err == nil {
+			t.Fatalf("ParseStage(%q) accepted", s)
+		}
+	}
+}
+
 func TestRunRejectsEmptyGrid(t *testing.T) {
 	if _, err := Run(Options{}); err == nil {
 		t.Fatal("empty campaign accepted")

@@ -1,0 +1,110 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The checkpoint store persists one JSON file per stage artifact so a
+// killed campaign restarts from completed cells instead of from
+// scratch. Artifact names embed a content hash of everything that
+// determines the artifact's bytes (cell spec, derived seed, the
+// relevant exploration options — see runner.artifactName), so a
+// changed option simply misses the stale file and re-runs the work; a
+// version field in the envelope invalidates artifacts across format
+// changes the same way. Writes are atomic (temp file + rename), and
+// Load treats every defect — absent file, version or name mismatch,
+// truncated or corrupt JSON — as a miss rather than an error, because
+// re-running a stage is always safe while trusting a damaged artifact
+// never is.
+
+// storeVersion is the checkpoint format version; bumping it orphans
+// every existing artifact (they are treated as misses, never misread).
+const storeVersion = 1
+
+// Store is a directory of versioned campaign stage artifacts.
+type Store struct {
+	dir string
+}
+
+// OpenStore opens (creating if needed) a checkpoint directory.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("campaign: empty checkpoint directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: checkpoint directory: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// envelope wraps every artifact with its format version and its own
+// name, so a file copied or renamed to the wrong key cannot be loaded
+// as something it is not.
+type envelope struct {
+	Version int             `json:"version"`
+	Name    string          `json:"name"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+func (s *Store) path(name string) string {
+	return filepath.Join(s.dir, name+".json")
+}
+
+// Save atomically persists payload under name, replacing any previous
+// artifact of that name.
+func (s *Store) Save(name string, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("campaign: encoding artifact %s: %w", name, err)
+	}
+	data, err := json.Marshal(envelope{Version: storeVersion, Name: name, Payload: raw})
+	if err != nil {
+		return err
+	}
+	tmp := s.path(name) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path(name))
+}
+
+// Load reads the artifact saved under name into out. It returns false —
+// never an error — on any miss: no such file, a version or name
+// mismatch, or corrupt contents. Callers re-run the stage on a miss.
+func (s *Store) Load(name string, out any) bool {
+	data, err := os.ReadFile(s.path(name))
+	if err != nil {
+		return false
+	}
+	var env envelope
+	if json.Unmarshal(data, &env) != nil {
+		return false
+	}
+	if env.Version != storeVersion || env.Name != name {
+		return false
+	}
+	return json.Unmarshal(env.Payload, out) == nil
+}
+
+// List returns the names of every artifact in the store, sorted.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		names = append(names, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(names)
+	return names, nil
+}

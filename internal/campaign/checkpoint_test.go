@@ -1,0 +1,97 @@
+package campaign
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"slamgo/internal/hypermapper"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	store, err := OpenStore(filepath.Join(t.TempDir(), "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := &cellArtifact{
+		Scenario: "lr_kt0", Device: "odroid-xu3", Fidelity: FidelityFull,
+		Observations: []hypermapper.Observation{
+			{X: hypermapper.Point{1, 0.3}, M: hypermapper.Metrics{Runtime: 0.125, MaxATE: 0.0123456789012345}},
+			{X: hypermapper.Point{2, 0.7}, M: hypermapper.Metrics{Failed: true}},
+			{X: hypermapper.Point{3, 0.1}, M: hypermapper.Metrics{Runtime: 0.5, LowFidelity: true}},
+		},
+		Evaluations: 3, FullFidelityEvals: 2, LowFidelityEvals: 1,
+	}
+	art.Front = art.Observations[:1]
+	art.BestFeasible, art.HasBestFeasible = art.Observations[0], true
+
+	if err := store.Save("full-c000-abc", art); err != nil {
+		t.Fatal(err)
+	}
+	var back cellArtifact
+	if !store.Load("full-c000-abc", &back) {
+		t.Fatal("saved artifact not loadable")
+	}
+	a, _ := json.Marshal(art)
+	b, _ := json.Marshal(&back)
+	if string(a) != string(b) {
+		t.Fatalf("artifact did not round-trip:\n%s\n%s", a, b)
+	}
+	names, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "full-c000-abc" {
+		t.Fatalf("List = %v", names)
+	}
+}
+
+func TestStoreMisses(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out cellArtifact
+	if store.Load("absent", &out) {
+		t.Fatal("absent artifact loaded")
+	}
+	// Corrupt file: a kill mid-write (pre-rename this cannot happen, but
+	// a damaged disk can) must be a miss, not an error or bad data.
+	if err := os.WriteFile(filepath.Join(dir, "broken.json"), []byte("{notjson"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if store.Load("broken", &out) {
+		t.Fatal("corrupt artifact loaded")
+	}
+	// A file copied to the wrong name must not load under that name.
+	if err := store.Save("right-name", &cellArtifact{Scenario: "lr_kt0"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "right-name.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "wrong-name.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if store.Load("wrong-name", &out) {
+		t.Fatal("renamed artifact loaded under the wrong name")
+	}
+	// A version bump orphans old artifacts.
+	env := envelope{Version: storeVersion + 1, Name: "future"}
+	raw, _ := json.Marshal(env)
+	if err := os.WriteFile(filepath.Join(dir, "future.json"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if store.Load("future", &out) {
+		t.Fatal("artifact from a future store version loaded")
+	}
+}
+
+func TestOpenStoreRejectsEmptyDir(t *testing.T) {
+	if _, err := OpenStore(""); err == nil {
+		t.Fatal("empty checkpoint directory accepted")
+	}
+}

@@ -1,0 +1,609 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"slamgo/internal/core"
+	"slamgo/internal/dataset"
+	"slamgo/internal/device"
+	"slamgo/internal/hypermapper"
+	"slamgo/internal/parallel"
+	"slamgo/internal/slambench"
+)
+
+// Stage names one phase of the staged campaign job model. A campaign is
+// Plan → Explore → Promote → CrossMeasure → Aggregate; every stage
+// consumes and emits serialisable per-cell artifacts, so a campaign
+// interrupted at any stage boundary resumes from the persisted
+// artifacts instead of re-simulating.
+type Stage string
+
+const (
+	// StagePlan validates options and enumerates the cell grid.
+	StagePlan Stage = "plan"
+	// StageExplore runs every cell's exploration — at the cheap
+	// CellStride screening fidelity when the cell-level ladder is on,
+	// at full fidelity otherwise — and persists one artifact per cell.
+	StageExplore Stage = "explore"
+	// StagePromote scores the screened fronts (hypervolume against a
+	// shared reference) and re-explores only the competitive cells at
+	// full fidelity; unpromoted cells keep their screening artifacts.
+	StagePromote Stage = "promote"
+	// StageCrossMeasure measures the union of per-cell winners in every
+	// cell at full fidelity, one persisted metrics vector per cell.
+	StageCrossMeasure Stage = "crossmeasure"
+	// StageAggregate rank-aggregates the cross-measurements into the
+	// robust configuration (hypermapper.RobustBest). It is the final
+	// stage, so it is not a valid Options.StopAfter value — "stop after
+	// aggregate" is just a completed run (StopAfter's zero value).
+	StageAggregate Stage = "aggregate"
+)
+
+// ParseStage validates a -campaign-stop-after value; the empty string
+// (run to completion) is valid and parses to "". StageAggregate is
+// rejected here on purpose: stopping after the last stage is the same
+// as not stopping, and accepting both spellings would make
+// Result.StoppedAfter ambiguous.
+func ParseStage(s string) (Stage, error) {
+	switch Stage(s) {
+	case "", StagePlan, StageExplore, StagePromote, StageCrossMeasure:
+		return Stage(s), nil
+	}
+	return "", fmt.Errorf("campaign: unknown stage %q (want plan, explore, promote or crossmeasure)", s)
+}
+
+// Fidelity labels for CellResult.Fidelity / the report's fid column.
+const (
+	// FidelityFull marks a cell whose reported exploration ran on the
+	// full sequence.
+	FidelityFull = "full"
+	// FidelityScreen marks a cell reported at screening fidelity: its
+	// exploration ran on the CellStride-subsampled sequence and the
+	// cell was not promoted.
+	FidelityScreen = "screen"
+)
+
+// Simulation classes passed to the test instrumentation hook.
+const (
+	simScreen    = "screen"     // cell-ladder screening exploration
+	simFull      = "full"       // full-fidelity exploration
+	simLadderLow = "ladder-low" // intra-cell ladder screening rung
+	simCross     = "cross"      // cross-measurement of robust candidates
+)
+
+// cellArtifact is the persisted outcome of one cell's exploration — the
+// unit of checkpoint/resume. Everything the later stages and the report
+// need is here, so a resumed campaign renders byte-identically to an
+// uninterrupted one without touching the pipeline.
+type cellArtifact struct {
+	Scenario string `json:"scenario"`
+	Device   string `json:"device"`
+	// Fidelity is FidelityFull or FidelityScreen.
+	Fidelity string `json:"fidelity"`
+	// Observations is every configuration the exploration measured, in
+	// order; Front / BestFeasible are derived views stored alongside so
+	// reloading needs no recomputation.
+	Observations    []hypermapper.Observation `json:"observations"`
+	Front           []hypermapper.Observation `json:"front"`
+	BestFeasible    hypermapper.Observation   `json:"best_feasible"`
+	HasBestFeasible bool                      `json:"has_best_feasible"`
+	// Evaluation spend of this exploration only (a promoted cell's
+	// screening spend lives in its screening artifact).
+	Evaluations       int `json:"evaluations"`
+	FullFidelityEvals int `json:"full_fidelity_evals"`
+	LowFidelityEvals  int `json:"low_fidelity_evals"`
+}
+
+// crossArtifact is one cell's persisted cross-measurement: the robust
+// candidate set measured at full fidelity, in candidate order.
+type crossArtifact struct {
+	Metrics []hypermapper.Metrics `json:"metrics"`
+}
+
+// cellOutcome is one cell stage's in-memory result.
+type cellOutcome struct {
+	art     *cellArtifact
+	resumed bool
+	err     error
+}
+
+// runner holds the state a campaign threads through its stages.
+type runner struct {
+	opts  Options
+	space *hypermapper.Space
+	cells []Cell
+	store *Store
+	logf  func(format string, args ...any)
+
+	screens  []*cellArtifact    // screening artifacts (cell ladder only)
+	arts     []*cellArtifact    // final per-cell artifacts
+	resumed  []bool             // any artifact of the cell loaded from the store
+	promoted []bool             // cell promoted to full fidelity by the cell ladder
+	seqMu    sync.Mutex         // guards seqs
+	seqs     []dataset.Sequence // sequences rendered in-process, reused across stages
+}
+
+// newRunner is the Plan stage: validate, apply defaults, enumerate the
+// grid and open the checkpoint store. Validation runs first so
+// out-of-range values are rejected, not silently rewritten to defaults.
+func newRunner(opts Options) (*runner, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts.applyDefaults()
+	r := &runner{
+		opts:  opts,
+		space: core.DSESpace(),
+		cells: Grid(opts.Scenarios, opts.Targets),
+	}
+	// Cells log from worker goroutines; serialise here so any callback
+	// that is fine for the serial Fig2 hooks is fine for campaigns too.
+	var logMu sync.Mutex
+	r.logf = func(format string, args ...any) {
+		if opts.Log != nil {
+			logMu.Lock()
+			opts.Log(fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		}
+	}
+	if opts.CheckpointDir != "" {
+		store, err := OpenStore(opts.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		r.store = store
+	}
+	n := len(r.cells)
+	r.screens = make([]*cellArtifact, n)
+	r.arts = make([]*cellArtifact, n)
+	r.resumed = make([]bool, n)
+	r.promoted = make([]bool, n)
+	r.seqs = make([]dataset.Sequence, n)
+	return r, nil
+}
+
+// cellSeed derives a cell's exploration seed as a fixed function of the
+// campaign seed and the grid index, so shard order cannot leak into any
+// cell's exploration.
+func cellSeed(campaignSeed int64, index int) int64 {
+	return campaignSeed + int64(index+1)*9973
+}
+
+// sequence renders (or returns the cached) sequence of a cell. Rendered
+// sequences are reused between the explore and cross-measure stages;
+// resumed cells render lazily only if cross-measurement needs them.
+func (r *runner) sequence(cell Cell) (dataset.Sequence, error) {
+	r.seqMu.Lock()
+	if s := r.seqs[cell.Index]; s != nil {
+		r.seqMu.Unlock()
+		return s, nil
+	}
+	r.seqMu.Unlock()
+	seq, err := cell.Scenario.Scale.Sequence()
+	if err != nil {
+		return nil, err
+	}
+	r.seqMu.Lock()
+	if s := r.seqs[cell.Index]; s != nil {
+		seq2 := s
+		r.seqMu.Unlock()
+		return seq2, nil
+	}
+	r.seqs[cell.Index] = seq
+	r.seqMu.Unlock()
+	return seq, nil
+}
+
+// instrument wraps a base evaluator with the test hook counting actual
+// pipeline simulations (applied under any memoisation, so cache hits
+// and checkpoint loads are never counted).
+func (r *runner) instrument(cell Cell, class string, eval hypermapper.Evaluator) hypermapper.Evaluator {
+	hook := r.opts.observeSimulation
+	if hook == nil {
+		return eval
+	}
+	idx := cell.Index
+	return func(pt hypermapper.Point) hypermapper.Metrics {
+		hook(idx, class)
+		return eval(pt)
+	}
+}
+
+// artifactName keys a cell's exploration artifact: the fidelity kind,
+// the grid index, and a content hash of everything that determines the
+// artifact's bytes — the cell spec, the derived seed, and the
+// exploration options of that fidelity. Workers and Log are
+// deliberately excluded (results are bit-identical for any worker
+// count, so a campaign interrupted under -workers 1 resumes under
+// -workers 8), and so are the promotion-policy knobs
+// (CellPromoteFraction, MaxFrontCandidates) that decide *whether* a
+// cell's stage runs, never what it produces — changing the promoted
+// share on resume reuses every overlapping artifact.
+func (r *runner) artifactName(cell Cell, fidelity string) string {
+	o := r.opts
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d|%s|", storeVersion, fidelity)
+	fmt.Fprintf(h, "scenario=%s|scale=%+v|target=%+v|", cell.Scenario.Name, cell.Scenario.Scale, cell.Target)
+	fmt.Fprintf(h, "seed=%d|cellseed=%d|", o.Seed, cellSeed(o.Seed, cell.Index))
+	fmt.Fprintf(h, "explore=%d/%d/%d|limit=%g|",
+		o.RandomSamples, o.ActiveIterations, o.BatchPerIteration, o.AccuracyLimit)
+	if fidelity == FidelityScreen {
+		fmt.Fprintf(h, "cellstride=%d|", o.CellStride)
+	} else {
+		fmt.Fprintf(h, "mf=%d/%g|", o.FidelityStride, o.PromoteFraction)
+	}
+	return fmt.Sprintf("%s-c%03d-%s", fidelity, cell.Index, hex.EncodeToString(h.Sum(nil))[:16])
+}
+
+// crossName keys a cell's cross-measurement artifact on the cell spec
+// and the candidate set (candHash); the metrics are seed-independent
+// pure measurements, so the exploration seed is not part of the key.
+func (r *runner) crossName(cell Cell, candHash string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d|cross|scenario=%s|scale=%+v|target=%+v|cands=%s|",
+		storeVersion, cell.Scenario.Name, cell.Scenario.Scale, cell.Target, candHash)
+	return fmt.Sprintf("cross-c%03d-%s", cell.Index, hex.EncodeToString(h.Sum(nil))[:16])
+}
+
+// explore is the Explore stage: every cell's exploration at screening
+// fidelity when the cell ladder is on, at full fidelity otherwise.
+func (r *runner) explore() error {
+	fidelity := FidelityFull
+	if r.opts.CellStride > 1 {
+		fidelity = FidelityScreen
+	}
+	outs := parallel.MapOrdered(r.opts.Workers, r.cells, func(_ int, cell Cell) *cellOutcome {
+		return r.cellStage(cell, fidelity)
+	})
+	for i, o := range outs {
+		if o.err != nil {
+			return o.err
+		}
+		if fidelity == FidelityScreen {
+			r.screens[i] = o.art
+		} else {
+			r.arts[i] = o.art
+		}
+		r.resumed[i] = r.resumed[i] || o.resumed
+	}
+	return nil
+}
+
+// cellStage produces one cell's exploration artifact at the given
+// fidelity: loaded from the checkpoint store when resuming and a valid
+// artifact exists, explored (and persisted) otherwise.
+func (r *runner) cellStage(cell Cell, fidelity string) *cellOutcome {
+	name := r.artifactName(cell, fidelity)
+	if r.opts.Resume && r.store != nil {
+		art := &cellArtifact{}
+		if r.store.Load(name, art) && art.Fidelity == fidelity {
+			r.logf("cell %d (%s on %s): resumed %s exploration from checkpoint",
+				cell.Index, cell.Scenario.Name, cell.Target.Name, fidelity)
+			return &cellOutcome{art: art, resumed: true}
+		}
+	}
+	art, err := r.exploreCell(cell, fidelity)
+	if err != nil {
+		return &cellOutcome{err: err}
+	}
+	if r.store != nil {
+		if err := r.store.Save(name, art); err != nil {
+			return &cellOutcome{err: fmt.Errorf("campaign: checkpointing cell %s/%s: %w",
+				cell.Scenario.Name, cell.Target.Name, err)}
+		}
+	}
+	r.logf("cell %d (%s on %s): %s exploration, %d evaluations, front %d",
+		cell.Index, cell.Scenario.Name, cell.Target.Name, fidelity,
+		art.Evaluations, len(art.Front))
+	return &cellOutcome{art: art}
+}
+
+// exploreCell runs one cell's constrained Fig2-style exploration at the
+// given fidelity and packages the outcome as an artifact.
+func (r *runner) exploreCell(cell Cell, fidelity string) (*cellArtifact, error) {
+	seq, err := r.sequence(cell)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: cell %s/%s: %w", cell.Scenario.Name, cell.Target.Name, err)
+	}
+	model := device.NewModel(cell.Target)
+
+	var eval hypermapper.Evaluator
+	var ladder *hypermapper.MultiFidelity
+	switch {
+	case fidelity == FidelityScreen:
+		// Screening rung of the cell ladder: the whole exploration runs
+		// on the CellStride-subsampled sequence. No intra-cell ladder on
+		// top — the workload is already cheap by the stride.
+		view := slambench.Subsample(seq, r.opts.CellStride)
+		eval = hypermapper.NewMemoEvaluator(
+			r.instrument(cell, simScreen, core.NewEvaluator(r.space, view, model))).Evaluate
+	case r.opts.FidelityStride > 1:
+		// Full fidelity with the intra-cell ladder; the WrapEval hook
+		// threads the simulation instrumentation under the memos.
+		ladder, eval = core.NewMultiFidelityEvaluator(r.space, seq, model, core.FidelityOptions{
+			Stride:          r.opts.FidelityStride,
+			PromoteFraction: r.opts.PromoteFraction,
+			AccuracyLimit:   r.opts.AccuracyLimit,
+			Workers:         r.opts.Workers,
+			WrapEval: func(fidelity string, e hypermapper.Evaluator) hypermapper.Evaluator {
+				class := simFull
+				if fidelity == "low" {
+					class = simLadderLow
+				}
+				return r.instrument(cell, class, e)
+			},
+		})
+	default:
+		eval = hypermapper.NewMemoEvaluator(
+			r.instrument(cell, simFull, core.NewEvaluator(r.space, seq, model))).Evaluate
+	}
+
+	cfg := hypermapper.DefaultOptimizerConfig()
+	cfg.RandomSamples = r.opts.RandomSamples
+	cfg.ActiveIterations = r.opts.ActiveIterations
+	cfg.BatchPerIteration = r.opts.BatchPerIteration
+	cfg.Seed = cellSeed(r.opts.Seed, cell.Index)
+	cfg.Workers = r.opts.Workers
+	cfg.ConstraintObjective = 1 // MaxATE
+	cfg.ConstraintLimit = r.opts.AccuracyLimit
+	if ladder != nil {
+		cfg.BatchEval = ladder
+	}
+	active, err := hypermapper.Optimize(r.space, eval, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: cell %s/%s: %w", cell.Scenario.Name, cell.Target.Name, err)
+	}
+
+	art := &cellArtifact{
+		Scenario:          cell.Scenario.Name,
+		Device:            cell.Target.Name,
+		Fidelity:          fidelity,
+		Observations:      active.Observations,
+		Front:             active.Front,
+		Evaluations:       len(active.Observations),
+		FullFidelityEvals: len(active.Observations),
+	}
+	if fidelity == FidelityScreen {
+		// Screening runs cost a CellStride-th of a full simulation; they
+		// are the cell's low-fidelity spend, not full-fidelity evals.
+		art.FullFidelityEvals = 0
+		art.LowFidelityEvals = len(active.Observations)
+	}
+	if ladder != nil {
+		low, high := ladder.Stats()
+		art.LowFidelityEvals = low
+		art.FullFidelityEvals = high
+	}
+	art.BestFeasible, art.HasBestFeasible = hypermapper.Best(active.Observations,
+		hypermapper.AccuracyLimit(r.opts.AccuracyLimit),
+		func(m hypermapper.Metrics) float64 { return m.Runtime })
+	return art, nil
+}
+
+// promote is the Promote stage of the cell-level ladder: score every
+// screened front's hypervolume against a shared reference, promote the
+// top CellPromoteFraction of cells (index-tie-broken, like the
+// intra-cell ladder) and re-explore only those at full fidelity.
+// Without the cell ladder every cell is already at full fidelity and
+// the stage is a no-op. The decision is a pure function of the
+// screening artifacts, so a resumed campaign re-derives the identical
+// promoted set instead of persisting it.
+func (r *runner) promote() error {
+	if r.opts.CellStride <= 1 {
+		return nil
+	}
+	fronts := make([][]hypermapper.Observation, len(r.cells))
+	for i, s := range r.screens {
+		fronts[i] = s.Front
+	}
+	hv := hypermapper.FrontHypervolumes(fronts, hypermapper.RuntimeAccuracy)
+	// PromoteTopFraction takes lower-is-better scores; bigger dominated
+	// hypervolume means a more competitive front.
+	scores := make([]float64, len(hv))
+	for i, v := range hv {
+		scores[i] = -v
+	}
+	chosen := hypermapper.PromoteTopFraction(scores, r.opts.CellPromoteFraction)
+	r.logf("promote: %d of %d cells promoted to full fidelity", len(chosen), len(r.cells))
+
+	outs := parallel.MapOrdered(r.opts.Workers, chosen, func(_ int, idx int) *cellOutcome {
+		return r.cellStage(r.cells[idx], FidelityFull)
+	})
+	for k, idx := range chosen {
+		if outs[k].err != nil {
+			return outs[k].err
+		}
+		r.arts[idx] = outs[k].art
+		r.promoted[idx] = true
+		r.resumed[idx] = r.resumed[idx] || outs[k].resumed
+	}
+	for i := range r.cells {
+		if r.arts[i] == nil {
+			r.arts[i] = r.screens[i]
+		}
+	}
+	return nil
+}
+
+// fullObservations filters an artifact's observations down to the
+// full-fidelity ones a cross-measurement memo may be preloaded with.
+func fullObservations(obs []hypermapper.Observation) []hypermapper.Observation {
+	out := make([]hypermapper.Observation, 0, len(obs))
+	for _, o := range obs {
+		if !o.M.LowFidelity {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// crossMeasure is the CrossMeasure stage: build the robust candidate
+// set (the default configuration plus every cell's best feasible and
+// leading front members, deduplicated in grid order) and measure every
+// candidate in every cell at full fidelity. Cells explored at full
+// fidelity preload their cross-measurement memo from the explore
+// artifact, so home-cell repeats cost a map probe; per-cell metric
+// vectors are persisted so a completed stage is never re-run on resume.
+func (r *runner) crossMeasure() ([]hypermapper.Point, [][]hypermapper.Metrics, error) {
+	var candidates []hypermapper.Point
+	seen := map[string]bool{}
+	add := func(pt hypermapper.Point) {
+		key := string(hypermapper.AppendKey(make([]byte, 0, 8*len(pt)), pt))
+		if !seen[key] {
+			seen[key] = true
+			candidates = append(candidates, pt.Clone())
+		}
+	}
+	add(core.DefaultPoint(r.space))
+	for _, art := range r.arts {
+		if art.HasBestFeasible {
+			add(art.BestFeasible.X)
+		}
+		for i, o := range art.Front {
+			if i >= r.opts.MaxFrontCandidates {
+				break
+			}
+			add(o.X)
+		}
+	}
+
+	ch := sha256.New()
+	for _, pt := range candidates {
+		ch.Write(hypermapper.AppendKey(nil, pt))
+	}
+	candHash := hex.EncodeToString(ch.Sum(nil))[:16]
+
+	perCell := make([][]hypermapper.Metrics, len(r.cells))
+	var need []int
+	for j, cell := range r.cells {
+		if r.opts.Resume && r.store != nil {
+			var ca crossArtifact
+			if r.store.Load(r.crossName(cell, candHash), &ca) && len(ca.Metrics) == len(candidates) {
+				perCell[j] = ca.Metrics
+				r.logf("cell %d (%s on %s): resumed cross-measurement from checkpoint",
+					cell.Index, cell.Scenario.Name, cell.Target.Name)
+				continue
+			}
+		}
+		need = append(need, j)
+	}
+
+	// Build the needed cells' full-fidelity evaluators (rendering any
+	// sequence the explore stage did not leave behind) in parallel, then
+	// fan the candidate × cell measurements over the pool.
+	evals := make([]hypermapper.Evaluator, len(r.cells))
+	prep := parallel.MapOrdered(r.opts.Workers, need, func(_ int, j int) error {
+		cell := r.cells[j]
+		seq, err := r.sequence(cell)
+		if err != nil {
+			return fmt.Errorf("campaign: cell %s/%s: %w", cell.Scenario.Name, cell.Target.Name, err)
+		}
+		memo := hypermapper.NewMemoEvaluator(
+			r.instrument(cell, simCross, core.NewEvaluator(r.space, seq, device.NewModel(cell.Target))))
+		if art := r.arts[j]; art.Fidelity == FidelityFull {
+			memo.Preload(fullObservations(art.Observations))
+		}
+		evals[j] = memo.Evaluate
+		return nil
+	})
+	for _, err := range prep {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	type pair struct{ cand, cell int }
+	pairs := make([]pair, 0, len(need)*len(candidates))
+	for _, j := range need {
+		for i := range candidates {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	metrics := parallel.MapOrdered(r.opts.Workers, pairs, func(_ int, p pair) hypermapper.Metrics {
+		return evals[p.cell](candidates[p.cand])
+	})
+	for k, j := range need {
+		perCell[j] = metrics[k*len(candidates) : (k+1)*len(candidates)]
+		if r.store != nil {
+			if err := r.store.Save(r.crossName(r.cells[j], candHash), crossArtifact{Metrics: perCell[j]}); err != nil {
+				return nil, nil, fmt.Errorf("campaign: checkpointing cross-measurement of cell %s/%s: %w",
+					r.cells[j].Scenario.Name, r.cells[j].Target.Name, err)
+			}
+		}
+	}
+	return candidates, perCell, nil
+}
+
+// aggregate is the Aggregate stage: rank-aggregate the per-cell
+// cross-measurements into the robust configuration.
+func (r *runner) aggregate(candidates []hypermapper.Point, perCell [][]hypermapper.Metrics) (*Result, error) {
+	res := r.result("")
+	res.CandidateCount = len(candidates)
+	perCandidate := make([][]hypermapper.Metrics, len(candidates))
+	for i := range perCandidate {
+		row := make([]hypermapper.Metrics, len(r.cells))
+		for j := range r.cells {
+			row[j] = perCell[j][i]
+		}
+		perCandidate[i] = row
+	}
+	pick, ok := hypermapper.RobustBest(perCandidate,
+		hypermapper.AccuracyLimit(r.opts.AccuracyLimit),
+		func(m hypermapper.Metrics) float64 { return m.Runtime })
+	if !ok {
+		return res, nil
+	}
+	cfg, err := core.ConfigFromPoint(r.space, candidates[pick.Index])
+	if err != nil {
+		return nil, fmt.Errorf("campaign: robust candidate invalid: %w", err)
+	}
+	res.Robust = RobustResult{
+		Point:   candidates[pick.Index],
+		Config:  cfg,
+		Pick:    pick,
+		PerCell: perCandidate[pick.Index],
+	}
+	res.HasRobust = true
+	r.logf("robust configuration: candidate %d of %d, worst rank %d, feasible everywhere %v",
+		pick.Index, len(candidates), pick.WorstRank, pick.FeasibleEverywhere)
+	return res, nil
+}
+
+// result materialises the per-cell results available so far (stopped
+// runs included) from the stage artifacts.
+func (r *runner) result(stopped Stage) *Result {
+	res := &Result{AccuracyLimit: r.opts.AccuracyLimit, StoppedAfter: stopped}
+	for i := range r.cells {
+		art := r.arts[i]
+		if art == nil {
+			art = r.screens[i]
+		}
+		if art == nil {
+			continue // stopped before any exploration artifact existed
+		}
+		c := CellResult{
+			Cell:              r.cells[i],
+			Front:             art.Front,
+			BestFeasible:      art.BestFeasible,
+			HasBestFeasible:   art.HasBestFeasible,
+			Evaluations:       art.Evaluations,
+			FullFidelityEvals: art.FullFidelityEvals,
+			LowFidelityEvals:  art.LowFidelityEvals,
+			Fidelity:          art.Fidelity,
+			Promoted:          r.promoted[i],
+			Resumed:           r.resumed[i],
+		}
+		// A promoted cell spent its screening budget too; fold it into
+		// the cell's totals (the full-explore artifact stays pure so it
+		// is shared with campaigns that never screened).
+		if r.promoted[i] && r.screens[i] != nil && art.Fidelity == FidelityFull {
+			c.Evaluations += r.screens[i].Evaluations
+			c.LowFidelityEvals += r.screens[i].LowFidelityEvals
+		}
+		res.Cells = append(res.Cells, c)
+	}
+	return res
+}

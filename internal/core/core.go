@@ -192,6 +192,34 @@ type FidelityOptions struct {
 	AccuracyLimit float64
 	// Workers bounds the ladder's evaluation parallelism.
 	Workers int
+	// WrapEval, when non-nil, wraps each rung's base evaluator before
+	// it is memoized — fidelity is "full" or "low". The campaign
+	// engine's simulation-counting instrumentation plugs in here;
+	// because the wrap sits under the memo, cache hits never pass
+	// through it.
+	WrapEval func(fidelity string, eval hypermapper.Evaluator) hypermapper.Evaluator
+}
+
+// FidelityRank is the constraint-aware promotion ranking of the
+// multi-fidelity ladder (lower is more promising): failed runs rank
+// last, candidates whose low-fidelity max ATE exceeds the limit rank
+// behind every feasible one (closest to the bound first), and feasible
+// candidates rank by runtime. It is shared by the intra-cell ladder
+// (NewMultiFidelityEvaluator) and the campaign engine's cell
+// explorations so both promote identically.
+func FidelityRank(limit float64) func(hypermapper.Metrics) float64 {
+	return func(m hypermapper.Metrics) float64 {
+		switch {
+		case m.Failed:
+			return math.Inf(1)
+		case m.MaxATE > limit:
+			// Infeasible at low fidelity: rank behind every feasible
+			// candidate, closest to the bound first.
+			return 1e6 + (m.MaxATE - limit)
+		default:
+			return m.Runtime
+		}
+	}
 }
 
 // NewMultiFidelityEvaluator builds the evaluation ladder over the DSE
@@ -204,23 +232,17 @@ type FidelityOptions struct {
 // memoized full-fidelity evaluator for point queries (default marker,
 // random baselines) that should share the cache.
 func NewMultiFidelityEvaluator(space *hypermapper.Space, seq dataset.Sequence, model *device.Model, opts FidelityOptions) (ladder *hypermapper.MultiFidelity, full hypermapper.Evaluator) {
-	high := hypermapper.NewMemoEvaluator(NewEvaluator(space, seq, model))
-	low := hypermapper.NewMemoEvaluator(
-		NewEvaluator(space, slambench.Subsample(seq, opts.Stride), model))
+	highBase := NewEvaluator(space, seq, model)
+	lowBase := NewEvaluator(space, slambench.Subsample(seq, opts.Stride), model)
+	if opts.WrapEval != nil {
+		highBase = opts.WrapEval("full", highBase)
+		lowBase = opts.WrapEval("low", lowBase)
+	}
+	high := hypermapper.NewMemoEvaluator(highBase)
+	low := hypermapper.NewMemoEvaluator(lowBase)
 	var rank func(hypermapper.Metrics) float64
-	if limit := opts.AccuracyLimit; limit > 0 {
-		rank = func(m hypermapper.Metrics) float64 {
-			switch {
-			case m.Failed:
-				return math.Inf(1)
-			case m.MaxATE > limit:
-				// Infeasible at low fidelity: rank behind every feasible
-				// candidate, closest to the bound first.
-				return 1e6 + (m.MaxATE - limit)
-			default:
-				return m.Runtime
-			}
-		}
+	if opts.AccuracyLimit > 0 {
+		rank = FidelityRank(opts.AccuracyLimit)
 	}
 	return &hypermapper.MultiFidelity{
 		Low:             low.Evaluate,

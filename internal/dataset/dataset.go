@@ -27,6 +27,15 @@ type Frame struct {
 }
 
 // Sequence is a finite RGB-D stream with known intrinsics.
+//
+// Ownership: implementations backed by OS resources (FileSequence is
+// the only one today) also implement io.Closer, and whoever opened the
+// sequence owns that Close — callers that only *consume* a Sequence
+// (runners, evaluators, stride views like slambench.Subsample) must
+// never close it. Openers should defer Close immediately after a
+// successful open so every error path releases the file. In-memory
+// implementations (MemorySequence, synthetic renders) hold no resources
+// and need no cleanup.
 type Sequence interface {
 	// Name identifies the sequence (e.g. "lr_kt0_syn").
 	Name() string

@@ -15,6 +15,15 @@ import (
 // FileSequence streams frames from a .slam file on demand instead of
 // materialising the whole sequence in memory. Frame records have a fixed
 // size, so random access is a single seek.
+//
+// Ownership: FileSequence holds an open *os.File for its whole
+// lifetime. The caller of OpenSlam owns the sequence and must Close it
+// exactly once — idiomatically `defer fs.Close()` right after the open,
+// so every subsequent error path releases the descriptor. Consumers the
+// sequence is passed to (slambench.Runner, evaluators, Subsample views)
+// treat it as read-only and never close it. Frame is safe for
+// concurrent callers (an internal mutex serialises the seek+read), but
+// Close must not race with in-flight Frame calls.
 type FileSequence struct {
 	name   string
 	f      *os.File

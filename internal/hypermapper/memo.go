@@ -77,6 +77,27 @@ func (m *MemoEvaluator) Evaluate(pt Point) Metrics {
 	return c.m
 }
 
+// Preload seeds the cache from prior observations — the resume path of
+// checkpointed campaigns: a cell whose exploration artifact was loaded
+// from disk hands its observations to the cross-measurement memo, so
+// re-measuring one of those configurations costs a map probe instead of
+// a pipeline simulation. Entries already cached win over preloaded ones
+// (first write wins, matching Evaluate), and preloading counts as
+// neither hit nor miss. The purity contract extends to preloaded
+// metrics: they must be exactly what the wrapped evaluator would return
+// for that point, which holds for artifacts of a deterministic
+// exploration reloaded under the same options.
+func (m *MemoEvaluator) Preload(obs []Observation) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, o := range obs {
+		key := string(AppendKey(make([]byte, 0, 8*len(o.X)), o.X))
+		if _, ok := m.cache[key]; !ok {
+			m.cache[key] = o.M
+		}
+	}
+}
+
 // Stats reports cache hits (including calls coalesced onto an in-flight
 // evaluation) and true misses — the number of times the wrapped
 // evaluator actually ran.

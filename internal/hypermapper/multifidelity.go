@@ -2,7 +2,6 @@ package hypermapper
 
 import (
 	"math"
-	"sort"
 	"sync"
 
 	"slamgo/internal/parallel"
@@ -71,38 +70,19 @@ func (m *MultiFidelity) EvalAll(pts []Point) []Metrics {
 		out[i].LowFidelity = true
 	}
 
-	// Rank the batch (each candidate scored once); ties resolve by
-	// batch position so the promoted set is identical for any worker
-	// count.
+	// Rank the batch (each candidate scored once); PromoteTopFraction
+	// resolves ties by batch position so the promoted set is identical
+	// for any worker count.
 	ranks := make([]float64, n)
 	for i, mt := range out {
 		ranks[i] = m.rankOf(mt)
 	}
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		ra, rb := ranks[order[a]], ranks[order[b]]
-		if ra != rb {
-			return ra < rb
-		}
-		return order[a] < order[b]
-	})
-
 	f := m.PromoteFraction
 	if f <= 0 || f > 1 {
 		f = 0.25
 	}
-	promote := int(math.Ceil(f * float64(n)))
-	if promote < 1 {
-		promote = 1
-	}
-	if promote > n {
-		promote = n
-	}
-
-	chosen := order[:promote]
+	chosen := PromoteTopFraction(ranks, f)
+	promote := len(chosen)
 	highPts := make([]Point, len(chosen))
 	for i, idx := range chosen {
 		highPts[i] = pts[idx]

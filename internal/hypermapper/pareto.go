@@ -3,30 +3,34 @@ package hypermapper
 import "sort"
 
 // Metrics are the objectives SLAMBench measures per configuration. All
-// are minimised except where a constraint says otherwise.
+// are minimised except where a constraint says otherwise. The JSON form
+// is the checkpoint wire format of campaign artifacts; Go's float64
+// encoding round-trips bit-exactly, so serialised metrics reload
+// byte-identical to the measured ones.
 type Metrics struct {
 	// Runtime is mean seconds per frame on the modelled device.
-	Runtime float64
+	Runtime float64 `json:"runtime"`
 	// MaxATE is the accuracy objective (metres, the paper's "Max ATE").
-	MaxATE float64
+	MaxATE float64 `json:"max_ate"`
 	// Power is mean watts on the modelled device.
-	Power float64
+	Power float64 `json:"power"`
 	// Energy is total joules for the sequence.
-	Energy float64
+	Energy float64 `json:"energy"`
 	// Failed marks configurations whose run lost tracking or errored;
 	// they are excluded from fronts and best-config selection.
-	Failed bool
+	Failed bool `json:"failed,omitempty"`
 	// LowFidelity marks measurements taken on a reduced workload (the
 	// unpromoted rung of the multi-fidelity ladder). They carry enough
 	// signal to train surrogates but are not comparable to full runs,
 	// so fronts and best-config selection exclude them like Failed.
-	LowFidelity bool
+	LowFidelity bool `json:"low_fidelity,omitempty"`
 }
 
-// Observation pairs a configuration with its measured metrics.
+// Observation pairs a configuration with its measured metrics. Like
+// Metrics it is JSON-serialisable for checkpoint artifacts.
 type Observation struct {
-	X Point
-	M Metrics
+	X Point   `json:"x"`
+	M Metrics `json:"m"`
 }
 
 // Objectives maps metrics to the minimisation vector used for dominance.

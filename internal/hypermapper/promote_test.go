@@ -1,0 +1,130 @@
+package hypermapper
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPromoteTopFraction(t *testing.T) {
+	cases := []struct {
+		name     string
+		scores   []float64
+		fraction float64
+		want     []int
+	}{
+		{"empty", nil, 0.5, nil},
+		{"single", []float64{3}, 0.25, []int{0}},
+		{"half", []float64{4, 1, 3, 2}, 0.5, []int{1, 3}},
+		{"ceil rounds up", []float64{4, 1, 3}, 0.5, []int{1, 2}},
+		{"at least one", []float64{4, 1, 3, 2}, 0.01, []int{1}},
+		{"all", []float64{4, 1, 3, 2}, 1, []int{1, 3, 2, 0}},
+		{"ties break by index", []float64{2, 2, 2, 2}, 0.5, []int{0, 1}},
+		{"ties after distinct", []float64{1, 5, 5, 0}, 0.75, []int{3, 0, 1}},
+	}
+	for _, c := range cases {
+		got := PromoteTopFraction(c.scores, c.fraction)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: PromoteTopFraction(%v, %g) = %v, want %v",
+				c.name, c.scores, c.fraction, got, c.want)
+		}
+	}
+}
+
+// TestMultiFidelityMatchesSharedPromotion pins the refactored ladder to
+// the shared helper: the promoted set of a batch equals
+// PromoteTopFraction over the same ranks.
+func TestMultiFidelityMatchesSharedPromotion(t *testing.T) {
+	runtimes := []float64{0.4, 0.1, 0.3, 0.2, 0.1, 0.5}
+	var highCalls []int
+	mf := &MultiFidelity{
+		Low: func(pt Point) Metrics { return Metrics{Runtime: runtimes[int(pt[0])]} },
+		High: func(pt Point) Metrics {
+			highCalls = append(highCalls, int(pt[0]))
+			return Metrics{Runtime: runtimes[int(pt[0])] / 2}
+		},
+		PromoteFraction: 0.5,
+		Workers:         1,
+	}
+	pts := make([]Point, len(runtimes))
+	for i := range pts {
+		pts[i] = Point{float64(i)}
+	}
+	out := mf.EvalAll(pts)
+	want := PromoteTopFraction(runtimes, 0.5)
+	if !reflect.DeepEqual(highCalls, want) {
+		t.Fatalf("promoted %v, want PromoteTopFraction order %v", highCalls, want)
+	}
+	for i, m := range out {
+		promoted := false
+		for _, idx := range want {
+			if idx == i {
+				promoted = true
+			}
+		}
+		if promoted == m.LowFidelity {
+			t.Fatalf("candidate %d: promoted=%v but LowFidelity=%v", i, promoted, m.LowFidelity)
+		}
+	}
+}
+
+func TestFrontHypervolumes(t *testing.T) {
+	obs := func(rt, ate float64) Observation {
+		return Observation{M: Metrics{Runtime: rt, MaxATE: ate}}
+	}
+	fronts := [][]Observation{
+		{obs(0.1, 0.01), obs(0.05, 0.02)}, // strong front
+		{obs(0.4, 0.04)},                  // weak front
+		nil,                               // empty (no feasible configs)
+	}
+	hv := FrontHypervolumes(fronts, RuntimeAccuracy)
+	if len(hv) != 3 {
+		t.Fatalf("got %d scores, want 3", len(hv))
+	}
+	if hv[2] != 0 {
+		t.Fatalf("empty front scored %g, want 0", hv[2])
+	}
+	if !(hv[0] > hv[1] && hv[1] > 0) {
+		t.Fatalf("competitiveness ordering wrong: %v", hv)
+	}
+	// Deterministic: same input, same scores.
+	hv2 := FrontHypervolumes(fronts, RuntimeAccuracy)
+	if !reflect.DeepEqual(hv, hv2) {
+		t.Fatalf("scores not deterministic: %v vs %v", hv, hv2)
+	}
+	// All-empty input must not panic and scores all zero.
+	for _, v := range FrontHypervolumes([][]Observation{nil, {}}, RuntimeAccuracy) {
+		if v != 0 {
+			t.Fatalf("all-empty fronts scored %g, want 0", v)
+		}
+	}
+}
+
+func TestMemoPreload(t *testing.T) {
+	calls := 0
+	memo := NewMemoEvaluator(func(pt Point) Metrics {
+		calls++
+		return Metrics{Runtime: pt[0] * 2}
+	})
+	memo.Preload([]Observation{
+		{X: Point{1}, M: Metrics{Runtime: 2}},
+		{X: Point{3}, M: Metrics{Runtime: 6}},
+		{X: Point{4}, M: Metrics{Runtime: 8, LowFidelity: true}},
+	})
+	if got := memo.Evaluate(Point{1}); got.Runtime != 2 || calls != 0 {
+		t.Fatalf("preloaded point re-evaluated: %+v, calls=%d", got, calls)
+	}
+	if got := memo.Evaluate(Point{3}); got.Runtime != 6 || calls != 0 {
+		t.Fatalf("preloaded point re-evaluated: %+v, calls=%d", got, calls)
+	}
+	if got := memo.Evaluate(Point{2}); got.Runtime != 4 || calls != 1 {
+		t.Fatalf("unknown point not evaluated: %+v, calls=%d", got, calls)
+	}
+	// First write wins: preloading an already-cached key changes nothing.
+	memo.Preload([]Observation{{X: Point{2}, M: Metrics{Runtime: 99}}})
+	if got := memo.Evaluate(Point{2}); got.Runtime != 4 {
+		t.Fatalf("preload overwrote a cached entry: %+v", got)
+	}
+	if memo.Len() != 4 {
+		t.Fatalf("cache has %d entries, want 4", memo.Len())
+	}
+}

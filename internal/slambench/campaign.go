@@ -23,8 +23,27 @@ type CampaignCell struct {
 	// exploration spent (the campaign's robust aggregation phase
 	// cross-measures candidates on top of this).
 	FullFidelityEvals int `json:"full_fidelity_evals"`
+	// LowFidelityEvals is the number of reduced-workload simulations the
+	// exploration spent — cell-ladder screening runs and intra-cell
+	// ladder screening runs alike.
+	LowFidelityEvals int `json:"low_fidelity_evals,omitempty"`
 	// FrontSize is the cell's Pareto-front cardinality.
 	FrontSize int `json:"front_size"`
+	// Fidelity is the fidelity the cell's reported exploration ran at:
+	// "full", or "screen" for an unpromoted cell of the campaign's
+	// cell-level multi-fidelity ladder. Deterministic (the promotion
+	// policy is a pure function of the seeded exploration), so it is
+	// part of every report format.
+	Fidelity string `json:"fidelity,omitempty"`
+	// Promoted reports that the cell-level ladder promoted this cell
+	// from screening to full-fidelity exploration.
+	Promoted bool `json:"promoted,omitempty"`
+	// Resumed reports that the cell was loaded from a checkpoint store
+	// instead of being explored in this run. Execution provenance — it
+	// differs between a fresh and a resumed run of the same campaign —
+	// so it is excluded from the deterministic report writers and
+	// rendered only by WriteCampaignProvenance.
+	Resumed bool `json:"-"`
 	// Front lists the cell's Pareto-front measurements, runtime
 	// ascending (rendered in the JSON report; the table shows the size).
 	Front []CampaignFrontPoint `json:"front,omitempty"`
@@ -78,7 +97,7 @@ type CampaignReport struct {
 // campaign analogue of WriteTable.
 func WriteCampaignTable(w io.Writer, r *CampaignReport) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "scenario\tdevice\tevals\tfull\tfront\tbestFPS\tbestATE(m)\trobustFPS\trobustATE(m)\trobustRank\trobustOK")
+	fmt.Fprintln(tw, "scenario\tdevice\tfid\tevals\tfull\tfront\tbestFPS\tbestATE(m)\trobustFPS\trobustATE(m)\trobustRank\trobustOK")
 	for _, c := range r.Cells {
 		best := "-"
 		bestATE := "-"
@@ -86,8 +105,12 @@ func WriteCampaignTable(w io.Writer, r *CampaignReport) error {
 			best = fmt.Sprintf("%.1f", fps(c.BestRuntime))
 			bestATE = fmt.Sprintf("%.4f", c.BestMaxATE)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%s\t%s\t%.1f\t%.4f\t%d\t%v\n",
-			c.Scenario, c.Device, c.Evaluations, c.FullFidelityEvals, c.FrontSize,
+		fid := c.Fidelity
+		if fid == "" {
+			fid = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%s\t%s\t%.1f\t%.4f\t%d\t%v\n",
+			c.Scenario, c.Device, fid, c.Evaluations, c.FullFidelityEvals, c.FrontSize,
 			best, bestATE, fps(c.RobustRuntime), c.RobustMaxATE, c.RobustRank, c.RobustFeasible)
 	}
 	if err := tw.Flush(); err != nil {
@@ -101,25 +124,52 @@ func WriteCampaignTable(w io.Writer, r *CampaignReport) error {
 // WriteCampaignCSV emits one row per cell, suitable for external
 // plotting of cross-scenario comparisons.
 func WriteCampaignCSV(w io.Writer, r *CampaignReport) error {
-	if _, err := fmt.Fprintln(w, "scenario,device,evaluations,full_fidelity,front_size,feasible,best_runtime,best_max_ate,best_power,robust_runtime,robust_max_ate,robust_rank,robust_feasible"); err != nil {
+	if _, err := fmt.Fprintln(w, "scenario,device,fidelity,promoted,evaluations,full_fidelity,low_fidelity,front_size,feasible,best_runtime,best_max_ate,best_power,robust_runtime,robust_max_ate,robust_rank,robust_feasible"); err != nil {
 		return err
 	}
 	for _, c := range r.Cells {
-		feas, rfeas := 0, 0
+		feas, rfeas, prom := 0, 0, 0
 		if c.Feasible {
 			feas = 1
 		}
 		if c.RobustFeasible {
 			rfeas = 1
 		}
-		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d\n",
-			c.Scenario, c.Device, c.Evaluations, c.FullFidelityEvals, c.FrontSize,
+		if c.Promoted {
+			prom = 1
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d\n",
+			c.Scenario, c.Device, c.Fidelity, prom, c.Evaluations, c.FullFidelityEvals,
+			c.LowFidelityEvals, c.FrontSize,
 			feas, c.BestRuntime, c.BestMaxATE, c.BestPower,
 			c.RobustRuntime, c.RobustMaxATE, c.RobustRank, rfeas); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// WriteCampaignProvenance renders the execution-provenance table of a
+// checkpointed campaign: per cell, the fidelity its reported results
+// were explored at, whether the cell-level ladder promoted it, and
+// whether it was resumed from a checkpoint rather than explored in this
+// run. Resumption depends on how the run was interrupted, so this table
+// is deliberately separate from the deterministic report writers (CLIs
+// send it to stderr, keeping the report byte-comparable across fresh
+// and resumed runs).
+func WriteCampaignProvenance(w io.Writer, r *CampaignReport) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tdevice\tfid\tpromoted\tresumed\tevals\tfull\tlow")
+	for _, c := range r.Cells {
+		fid := c.Fidelity
+		if fid == "" {
+			fid = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%v\t%v\t%d\t%d\t%d\n",
+			c.Scenario, c.Device, fid, c.Promoted, c.Resumed,
+			c.Evaluations, c.FullFidelityEvals, c.LowFidelityEvals)
+	}
+	return tw.Flush()
 }
 
 // WriteCampaignJSON emits the whole report as indented JSON (field
