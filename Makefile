@@ -1,4 +1,4 @@
-.PHONY: test race bench bench-compare bench-save campaign-smoke campaign-resume-smoke
+.PHONY: test race bench bench-compare bench-save campaign-smoke campaign-resume-smoke campaign-distributed-smoke
 
 test:
 	go build ./... && go test ./...
@@ -59,3 +59,10 @@ campaign-resume-smoke:
 	diff $(RESUME_SMOKE_DIR)/fresh.txt $(RESUME_SMOKE_DIR)/resumed.txt
 	rm -rf $(RESUME_SMOKE_DIR)
 	@echo "campaign-resume-smoke: resumed report byte-identical to uninterrupted run"
+
+# Crash-safety smoke test of the worker-lease protocol: two OS
+# processes cooperate on one campaign through a shared checkpoint
+# directory, one is SIGKILLed mid-run, and the survivor's report must be
+# byte-identical to an uninterrupted single-process run.
+campaign-distributed-smoke:
+	./scripts/distributed-smoke.sh

@@ -41,6 +41,8 @@ func main() {
 		campCellStride = flag.Int("campaign-cell-stride", 0, "cell-level multi-fidelity frame stride (>1 screens every cell on a subsampled sequence and promotes only competitive cells to full fidelity)")
 		campCellProm   = flag.Float64("campaign-cell-promote", 0.5, "fraction of grid cells promoted to full-fidelity exploration (with -campaign-cell-stride)")
 		campStopAfter  = flag.String("campaign-stop-after", "", "end the campaign cleanly after this stage (plan, explore, promote or crossmeasure) — simulates a kill at a stage boundary for checkpoint/resume workflows")
+		campWorkerID   = flag.String("campaign-worker-id", "", "run as one cooperating worker of a multi-process campaign: processes sharing -campaign-checkpoint split the grid through cell leases and any of them can be killed without losing the campaign (implies -campaign-resume)")
+		campLeaseTTL   = flag.Duration("campaign-lease-ttl", 0, "heartbeat deadline after which a dead worker's cell lease is reclaimed by its peers (with -campaign-worker-id; default 10s)")
 	)
 	flag.Parse()
 
@@ -83,6 +85,8 @@ func main() {
 			CellPromoteFraction: *campCellProm,
 			CheckpointDir:       *campCheckpoint,
 			Resume:              *campResume,
+			WorkerID:            *campWorkerID,
+			LeaseTTL:            *campLeaseTTL,
 			StopAfter:           stopAfter,
 			Log:                 eprint,
 		}

@@ -115,6 +115,32 @@
 // in CI: run, stop after Explore, resume, diff against an uninterrupted
 // run.
 //
+// The checkpoint store doubles as a coordination substrate for
+// multi-process campaigns. With -campaign-worker-id, N processes (or
+// machines over a shared filesystem) pointing at one
+// -campaign-checkpoint directory execute a single campaign's grid
+// cooperatively: a worker claims a cell by atomically creating the
+// artifact's .lease sibling (O_CREATE|O_EXCL, carrying its id and a
+// heartbeat it renews while computing), peers waiting on a claimed
+// cell poll with deterministic backoff until the artifact appears, and
+// a lease whose heartbeat exceeds -campaign-lease-ttl is reclaimed —
+// so any worker can be SIGKILLed at any instant without losing the
+// campaign. Leases are a work-distribution optimisation, never a
+// correctness mechanism: artifact names are content hashes, every
+// writer of a name produces identical bytes, and writes are atomic
+// (temp file + rename), so a takeover racing a slow-but-alive holder
+// just computes the cell twice and the last rename wins. Store I/O is
+// wrapped in bounded retry-with-backoff (transient ENOSPC/EIO cost
+// milliseconds, not a crash), a Load distinguishes a miss — absent,
+// torn or corrupt artifact, safe to recompute — from a real I/O fault
+// that must surface, and a cell whose exploration panics is
+// quarantined into a persisted failed artifact (a failed row in the
+// report; the campaign aggregates the survivors) instead of killing
+// the run. `make campaign-distributed-smoke` enforces the end-to-end
+// claim in CI: two worker processes share a store, one is SIGKILLed
+// mid-run, and the survivor's report must be byte-identical to an
+// uninterrupted single-process run.
+//
 // -campaign-cell-stride adds cell-level multi-fidelity, the intra-cell
 // ladder replayed at grid granularity: Explore first screens every
 // cell on a stride-subsampled sequence, then the Promote stage scores

@@ -43,6 +43,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"slamgo/internal/core"
 	"slamgo/internal/device"
@@ -214,6 +215,22 @@ type Options struct {
 	// recomputing them; artifacts whose options hash differs are
 	// ignored. Requires CheckpointDir.
 	Resume bool
+	// WorkerID, when non-empty, runs this process as one cooperating
+	// worker of a multi-process campaign: cells are claimed through
+	// .lease files in CheckpointDir (atomic create, heartbeat renewal,
+	// TTL expiry — see lease.go), so N workers sharing the directory
+	// split the grid dynamically and any worker can be SIGKILLed
+	// without losing the campaign. Requires CheckpointDir; implies
+	// Resume (a worker must load cells its peers completed). Every
+	// worker that runs to completion renders the identical report.
+	WorkerID string
+	// LeaseTTL is the heartbeat deadline after which a dead or stalled
+	// worker's cell lease may be reclaimed by its peers (default 10s).
+	// Set it above the renewal jitter of the slowest shared filesystem
+	// involved but well below the cost of a cell exploration; an
+	// expired-but-alive holder only wastes duplicate work, never
+	// corrupts the campaign.
+	LeaseTTL time.Duration
 	// StopAfter, when non-empty, ends the run cleanly after the named
 	// stage (the checkpoint/resume analogue of a kill at a stage
 	// boundary; Result.StoppedAfter echoes it). The zero value runs to
@@ -232,6 +249,14 @@ type Options struct {
 	// class — the hook resume tests use to prove checkpointed cells are
 	// never re-simulated. Memo hits and checkpoint loads never fire it.
 	observeSimulation func(cell int, class string)
+	// wrapStore, when non-nil, wraps the opened checkpoint store before
+	// the retry layer — the seam the fault-injection tests use to put a
+	// FaultStore under the campaign.
+	wrapStore func(*Store) ArtifactStore
+	// sleepFn and nowFn override time.Sleep / time.Now in the retry,
+	// poll and lease layers (tests only; results never depend on them).
+	sleepFn func(time.Duration)
+	nowFn   func() time.Time
 }
 
 // applyDefaults fills zero-valued knobs in place.
@@ -253,6 +278,20 @@ func (o *Options) applyDefaults() {
 	}
 	if o.CellPromoteFraction <= 0 || o.CellPromoteFraction > 1 {
 		o.CellPromoteFraction = 0.5
+	}
+	if o.WorkerID != "" {
+		// A cooperating worker must consume what its peers completed;
+		// worker mode is resume mode by definition.
+		o.Resume = true
+		if o.LeaseTTL <= 0 {
+			o.LeaseTTL = 10 * time.Second
+		}
+	}
+	if o.sleepFn == nil {
+		o.sleepFn = time.Sleep
+	}
+	if o.nowFn == nil {
+		o.nowFn = time.Now
 	}
 }
 
@@ -288,6 +327,12 @@ func (o Options) Validate() error {
 	}
 	if o.Resume && o.CheckpointDir == "" {
 		return errors.New("campaign: Resume requires CheckpointDir")
+	}
+	if o.WorkerID != "" && o.CheckpointDir == "" {
+		return errors.New("campaign: WorkerID (cooperative worker mode) requires CheckpointDir")
+	}
+	if o.LeaseTTL < 0 {
+		return fmt.Errorf("campaign: negative lease TTL %v", o.LeaseTTL)
 	}
 	return nil
 }
@@ -325,6 +370,20 @@ type CellResult struct {
 	// recomputed. Execution provenance, not part of the deterministic
 	// report surface.
 	Resumed bool
+	// Owner names who produced the cell's reported artifact this run:
+	// the worker id (or "local" outside worker mode) when it was
+	// computed here, "store" when it was loaded from a checkpoint.
+	// Execution provenance, like Resumed.
+	Owner string
+	// Failed reports that the cell's exploration panicked and was
+	// quarantined: the cell carries no front or best configuration, is
+	// excluded from promotion, cross-measurement and the robust
+	// aggregation, and appears in reports as a failed row. Deterministic
+	// (a panic for a given seed/options either always or never happens),
+	// so it is part of the report surface.
+	Failed bool
+	// FailureReason is the quarantined panic value, when Failed.
+	FailureReason string
 }
 
 // RobustResult is the cross-scenario aggregation outcome.
@@ -415,6 +474,9 @@ func (r *Result) Report() *slambench.CampaignReport {
 			Fidelity:          c.Fidelity,
 			Promoted:          c.Promoted,
 			Resumed:           c.Resumed,
+			Owner:             c.Owner,
+			Failed:            c.Failed,
+			FailureReason:     c.FailureReason,
 			Feasible:          c.HasBestFeasible,
 		}
 		for _, o := range c.Front {

@@ -17,15 +17,42 @@ import (
 // relevant exploration options — see runner.artifactName), so a
 // changed option simply misses the stale file and re-runs the work; a
 // version field in the envelope invalidates artifacts across format
-// changes the same way. Writes are atomic (temp file + rename), and
-// Load treats every defect — absent file, version or name mismatch,
-// truncated or corrupt JSON — as a miss rather than an error, because
-// re-running a stage is always safe while trusting a damaged artifact
-// never is.
+// changes the same way. Writes are atomic (a uniquely named temp file
+// + rename, so two processes saving the same artifact never trample
+// each other's half-written bytes), and Load treats every data defect
+// — absent file, version or name mismatch, truncated or corrupt JSON —
+// as a miss rather than an error, because re-running a stage is always
+// safe while trusting a damaged artifact never is. Real I/O faults
+// (permission denied, an unreadable path) are reported as errors so
+// callers retry instead of silently re-simulating forever.
+//
+// The store doubles as the coordination substrate for multi-process
+// campaigns: every writer of a given artifact name produces identical
+// bytes (artifacts are pure functions of their content-hashed key), so
+// concurrent writers are safe — the last complete rename wins and the
+// winner is indistinguishable from the loser. Work distribution on top
+// of that uses sibling .lease files (see lease.go).
 
 // storeVersion is the checkpoint format version; bumping it orphans
 // every existing artifact (they are treated as misses, never misread).
 const storeVersion = 1
+
+// ArtifactStore is the store surface the campaign runner depends on.
+// *Store is the real directory-backed implementation; RetryStore adds
+// bounded retry-with-backoff around transient faults, and FaultStore
+// injects faults for the crash-safety tests.
+type ArtifactStore interface {
+	// Save atomically persists payload under name.
+	Save(name string, payload any) error
+	// Load reads the artifact saved under name into out. The boolean
+	// reports a hit; (false, nil) is a miss (no such file, version or
+	// name mismatch, corrupt contents) that re-running the stage
+	// repairs, while a non-nil error is a real I/O fault that retrying
+	// — not re-simulating — should handle.
+	Load(name string, out any) (bool, error)
+	// List returns the names of every artifact in the store, sorted.
+	List() ([]string, error)
+}
 
 // Store is a directory of versioned campaign stage artifacts.
 type Store struct {
@@ -56,9 +83,17 @@ func (s *Store) path(name string) string {
 	return filepath.Join(s.dir, name+".json")
 }
 
+// Dir returns the store's directory (lease files live next to the
+// artifacts, and the fault harness damages files in place).
+func (s *Store) Dir() string { return s.dir }
+
 // Save atomically persists payload under name, replacing any previous
-// artifact of that name.
-func (s *Store) Save(name string, payload any) error {
+// artifact of that name. The temp file is uniquely named per call
+// (os.CreateTemp), so concurrent writers — other goroutines or other
+// processes sharing the directory — cannot clobber each other's
+// half-written bytes; whichever rename lands last wins whole. Failed
+// saves remove their temp file instead of leaking it.
+func (s *Store) Save(name string, payload any) (err error) {
 	raw, err := json.Marshal(payload)
 	if err != nil {
 		return fmt.Errorf("campaign: encoding artifact %s: %w", name, err)
@@ -67,29 +102,60 @@ func (s *Store) Save(name string, payload any) error {
 	if err != nil {
 		return err
 	}
-	tmp := s.path(name) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
+	// The ".tmp-" prefix keeps in-flight files out of List (no ".json"
+	// suffix) and visually separate from artifacts.
+	f, err := os.CreateTemp(s.dir, ".tmp-"+name+"-*")
+	if err != nil {
+		return fmt.Errorf("campaign: artifact %s: %w", name, err)
 	}
-	return os.Rename(tmp, s.path(name))
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("campaign: artifact %s: %w", name, err)
+	}
+	// Flush to stable storage before the rename publishes the file, so
+	// a machine crash cannot leave a complete-looking empty artifact.
+	if err = f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("campaign: artifact %s: %w", name, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("campaign: artifact %s: %w", name, err)
+	}
+	if err = os.Rename(tmp, s.path(name)); err != nil {
+		return fmt.Errorf("campaign: artifact %s: %w", name, err)
+	}
+	return nil
 }
 
-// Load reads the artifact saved under name into out. It returns false —
-// never an error — on any miss: no such file, a version or name
-// mismatch, or corrupt contents. Callers re-run the stage on a miss.
-func (s *Store) Load(name string, out any) bool {
+// Load reads the artifact saved under name into out. The boolean
+// reports a hit. Every data defect — no such file, a version or name
+// mismatch, truncated or corrupt contents — is a miss (false, nil),
+// because re-running the stage is always safe while trusting a damaged
+// artifact never is. A non-nil error is a real I/O fault (permission
+// denied, an unreadable path): the work is not lost, the store is
+// unreachable, so callers should retry rather than re-simulate.
+func (s *Store) Load(name string, out any) (bool, error) {
 	data, err := os.ReadFile(s.path(name))
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
 	if err != nil {
-		return false
+		return false, fmt.Errorf("campaign: artifact %s: %w", name, err)
 	}
 	var env envelope
 	if json.Unmarshal(data, &env) != nil {
-		return false
+		return false, nil
 	}
 	if env.Version != storeVersion || env.Name != name {
-		return false
+		return false, nil
 	}
-	return json.Unmarshal(env.Payload, out) == nil
+	return json.Unmarshal(env.Payload, out) == nil, nil
 }
 
 // List returns the names of every artifact in the store, sorted.

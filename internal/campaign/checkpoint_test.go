@@ -4,10 +4,23 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 
 	"slamgo/internal/hypermapper"
 )
+
+// loadHit loads name and fails the test on a real I/O error; it returns
+// whether the load was a hit.
+func loadHit(t *testing.T, store *Store, name string, out any) bool {
+	t.Helper()
+	ok, err := store.Load(name, out)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", name, err)
+	}
+	return ok
+}
 
 func TestStoreRoundTrip(t *testing.T) {
 	store, err := OpenStore(filepath.Join(t.TempDir(), "ckpt"))
@@ -30,7 +43,7 @@ func TestStoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var back cellArtifact
-	if !store.Load("full-c000-abc", &back) {
+	if !loadHit(t, store, "full-c000-abc", &back) {
 		t.Fatal("saved artifact not loadable")
 	}
 	a, _ := json.Marshal(art)
@@ -47,6 +60,8 @@ func TestStoreRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStoreMisses proves every data-defect shape is a miss (false, nil)
+// — safe to recompute — never an error and never bad data.
 func TestStoreMisses(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "ckpt")
 	store, err := OpenStore(dir)
@@ -54,7 +69,7 @@ func TestStoreMisses(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out cellArtifact
-	if store.Load("absent", &out) {
+	if loadHit(t, store, "absent", &out) {
 		t.Fatal("absent artifact loaded")
 	}
 	// Corrupt file: a kill mid-write (pre-rename this cannot happen, but
@@ -62,21 +77,36 @@ func TestStoreMisses(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "broken.json"), []byte("{notjson"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if store.Load("broken", &out) {
+	if loadHit(t, store, "broken", &out) {
 		t.Fatal("corrupt artifact loaded")
+	}
+	// Truncated artifact: valid JSON prefix torn mid-payload (the torn
+	// write FaultShortWrite simulates) must be a miss too.
+	if err := store.Save("torn", &cellArtifact{Scenario: "lr_kt1"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "torn.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "torn.json"), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if loadHit(t, store, "torn", &out) {
+		t.Fatal("truncated artifact loaded")
 	}
 	// A file copied to the wrong name must not load under that name.
 	if err := store.Save("right-name", &cellArtifact{Scenario: "lr_kt0"}); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(filepath.Join(dir, "right-name.json"))
+	data, err = os.ReadFile(filepath.Join(dir, "right-name.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(filepath.Join(dir, "wrong-name.json"), data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if store.Load("wrong-name", &out) {
+	if loadHit(t, store, "wrong-name", &out) {
 		t.Fatal("renamed artifact loaded under the wrong name")
 	}
 	// A version bump orphans old artifacts.
@@ -85,9 +115,101 @@ func TestStoreMisses(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "future.json"), raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if store.Load("future", &out) {
+	if loadHit(t, store, "future", &out) {
 		t.Fatal("artifact from a future store version loaded")
 	}
+}
+
+// TestStoreLoadRealError proves an I/O fault that is not a data defect
+// surfaces as an error, not a miss: a miss means "recompute", and
+// recomputing over a faulting store would silently discard work.
+func TestStoreLoadRealError(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A directory squatting on the artifact path: ReadFile fails with a
+	// real error (EISDIR) that is not fs.ErrNotExist.
+	if err := os.Mkdir(filepath.Join(dir, "blocked.json"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var out cellArtifact
+	ok, err := store.Load("blocked", &out)
+	if ok {
+		t.Fatal("directory loaded as artifact")
+	}
+	if err == nil {
+		t.Fatal("real I/O fault reported as a plain miss")
+	}
+}
+
+// TestStoreSaveLeavesNoTempFiles proves both the success path and the
+// marshal-failure path clean up their temp files — leaked temp files in
+// a shared store directory would accumulate across worker crashes.
+func TestStoreSaveLeavesNoTempFiles(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save("good", &cellArtifact{Scenario: "lr_kt0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save("bad", func() {}); err == nil { // func marshals to an error
+		t.Fatal("unmarshalable payload saved")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("temp file leaked: %s", e.Name())
+		}
+	}
+}
+
+// TestStoreConcurrentSaveLoad hammers one name from several goroutines
+// saving identical bytes while others load — the multi-process shared
+// directory contract, minus the processes. Run under -race; every
+// successful load must see a complete, correct artifact.
+func TestStoreConcurrentSaveLoad(t *testing.T) {
+	store, err := OpenStore(filepath.Join(t.TempDir(), "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := &cellArtifact{Scenario: "lr_kt2", Device: "odroid-xu3", Fidelity: FidelityFull, Evaluations: 7}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := store.Save("contended", art); err != nil {
+					t.Errorf("Save: %v", err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				var out cellArtifact
+				ok, err := store.Load("contended", &out)
+				if err != nil {
+					t.Errorf("Load: %v", err)
+					return
+				}
+				if ok && (out.Scenario != "lr_kt2" || out.Evaluations != 7) {
+					t.Errorf("partial artifact observed: %+v", out)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestOpenStoreRejectsEmptyDir(t *testing.T) {

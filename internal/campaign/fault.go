@@ -1,0 +1,146 @@
+package campaign
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+)
+
+// FaultStore is the fault-injection harness of the crash-safety suite:
+// it wraps a real *Store and injects I/O faults on a deterministic
+// schedule keyed by operation index, so a test can script "the 3rd save
+// hits ENOSPC, the 5th leaves a torn file, the 2nd read sees corrupt
+// bytes" and prove the campaign still renders a byte-identical report.
+// Faults that damage data do it to the real files on disk — the store's
+// own defect handling (miss on corrupt, atomic replace on rewrite) is
+// what is under test, not a simulation of it.
+
+// FaultKind selects what an injected fault does.
+type FaultKind int
+
+const (
+	// FaultWriteError fails the Save with ENOSPC before anything is
+	// written — the classic full disk.
+	FaultWriteError FaultKind = iota
+	// FaultShortWrite truncates the just-written artifact to half its
+	// bytes and reports ENOSPC — a torn write on a filesystem without
+	// atomic-rename guarantees (or a crash straddling the flush).
+	FaultShortWrite
+	// FaultCorruptRead flips bytes of the on-disk artifact before the
+	// read — bit rot / a half-synced page. The store must treat the
+	// damaged artifact as a miss and the campaign must re-run the cell.
+	FaultCorruptRead
+	// FaultReadError fails the Load with EIO without touching the file.
+	FaultReadError
+)
+
+// FaultPlan schedules faults by zero-based operation index. Every Save
+// call counts one save op and every Load call one load op — retried
+// operations advance the counters too, so a transient fault is one that
+// schedules no fault at the retried index.
+type FaultPlan struct {
+	Save map[int]FaultKind
+	Load map[int]FaultKind
+}
+
+// FaultStore injects the plan's faults into a wrapped *Store. Safe for
+// concurrent use; with more than one worker the op order (and so the
+// fault placement) depends on scheduling, so deterministic tests run
+// single-worker.
+type FaultStore struct {
+	inner *Store
+	plan  FaultPlan
+
+	mu       sync.Mutex
+	saveOps  int
+	loadOps  int
+	injected int
+}
+
+// NewFaultStore wraps store with plan.
+func NewFaultStore(store *Store, plan FaultPlan) *FaultStore {
+	return &FaultStore{inner: store, plan: plan}
+}
+
+// Injected reports how many faults have fired so far — tests assert it
+// to prove the schedule actually exercised the recovery paths.
+func (s *FaultStore) Injected() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.injected
+}
+
+func (s *FaultStore) nextSave() (FaultKind, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k, ok := s.plan.Save[s.saveOps]
+	s.saveOps++
+	if ok {
+		s.injected++
+	}
+	return k, ok
+}
+
+func (s *FaultStore) nextLoad() (FaultKind, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k, ok := s.plan.Load[s.loadOps]
+	s.loadOps++
+	if ok {
+		s.injected++
+	}
+	return k, ok
+}
+
+func (s *FaultStore) artifactPath(name string) string {
+	return filepath.Join(s.inner.Dir(), name+".json")
+}
+
+func (s *FaultStore) Save(name string, payload any) error {
+	kind, fault := s.nextSave()
+	if !fault {
+		return s.inner.Save(name, payload)
+	}
+	switch kind {
+	case FaultShortWrite:
+		// Let the real save land, then tear the published file: the
+		// bytes that survive a short write are a prefix.
+		if err := s.inner.Save(name, payload); err != nil {
+			return err
+		}
+		if info, err := os.Stat(s.artifactPath(name)); err == nil {
+			os.Truncate(s.artifactPath(name), info.Size()/2)
+		}
+		return fmt.Errorf("campaign: fault injection: short write of %s: %w", name, syscall.ENOSPC)
+	default: // FaultWriteError
+		return fmt.Errorf("campaign: fault injection: writing %s: %w", name, syscall.ENOSPC)
+	}
+}
+
+func (s *FaultStore) Load(name string, out any) (bool, error) {
+	kind, fault := s.nextLoad()
+	if !fault {
+		return s.inner.Load(name, out)
+	}
+	switch kind {
+	case FaultCorruptRead:
+		// Damage the real file in place, then let the real load see it:
+		// the store must report a miss, never an error or bad data.
+		path := s.artifactPath(name)
+		if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+			for i := range data {
+				data[i] ^= 0x5a
+			}
+			os.WriteFile(path, data, 0o644)
+		}
+		return s.inner.Load(name, out)
+	default: // FaultReadError
+		return false, fmt.Errorf("campaign: fault injection: reading %s: %w", name, syscall.EIO)
+	}
+}
+
+func (s *FaultStore) List() ([]string, error) {
+	return s.inner.List()
+}

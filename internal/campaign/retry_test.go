@@ -1,0 +1,107 @@
+package campaign
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// scriptedStore is an ArtifactStore whose per-call outcomes are
+// scripted, for exercising the retry loop without a filesystem.
+type scriptedStore struct {
+	saveErrs  []error // consumed one per Save call; nil entries succeed
+	loadErrs  []error
+	loadOK    bool
+	saveCalls int
+	loadCalls int
+}
+
+func take(errs []error, call int) error {
+	if call < len(errs) {
+		return errs[call]
+	}
+	return nil
+}
+
+func (s *scriptedStore) Save(string, any) error {
+	err := take(s.saveErrs, s.saveCalls)
+	s.saveCalls++
+	return err
+}
+
+func (s *scriptedStore) Load(string, any) (bool, error) {
+	err := take(s.loadErrs, s.loadCalls)
+	s.loadCalls++
+	if err != nil {
+		return false, err
+	}
+	return s.loadOK, nil
+}
+
+func (s *scriptedStore) List() ([]string, error) { return nil, nil }
+
+// sleepRecorder captures the backoff schedule instead of sleeping.
+func sleepRecorder(slept *[]time.Duration) func(time.Duration) {
+	return func(d time.Duration) { *slept = append(*slept, d) }
+}
+
+func TestRetryStoreRecoversTransientFault(t *testing.T) {
+	boom := errors.New("enospc")
+	inner := &scriptedStore{saveErrs: []error{boom}}
+	var slept []time.Duration
+	rs := NewRetryStore(inner, DefaultRetryPolicy(), sleepRecorder(&slept))
+	if err := rs.Save("x", nil); err != nil {
+		t.Fatalf("Save after transient fault: %v", err)
+	}
+	if inner.saveCalls != 2 {
+		t.Fatalf("saveCalls = %d, want 2", inner.saveCalls)
+	}
+	if len(slept) != 1 || slept[0] != 10*time.Millisecond {
+		t.Fatalf("backoff = %v, want [10ms]", slept)
+	}
+}
+
+func TestRetryStoreExhaustsDeterministically(t *testing.T) {
+	boom := errors.New("eio")
+	inner := &scriptedStore{loadErrs: []error{boom, boom, boom, boom, boom, boom}}
+	var slept []time.Duration
+	rs := NewRetryStore(inner, DefaultRetryPolicy(), sleepRecorder(&slept))
+	if _, err := rs.Load("x", nil); !errors.Is(err, boom) {
+		t.Fatalf("Load = %v, want wrapped eio", err)
+	}
+	if inner.loadCalls != 5 {
+		t.Fatalf("loadCalls = %d, want 5 (policy attempts)", inner.loadCalls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond, 80 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("backoff = %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("backoff = %v, want %v (the deterministic ladder)", slept, want)
+		}
+	}
+}
+
+func TestRetryStoreNeverRetriesMiss(t *testing.T) {
+	inner := &scriptedStore{loadOK: false}
+	var slept []time.Duration
+	rs := NewRetryStore(inner, DefaultRetryPolicy(), sleepRecorder(&slept))
+	ok, err := rs.Load("absent", nil)
+	if ok || err != nil {
+		t.Fatalf("Load = %v, %v; want clean miss", ok, err)
+	}
+	if inner.loadCalls != 1 || len(slept) != 0 {
+		t.Fatalf("miss retried: %d calls, backoff %v", inner.loadCalls, slept)
+	}
+}
+
+func TestRetryPolicyDelayCaps(t *testing.T) {
+	p := DefaultRetryPolicy()
+	if d := p.delay(10); d != p.MaxDelay {
+		t.Fatalf("delay(10) = %v, want cap %v", d, p.MaxDelay)
+	}
+	if d := p.delay(63); d != p.MaxDelay { // shift overflow must not go negative
+		t.Fatalf("delay(63) = %v, want cap %v", d, p.MaxDelay)
+	}
+}

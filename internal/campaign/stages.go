@@ -3,8 +3,10 @@ package campaign
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"slamgo/internal/core"
 	"slamgo/internal/dataset"
@@ -95,6 +97,37 @@ type cellArtifact struct {
 	Evaluations       int `json:"evaluations"`
 	FullFidelityEvals int `json:"full_fidelity_evals"`
 	LowFidelityEvals  int `json:"low_fidelity_evals"`
+	// Failed quarantines a cell whose exploration panicked: the panic
+	// value is recorded, the artifact persists (so peers and resumed
+	// runs do not re-detonate the cell), and the campaign aggregates
+	// the surviving cells. Deterministic for a given seed/options, so
+	// failed artifacts are byte-identical across writers like any
+	// other.
+	Failed        bool   `json:"failed,omitempty"`
+	FailureReason string `json:"failure_reason,omitempty"`
+}
+
+// failedArtifact quarantines a panicking cell exploration. Only the
+// root panic value is recorded (stacks go to the log): the value is
+// deterministic for a given seed and options, stacks are not, and
+// artifacts must be byte-identical across writers.
+func failedArtifact(cell Cell, fidelity string, p any) *cellArtifact {
+	return &cellArtifact{
+		Scenario:      cell.Scenario.Name,
+		Device:        cell.Target.Name,
+		Fidelity:      fidelity,
+		Failed:        true,
+		FailureReason: fmt.Sprint(panicRoot(p)),
+	}
+}
+
+// panicRoot unwraps parallel.TaskPanic chains (one wrapper per nested
+// parallel region the panic crossed) to the original panic value.
+func panicRoot(p any) any {
+	if tp, ok := p.(*parallel.TaskPanic); ok {
+		return tp.Unwrap()
+	}
+	return p
 }
 
 // crossArtifact is one cell's persisted cross-measurement: the robust
@@ -107,23 +140,34 @@ type crossArtifact struct {
 type cellOutcome struct {
 	art     *cellArtifact
 	resumed bool
+	owner   string // who produced the artifact: worker id / "local" / "store"
 	err     error
 }
 
 // runner holds the state a campaign threads through its stages.
 type runner struct {
-	opts  Options
-	space *hypermapper.Space
-	cells []Cell
-	store *Store
-	logf  func(format string, args ...any)
+	opts   Options
+	space  *hypermapper.Space
+	cells  []Cell
+	store  ArtifactStore // retry-wrapped (and fault-wrapped in tests)
+	leases *LeaseManager // non-nil only in cooperative worker mode
+	logf   func(format string, args ...any)
 
 	screens  []*cellArtifact    // screening artifacts (cell ladder only)
 	arts     []*cellArtifact    // final per-cell artifacts
 	resumed  []bool             // any artifact of the cell loaded from the store
 	promoted []bool             // cell promoted to full fidelity by the cell ladder
+	owners   []string           // provenance: who produced the reported artifact
 	seqMu    sync.Mutex         // guards seqs
 	seqs     []dataset.Sequence // sequences rendered in-process, reused across stages
+}
+
+// workerLabel is this process's provenance label for cells it computes.
+func (r *runner) workerLabel() string {
+	if r.opts.WorkerID != "" {
+		return r.opts.WorkerID
+	}
+	return "local"
 }
 
 // newRunner is the Plan stage: validate, apply defaults, enumerate the
@@ -154,13 +198,24 @@ func newRunner(opts Options) (*runner, error) {
 		if err != nil {
 			return nil, err
 		}
-		r.store = store
+		var inner ArtifactStore = store
+		if opts.wrapStore != nil {
+			inner = opts.wrapStore(store)
+		}
+		// Bounded retry-with-backoff around every store operation:
+		// transient I/O faults (full disk, blinking NFS) cost
+		// milliseconds, not a crash or a re-simulation.
+		r.store = NewRetryStore(inner, DefaultRetryPolicy(), opts.sleepFn)
+		if opts.WorkerID != "" {
+			r.leases = NewLeaseManager(store.Dir(), opts.WorkerID, opts.LeaseTTL, opts.nowFn)
+		}
 	}
 	n := len(r.cells)
 	r.screens = make([]*cellArtifact, n)
 	r.arts = make([]*cellArtifact, n)
 	r.resumed = make([]bool, n)
 	r.promoted = make([]bool, n)
+	r.owners = make([]string, n)
 	r.seqs = make([]dataset.Sequence, n)
 	return r, nil
 }
@@ -268,24 +323,70 @@ func (r *runner) explore() error {
 			r.arts[i] = o.art
 		}
 		r.resumed[i] = r.resumed[i] || o.resumed
+		r.owners[i] = o.owner
 	}
 	return nil
 }
 
 // cellStage produces one cell's exploration artifact at the given
-// fidelity: loaded from the checkpoint store when resuming and a valid
-// artifact exists, explored (and persisted) otherwise.
+// fidelity: loaded from the checkpoint store when a peer (or a prior
+// run) completed it, computed here otherwise. In cooperative worker
+// mode the computation is guarded by the cell's lease — the worker
+// claims, computes under a heartbeat, and releases; when another live
+// worker holds the claim, this one polls until the artifact appears or
+// the holder's lease expires and is taken over.
 func (r *runner) cellStage(cell Cell, fidelity string) *cellOutcome {
 	name := r.artifactName(cell, fidelity)
-	if r.opts.Resume && r.store != nil {
-		art := &cellArtifact{}
-		if r.store.Load(name, art) && art.Fidelity == fidelity {
-			r.logf("cell %d (%s on %s): resumed %s exploration from checkpoint",
-				cell.Index, cell.Scenario.Name, cell.Target.Name, fidelity)
-			return &cellOutcome{art: art, resumed: true}
+	if out, done := r.tryLoadCell(cell, name, fidelity); done {
+		return out
+	}
+	if r.leases == nil {
+		return r.computeCell(cell, fidelity, name)
+	}
+	backoff := newPollBackoff()
+	for {
+		lease, acquired, err := r.leases.TryAcquire(name)
+		if err != nil {
+			// Lease-file I/O faults are contention-shaped: log and poll.
+			r.logf("cell %d (%s on %s): %v", cell.Index, cell.Scenario.Name, cell.Target.Name, err)
+		}
+		if acquired {
+			stop := r.heartbeat(lease)
+			out := r.computeCell(cell, fidelity, name)
+			stop()
+			return out
+		}
+		r.opts.sleepFn(backoff.next())
+		if out, done := r.tryLoadCell(cell, name, fidelity); done {
+			return out
 		}
 	}
-	art, err := r.exploreCell(cell, fidelity)
+}
+
+// tryLoadCell loads a completed artifact if the store has one; done is
+// false when the caller should compute (or keep waiting for) the cell.
+func (r *runner) tryLoadCell(cell Cell, name, fidelity string) (*cellOutcome, bool) {
+	if !r.opts.Resume || r.store == nil {
+		return nil, false
+	}
+	art := &cellArtifact{}
+	ok, err := r.store.Load(name, art)
+	if err != nil {
+		return &cellOutcome{err: fmt.Errorf("campaign: cell %s/%s: %w",
+			cell.Scenario.Name, cell.Target.Name, err)}, true
+	}
+	if !ok || art.Fidelity != fidelity {
+		return nil, false
+	}
+	r.logf("cell %d (%s on %s): resumed %s exploration from checkpoint",
+		cell.Index, cell.Scenario.Name, cell.Target.Name, fidelity)
+	return &cellOutcome{art: art, resumed: true, owner: "store"}, true
+}
+
+// computeCell explores the cell (quarantining panics), persists the
+// artifact and reports the outcome.
+func (r *runner) computeCell(cell Cell, fidelity, name string) *cellOutcome {
+	art, err := r.exploreCellQuarantined(cell, fidelity)
 	if err != nil {
 		return &cellOutcome{err: err}
 	}
@@ -295,10 +396,85 @@ func (r *runner) cellStage(cell Cell, fidelity string) *cellOutcome {
 				cell.Scenario.Name, cell.Target.Name, err)}
 		}
 	}
-	r.logf("cell %d (%s on %s): %s exploration, %d evaluations, front %d",
-		cell.Index, cell.Scenario.Name, cell.Target.Name, fidelity,
-		art.Evaluations, len(art.Front))
-	return &cellOutcome{art: art}
+	if art.Failed {
+		r.logf("cell %d (%s on %s): %s exploration FAILED (quarantined): %s",
+			cell.Index, cell.Scenario.Name, cell.Target.Name, fidelity, art.FailureReason)
+	} else {
+		r.logf("cell %d (%s on %s): %s exploration, %d evaluations, front %d",
+			cell.Index, cell.Scenario.Name, cell.Target.Name, fidelity,
+			art.Evaluations, len(art.Front))
+	}
+	return &cellOutcome{art: art, owner: r.workerLabel()}
+}
+
+// exploreCellQuarantined contains a panicking exploration: the panic —
+// wherever in the pipeline, optimizer or surrogate it detonated — is
+// recovered here on this cell's worker slot, recorded as a failed
+// artifact, and the campaign carries on with the surviving cells.
+// Non-panic errors (a sequence that cannot render, a store fault) still
+// abort the campaign: they signal broken infrastructure, not one
+// poisoned configuration.
+func (r *runner) exploreCellQuarantined(cell Cell, fidelity string) (art *cellArtifact, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.logf("cell %d (%s on %s): panic quarantined: %v",
+				cell.Index, cell.Scenario.Name, cell.Target.Name, p)
+			art, err = failedArtifact(cell, fidelity, p), nil
+		}
+	}()
+	return r.exploreCell(cell, fidelity)
+}
+
+// heartbeat renews lease until the returned stop function is called,
+// then releases it. Renewal runs at a third of the TTL so one missed
+// beat (GC pause, NFS hiccup) does not forfeit the lease.
+func (r *runner) heartbeat(lease *Lease) (stop func()) {
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	interval := r.opts.LeaseTTL / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-t.C:
+				if err := lease.Renew(); err != nil {
+					r.logf("lease %s: %v (continuing; artifact writes stay safe)", lease.name, err)
+					if errors.Is(err, ErrLeaseLost) {
+						return
+					}
+				}
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+		if err := lease.Release(); err != nil {
+			r.logf("lease %s: release: %v", lease.name, err)
+		}
+	}
+}
+
+// pollBackoff is the deterministic wait ladder used while another
+// worker holds a cell: 10ms doubling to a 200ms cap. Wall-clock enters
+// scheduling only; results never depend on it.
+type pollBackoff struct{ d time.Duration }
+
+func newPollBackoff() *pollBackoff { return &pollBackoff{d: 10 * time.Millisecond} }
+
+func (b *pollBackoff) next() time.Duration {
+	d := b.d
+	if b.d < 200*time.Millisecond {
+		b.d *= 2
+	}
+	return d
 }
 
 // exploreCell runs one cell's constrained Fig2-style exploration at the
@@ -406,7 +582,18 @@ func (r *runner) promote() error {
 	for i, v := range hv {
 		scores[i] = -v
 	}
+	// A quarantined screen has no front to score; drop it from the
+	// promoted set rather than re-detonating the cell at full fidelity.
+	// Pure function of the (persisted) screening artifacts, so resumed
+	// runs and every cooperating worker derive the same set.
 	chosen := hypermapper.PromoteTopFraction(scores, r.opts.CellPromoteFraction)
+	live := chosen[:0]
+	for _, idx := range chosen {
+		if !r.screens[idx].Failed {
+			live = append(live, idx)
+		}
+	}
+	chosen = live
 	r.logf("promote: %d of %d cells promoted to full fidelity", len(chosen), len(r.cells))
 
 	outs := parallel.MapOrdered(r.opts.Workers, chosen, func(_ int, idx int) *cellOutcome {
@@ -419,6 +606,7 @@ func (r *runner) promote() error {
 		r.arts[idx] = outs[k].art
 		r.promoted[idx] = true
 		r.resumed[idx] = r.resumed[idx] || outs[k].resumed
+		r.owners[idx] = outs[k].owner
 	}
 	for i := range r.cells {
 		if r.arts[i] == nil {
@@ -446,7 +634,12 @@ func fullObservations(obs []hypermapper.Observation) []hypermapper.Observation {
 // candidate in every cell at full fidelity. Cells explored at full
 // fidelity preload their cross-measurement memo from the explore
 // artifact, so home-cell repeats cost a map probe; per-cell metric
-// vectors are persisted so a completed stage is never re-run on resume.
+// vectors are persisted so a completed stage is never re-run on
+// resume. The cell is the unit of distribution: in cooperative worker
+// mode each cell's vector is computed under its cross-artifact lease
+// (candidates fan out over the pool inside the cell), and quarantined
+// cells are skipped entirely — their vector stays nil and the robust
+// aggregation ranks only the survivors.
 func (r *runner) crossMeasure() ([]hypermapper.Point, [][]hypermapper.Metrics, error) {
 	var candidates []hypermapper.Point
 	seen := map[string]bool{}
@@ -459,6 +652,9 @@ func (r *runner) crossMeasure() ([]hypermapper.Point, [][]hypermapper.Metrics, e
 	}
 	add(core.DefaultPoint(r.space))
 	for _, art := range r.arts {
+		if art.Failed {
+			continue // quarantined: no front, no best, nothing to offer
+		}
 		if art.HasBestFeasible {
 			add(art.BestFeasible.X)
 		}
@@ -477,76 +673,134 @@ func (r *runner) crossMeasure() ([]hypermapper.Point, [][]hypermapper.Metrics, e
 	candHash := hex.EncodeToString(ch.Sum(nil))[:16]
 
 	perCell := make([][]hypermapper.Metrics, len(r.cells))
-	var need []int
-	for j, cell := range r.cells {
-		if r.opts.Resume && r.store != nil {
-			var ca crossArtifact
-			if r.store.Load(r.crossName(cell, candHash), &ca) && len(ca.Metrics) == len(candidates) {
-				perCell[j] = ca.Metrics
-				r.logf("cell %d (%s on %s): resumed cross-measurement from checkpoint",
-					cell.Index, cell.Scenario.Name, cell.Target.Name)
-				continue
-			}
+	outs := parallel.MapOrdered(r.opts.Workers, r.cells, func(j int, cell Cell) error {
+		if r.arts[j].Failed {
+			return nil
 		}
-		need = append(need, j)
-	}
-
-	// Build the needed cells' full-fidelity evaluators (rendering any
-	// sequence the explore stage did not leave behind) in parallel, then
-	// fan the candidate × cell measurements over the pool.
-	evals := make([]hypermapper.Evaluator, len(r.cells))
-	prep := parallel.MapOrdered(r.opts.Workers, need, func(_ int, j int) error {
-		cell := r.cells[j]
-		seq, err := r.sequence(cell)
+		metrics, err := r.crossCell(j, cell, candidates, candHash)
 		if err != nil {
-			return fmt.Errorf("campaign: cell %s/%s: %w", cell.Scenario.Name, cell.Target.Name, err)
+			return err
 		}
-		memo := hypermapper.NewMemoEvaluator(
-			r.instrument(cell, simCross, core.NewEvaluator(r.space, seq, device.NewModel(cell.Target))))
-		if art := r.arts[j]; art.Fidelity == FidelityFull {
-			memo.Preload(fullObservations(art.Observations))
-		}
-		evals[j] = memo.Evaluate
+		perCell[j] = metrics
 		return nil
 	})
-	for _, err := range prep {
+	for _, err := range outs {
 		if err != nil {
 			return nil, nil, err
-		}
-	}
-
-	type pair struct{ cand, cell int }
-	pairs := make([]pair, 0, len(need)*len(candidates))
-	for _, j := range need {
-		for i := range candidates {
-			pairs = append(pairs, pair{i, j})
-		}
-	}
-	metrics := parallel.MapOrdered(r.opts.Workers, pairs, func(_ int, p pair) hypermapper.Metrics {
-		return evals[p.cell](candidates[p.cand])
-	})
-	for k, j := range need {
-		perCell[j] = metrics[k*len(candidates) : (k+1)*len(candidates)]
-		if r.store != nil {
-			if err := r.store.Save(r.crossName(r.cells[j], candHash), crossArtifact{Metrics: perCell[j]}); err != nil {
-				return nil, nil, fmt.Errorf("campaign: checkpointing cross-measurement of cell %s/%s: %w",
-					r.cells[j].Scenario.Name, r.cells[j].Target.Name, err)
-			}
 		}
 	}
 	return candidates, perCell, nil
 }
 
+// crossCell produces one cell's cross-measurement vector: loaded from
+// the store when a peer (or prior run) measured it, measured here
+// otherwise — under the cell's lease in cooperative worker mode.
+func (r *runner) crossCell(j int, cell Cell, candidates []hypermapper.Point, candHash string) ([]hypermapper.Metrics, error) {
+	name := r.crossName(cell, candHash)
+	load := func() ([]hypermapper.Metrics, bool, error) {
+		if !r.opts.Resume || r.store == nil {
+			return nil, false, nil
+		}
+		var ca crossArtifact
+		ok, err := r.store.Load(name, &ca)
+		if err != nil {
+			return nil, false, fmt.Errorf("campaign: cell %s/%s: %w", cell.Scenario.Name, cell.Target.Name, err)
+		}
+		if !ok || len(ca.Metrics) != len(candidates) {
+			return nil, false, nil
+		}
+		r.logf("cell %d (%s on %s): resumed cross-measurement from checkpoint",
+			cell.Index, cell.Scenario.Name, cell.Target.Name)
+		return ca.Metrics, true, nil
+	}
+	if metrics, ok, err := load(); ok || err != nil {
+		return metrics, err
+	}
+	if r.leases == nil {
+		return r.measureCell(j, cell, candidates, name)
+	}
+	backoff := newPollBackoff()
+	for {
+		lease, acquired, err := r.leases.TryAcquire(name)
+		if err != nil {
+			r.logf("cell %d (%s on %s): %v", cell.Index, cell.Scenario.Name, cell.Target.Name, err)
+		}
+		if acquired {
+			stop := r.heartbeat(lease)
+			metrics, err := r.measureCell(j, cell, candidates, name)
+			stop()
+			return metrics, err
+		}
+		r.opts.sleepFn(backoff.next())
+		if metrics, ok, err := load(); ok || err != nil {
+			return metrics, err
+		}
+	}
+}
+
+// measureCell measures every candidate in the cell at full fidelity and
+// persists the vector. Individual measurements are quarantined: a
+// candidate that detonates the pipeline in this cell yields Failed
+// metrics (infeasible everywhere downstream) instead of killing the
+// campaign.
+func (r *runner) measureCell(j int, cell Cell, candidates []hypermapper.Point, name string) ([]hypermapper.Metrics, error) {
+	seq, err := r.sequence(cell)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: cell %s/%s: %w", cell.Scenario.Name, cell.Target.Name, err)
+	}
+	memo := hypermapper.NewMemoEvaluator(
+		r.instrument(cell, simCross, core.NewEvaluator(r.space, seq, device.NewModel(cell.Target))))
+	if art := r.arts[j]; art.Fidelity == FidelityFull {
+		memo.Preload(fullObservations(art.Observations))
+	}
+	metrics := parallel.MapOrdered(r.opts.Workers, candidates, func(_ int, pt hypermapper.Point) hypermapper.Metrics {
+		return measureQuarantined(memo.Evaluate, pt)
+	})
+	if r.store != nil {
+		if err := r.store.Save(name, crossArtifact{Metrics: metrics}); err != nil {
+			return nil, fmt.Errorf("campaign: checkpointing cross-measurement of cell %s/%s: %w",
+				cell.Scenario.Name, cell.Target.Name, err)
+		}
+	}
+	return metrics, nil
+}
+
+// measureQuarantined contains a panicking cross-measurement: the
+// candidate is reported as Failed in this cell (AccuracyLimit and
+// RobustBest already treat Failed metrics as infeasible), deterministic
+// for a given candidate/cell like any other measurement.
+func measureQuarantined(eval hypermapper.Evaluator, pt hypermapper.Point) (m hypermapper.Metrics) {
+	defer func() {
+		if p := recover(); p != nil {
+			m = hypermapper.Metrics{Failed: true}
+		}
+	}()
+	return eval(pt)
+}
+
 // aggregate is the Aggregate stage: rank-aggregate the per-cell
-// cross-measurements into the robust configuration.
+// cross-measurements into the robust configuration. Quarantined cells
+// have no cross-measurement vector; the aggregation ranks the
+// surviving cells only, then remaps the winner's ranks and metrics
+// back to grid length (rank 0 / Failed metrics in the quarantined
+// slots) so the report keeps one row per cell.
 func (r *runner) aggregate(candidates []hypermapper.Point, perCell [][]hypermapper.Metrics) (*Result, error) {
 	res := r.result("")
 	res.CandidateCount = len(candidates)
+	var live []int
+	for j := range r.cells {
+		if perCell[j] != nil {
+			live = append(live, j)
+		}
+	}
+	if len(live) == 0 {
+		return res, nil // every cell quarantined: no robust pick
+	}
 	perCandidate := make([][]hypermapper.Metrics, len(candidates))
 	for i := range perCandidate {
-		row := make([]hypermapper.Metrics, len(r.cells))
-		for j := range r.cells {
-			row[j] = perCell[j][i]
+		row := make([]hypermapper.Metrics, len(live))
+		for k, j := range live {
+			row[k] = perCell[j][i]
 		}
 		perCandidate[i] = row
 	}
@@ -560,11 +814,21 @@ func (r *runner) aggregate(candidates []hypermapper.Point, perCell [][]hypermapp
 	if err != nil {
 		return nil, fmt.Errorf("campaign: robust candidate invalid: %w", err)
 	}
+	gridRanks := make([]int, len(r.cells))
+	gridMetrics := make([]hypermapper.Metrics, len(r.cells))
+	for j := range gridMetrics {
+		gridMetrics[j] = hypermapper.Metrics{Failed: true}
+	}
+	for k, j := range live {
+		gridRanks[j] = pick.Ranks[k]
+		gridMetrics[j] = perCandidate[pick.Index][k]
+	}
+	pick.Ranks = gridRanks
 	res.Robust = RobustResult{
 		Point:   candidates[pick.Index],
 		Config:  cfg,
 		Pick:    pick,
-		PerCell: perCandidate[pick.Index],
+		PerCell: gridMetrics,
 	}
 	res.HasRobust = true
 	r.logf("robust configuration: candidate %d of %d, worst rank %d, feasible everywhere %v",
@@ -595,6 +859,9 @@ func (r *runner) result(stopped Stage) *Result {
 			Fidelity:          art.Fidelity,
 			Promoted:          r.promoted[i],
 			Resumed:           r.resumed[i],
+			Owner:             r.owners[i],
+			Failed:            art.Failed,
+			FailureReason:     art.FailureReason,
 		}
 		// A promoted cell spent its screening budget too; fold it into
 		// the cell's totals (the full-explore artifact stays pure so it

@@ -17,10 +17,86 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// TaskPanic is the value re-raised on the calling goroutine when a task
+// body panics inside a parallel region. A panic on a pool goroutine
+// would otherwise kill the whole process with no recovery point; the
+// pool instead records it, lets the surviving workers drain, and
+// panics on the caller — where a defer can contain the damage to the
+// one task that misbehaved (the campaign engine quarantines a
+// panicking cell this way). When several tasks panic, the one with the
+// lowest chunk/item index wins, so which panic surfaces does not
+// depend on the worker count.
+type TaskPanic struct {
+	// Index is the chunk (For/Reduce) or item (MapOrdered) the panic
+	// came from.
+	Index int
+	// Value is the original panic value. Nested parallel regions wrap
+	// panics once per level; unwrap through Value to reach the root.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (p *TaskPanic) String() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v", p.Index, p.Value)
+}
+
+// Unwrap returns the root panic value beneath any chain of TaskPanics
+// (one per nested parallel region the panic crossed).
+func (p *TaskPanic) Unwrap() any {
+	v := p.Value
+	for {
+		tp, ok := v.(*TaskPanic)
+		if !ok {
+			return v
+		}
+		v = tp.Value
+	}
+}
+
+// panicTrap records the lowest-index panic of a parallel region. The
+// tripped flag lets workers stop claiming new chunks once a panic is
+// pending — the region is going to re-panic anyway, so starting more
+// work only wastes cycles.
+type panicTrap struct {
+	mu      sync.Mutex
+	tripped atomic.Bool
+	p       *TaskPanic
+}
+
+func (t *panicTrap) record(index int, v any) {
+	stack := debug.Stack()
+	t.mu.Lock()
+	if t.p == nil || index < t.p.Index {
+		t.p = &TaskPanic{Index: index, Value: v, Stack: stack}
+	}
+	t.mu.Unlock()
+	t.tripped.Store(true)
+}
+
+// run executes f for task index, converting a panic into a record.
+func (t *panicTrap) run(index int, f func()) {
+	defer func() {
+		if v := recover(); v != nil {
+			t.record(index, v)
+		}
+	}()
+	f()
+}
+
+// rethrow re-raises the recorded panic, if any, on the caller.
+func (t *panicTrap) rethrow() {
+	if t.p != nil {
+		panic(t.p)
+	}
+}
 
 // maxChunks bounds how finely an index range is split. More chunks than
 // workers gives the atomic-counter scheduler room to balance uneven
@@ -80,6 +156,9 @@ func chunkCount(n int) int {
 // memory from two different chunks, and its effects must not depend on
 // how the range is subdivided (with one worker the whole range may
 // arrive as a single call) — per-chunk accumulators belong in Reduce.
+// A panicking body does not kill the process: the panic is re-raised on
+// the caller as a *TaskPanic (see its doc), which a caller-side defer
+// can recover.
 func For(n, workers int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -90,8 +169,10 @@ func For(n, workers int, body func(lo, hi int)) {
 		w = nc
 	}
 	w = capWorkers(w)
+	var trap panicTrap
 	if w <= 1 {
-		body(0, n)
+		trap.run(0, func() { body(0, n) })
+		trap.rethrow()
 		return
 	}
 	active.Add(int64(w))
@@ -102,17 +183,18 @@ func For(n, workers int, body func(lo, hi int)) {
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for !trap.tripped.Load() {
 				c := int(next.Add(1)) - 1
 				if c >= nc {
 					return
 				}
 				lo, hi := chunkBounds(n, nc, c)
-				body(lo, hi)
+				trap.run(c, func() { body(lo, hi) })
 			}
 		}()
 	}
 	wg.Wait()
+	trap.rethrow()
 }
 
 // chunkBounds returns the half-open range of chunk c of nc chunks over n.
@@ -145,15 +227,23 @@ func Reduce[A any](n, workers int, body func(lo, hi int) A, merge func(*A, A)) A
 		w = nc
 	}
 	w = capWorkers(w)
+	var trap panicTrap
 	if w <= 1 {
 		// Same chunking as the parallel path so the fold associates
 		// identically — workers=1 is the reference everything must match.
-		lo, hi := chunkBounds(n, nc, 0)
-		acc := body(lo, hi)
-		for c := 1; c < nc; c++ {
-			lo, hi = chunkBounds(n, nc, c)
-			merge(&acc, body(lo, hi))
+		var acc A
+		for c := 0; c < nc && !trap.tripped.Load(); c++ {
+			lo, hi := chunkBounds(n, nc, c)
+			trap.run(c, func() {
+				part := body(lo, hi)
+				if c == 0 {
+					acc = part
+				} else {
+					merge(&acc, part)
+				}
+			})
 		}
+		trap.rethrow()
 		return acc
 	}
 	active.Add(int64(w))
@@ -165,17 +255,18 @@ func Reduce[A any](n, workers int, body func(lo, hi int) A, merge func(*A, A)) A
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for !trap.tripped.Load() {
 				c := int(next.Add(1)) - 1
 				if c >= nc {
 					return
 				}
 				lo, hi := chunkBounds(n, nc, c)
-				partials[c] = body(lo, hi)
+				trap.run(c, func() { partials[c] = body(lo, hi) })
 			}
 		}()
 	}
 	wg.Wait()
+	trap.rethrow()
 	acc := partials[0]
 	for c := 1; c < nc; c++ {
 		merge(&acc, partials[c])
@@ -187,7 +278,10 @@ func Reduce[A any](n, workers int, body func(lo, hi int) A, merge func(*A, A)) A
 // results in input order. Items are claimed one at a time from an atomic
 // counter, which keeps long tasks (a slow SLAM evaluation, a deep tree)
 // from serialising behind short ones. fn receives the item index so
-// callers can derive per-item deterministic state (e.g. seeds).
+// callers can derive per-item deterministic state (e.g. seeds). A
+// panicking fn is contained and re-raised on the caller as a
+// *TaskPanic (lowest item index wins), recoverable by a caller-side
+// defer.
 func MapOrdered[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
 	n := len(items)
 	if n == 0 {
@@ -199,10 +293,12 @@ func MapOrdered[T, R any](workers int, items []T, fn func(i int, item T) R) []R 
 		w = n
 	}
 	w = capWorkers(w)
+	var trap panicTrap
 	if w <= 1 {
-		for i, it := range items {
-			out[i] = fn(i, it)
+		for i := 0; i < n && !trap.tripped.Load(); i++ {
+			trap.run(i, func() { out[i] = fn(i, items[i]) })
 		}
+		trap.rethrow()
 		return out
 	}
 	active.Add(int64(w))
@@ -213,15 +309,16 @@ func MapOrdered[T, R any](workers int, items []T, fn func(i int, item T) R) []R 
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for !trap.tripped.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				out[i] = fn(i, items[i])
+				trap.run(i, func() { out[i] = fn(i, items[i]) })
 			}
 		}()
 	}
 	wg.Wait()
+	trap.rethrow()
 	return out
 }

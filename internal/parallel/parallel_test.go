@@ -107,6 +107,125 @@ func TestMapOrderedPreservesOrder(t *testing.T) {
 	}
 }
 
+// recoverTaskPanic runs f expecting it to panic with a *TaskPanic and
+// returns it; the test fails if f returns normally or panics with
+// anything else.
+func recoverTaskPanic(t *testing.T, f func()) *TaskPanic {
+	t.Helper()
+	var tp *TaskPanic
+	func() {
+		defer func() {
+			p := recover()
+			if p == nil {
+				t.Fatal("no panic surfaced")
+			}
+			var ok bool
+			if tp, ok = p.(*TaskPanic); !ok {
+				t.Fatalf("panic value %T, want *TaskPanic", p)
+			}
+		}()
+		f()
+	}()
+	return tp
+}
+
+// TestMapOrderedContainsPanics: a panicking task must not kill the
+// process from a pool goroutine; it surfaces on the caller as a
+// recoverable *TaskPanic carrying the original value.
+func TestMapOrderedContainsPanics(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, workers := range []int{1, 2, 8} {
+		tp := recoverTaskPanic(t, func() {
+			MapOrdered(workers, items, func(i, v int) int {
+				if v == 3 {
+					panic("poisoned item")
+				}
+				return v
+			})
+		})
+		if tp.Index != 3 || tp.Unwrap() != "poisoned item" {
+			t.Fatalf("workers=%d: TaskPanic{Index: %d, Value: %v}", workers, tp.Index, tp.Value)
+		}
+		if len(tp.Stack) == 0 {
+			t.Fatalf("workers=%d: TaskPanic has no stack", workers)
+		}
+	}
+}
+
+// TestPanicChoiceDeterministic: with several panicking tasks the
+// lowest index surfaces, whatever the worker count or scheduling.
+func TestPanicChoiceDeterministic(t *testing.T) {
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 4, 16} {
+		for run := 0; run < 3; run++ {
+			tp := recoverTaskPanic(t, func() {
+				MapOrdered(workers, items, func(i, v int) int {
+					if v == 11 || v == 40 || v == 63 {
+						panic(v)
+					}
+					return v
+				})
+			})
+			if tp.Index != 11 || tp.Unwrap() != 11 {
+				t.Fatalf("workers=%d run=%d: surfaced task %d (%v), want 11",
+					workers, run, tp.Index, tp.Value)
+			}
+		}
+	}
+}
+
+// TestForAndReduceContainPanics covers the chunked entry points; the
+// chunk index (not the item index) identifies the failing task.
+func TestForAndReduceContainPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		tp := recoverTaskPanic(t, func() {
+			For(100, workers, func(lo, hi int) {
+				if lo <= 42 && 42 < hi {
+					panic("for-boom")
+				}
+			})
+		})
+		if tp.Unwrap() != "for-boom" {
+			t.Fatalf("For workers=%d: %v", workers, tp.Value)
+		}
+		tp = recoverTaskPanic(t, func() {
+			Reduce(100, workers, func(lo, hi int) int {
+				if lo == 0 {
+					panic("reduce-boom")
+				}
+				return hi - lo
+			}, func(a *int, b int) { *a += b })
+		})
+		if tp.Index != 0 || tp.Unwrap() != "reduce-boom" {
+			t.Fatalf("Reduce workers=%d: TaskPanic{Index: %d, Value: %v}", workers, tp.Index, tp.Value)
+		}
+	}
+}
+
+// TestNestedPanicUnwraps: a panic crossing two parallel regions is
+// wrapped once per level and Unwrap reaches the root value.
+func TestNestedPanicUnwraps(t *testing.T) {
+	tp := recoverTaskPanic(t, func() {
+		MapOrdered(2, []int{0, 1}, func(i, v int) int {
+			if v == 1 {
+				MapOrdered(2, []int{0, 1}, func(j, w int) int {
+					panic("root cause")
+				})
+			}
+			return v
+		})
+	})
+	if tp.Unwrap() != "root cause" {
+		t.Fatalf("nested unwrap = %v", tp.Unwrap())
+	}
+	if _, ok := tp.Value.(*TaskPanic); !ok {
+		t.Fatalf("outer TaskPanic.Value is %T, want nested *TaskPanic", tp.Value)
+	}
+}
+
 func TestWorkersKnob(t *testing.T) {
 	if Workers(3) != 3 {
 		t.Fatal("explicit worker count ignored")

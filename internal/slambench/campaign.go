@@ -44,6 +44,21 @@ type CampaignCell struct {
 	// so it is excluded from the deterministic report writers and
 	// rendered only by WriteCampaignProvenance.
 	Resumed bool `json:"-"`
+	// Owner names who produced the cell's artifact this run: a worker id
+	// (or "local") when computed in-process, "store" when loaded from a
+	// checkpoint. Execution provenance like Resumed — different workers
+	// of the same campaign report different owners — so it is rendered
+	// only by WriteCampaignProvenance.
+	Owner string `json:"-"`
+	// Failed reports that the cell's exploration panicked and was
+	// quarantined: it has no front or best configuration and the robust
+	// aggregation ranked the surviving cells only. Deterministic for a
+	// given seed and options, so it is part of every report format
+	// (omitempty keeps healthy campaigns' reports byte-identical to
+	// pre-quarantine ones).
+	Failed bool `json:"failed,omitempty"`
+	// FailureReason is the quarantined panic value, when Failed.
+	FailureReason string `json:"failure_reason,omitempty"`
 	// Front lists the cell's Pareto-front measurements, runtime
 	// ascending (rendered in the JSON report; the table shows the size).
 	Front []CampaignFrontPoint `json:"front,omitempty"`
@@ -109,6 +124,11 @@ func WriteCampaignTable(w io.Writer, r *CampaignReport) error {
 		if fid == "" {
 			fid = "-"
 		}
+		if c.Failed {
+			// A quarantined cell renders a recognisable row instead of
+			// zeros masquerading as measurements.
+			fid = "failed"
+		}
 		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%s\t%s\t%.1f\t%.4f\t%d\t%v\n",
 			c.Scenario, c.Device, fid, c.Evaluations, c.FullFidelityEvals, c.FrontSize,
 			best, bestATE, fps(c.RobustRuntime), c.RobustMaxATE, c.RobustRank, c.RobustFeasible)
@@ -124,11 +144,11 @@ func WriteCampaignTable(w io.Writer, r *CampaignReport) error {
 // WriteCampaignCSV emits one row per cell, suitable for external
 // plotting of cross-scenario comparisons.
 func WriteCampaignCSV(w io.Writer, r *CampaignReport) error {
-	if _, err := fmt.Fprintln(w, "scenario,device,fidelity,promoted,evaluations,full_fidelity,low_fidelity,front_size,feasible,best_runtime,best_max_ate,best_power,robust_runtime,robust_max_ate,robust_rank,robust_feasible"); err != nil {
+	if _, err := fmt.Fprintln(w, "scenario,device,fidelity,promoted,failed,evaluations,full_fidelity,low_fidelity,front_size,feasible,best_runtime,best_max_ate,best_power,robust_runtime,robust_max_ate,robust_rank,robust_feasible"); err != nil {
 		return err
 	}
 	for _, c := range r.Cells {
-		feas, rfeas, prom := 0, 0, 0
+		feas, rfeas, prom, failed := 0, 0, 0, 0
 		if c.Feasible {
 			feas = 1
 		}
@@ -138,8 +158,11 @@ func WriteCampaignCSV(w io.Writer, r *CampaignReport) error {
 		if c.Promoted {
 			prom = 1
 		}
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d\n",
-			c.Scenario, c.Device, c.Fidelity, prom, c.Evaluations, c.FullFidelityEvals,
+		if c.Failed {
+			failed = 1
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d\n",
+			c.Scenario, c.Device, c.Fidelity, prom, failed, c.Evaluations, c.FullFidelityEvals,
 			c.LowFidelityEvals, c.FrontSize,
 			feas, c.BestRuntime, c.BestMaxATE, c.BestPower,
 			c.RobustRuntime, c.RobustMaxATE, c.RobustRank, rfeas); err != nil {
@@ -151,22 +174,28 @@ func WriteCampaignCSV(w io.Writer, r *CampaignReport) error {
 
 // WriteCampaignProvenance renders the execution-provenance table of a
 // checkpointed campaign: per cell, the fidelity its reported results
-// were explored at, whether the cell-level ladder promoted it, and
-// whether it was resumed from a checkpoint rather than explored in this
-// run. Resumption depends on how the run was interrupted, so this table
-// is deliberately separate from the deterministic report writers (CLIs
-// send it to stderr, keeping the report byte-comparable across fresh
-// and resumed runs).
+// were explored at, whether the cell-level ladder promoted it, whether
+// it was resumed from a checkpoint rather than explored in this run,
+// who produced the artifact (a worker id, "local", or "store"), and
+// whether the cell was quarantined. Resumption and ownership depend on
+// how the run was interrupted and which worker won which lease, so
+// this table is deliberately separate from the deterministic report
+// writers (CLIs send it to stderr, keeping the report byte-comparable
+// across fresh, resumed and multi-worker runs).
 func WriteCampaignProvenance(w io.Writer, r *CampaignReport) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "scenario\tdevice\tfid\tpromoted\tresumed\tevals\tfull\tlow")
+	fmt.Fprintln(tw, "scenario\tdevice\tfid\tpromoted\tresumed\towner\tfailed\tevals\tfull\tlow")
 	for _, c := range r.Cells {
 		fid := c.Fidelity
 		if fid == "" {
 			fid = "-"
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%v\t%v\t%d\t%d\t%d\n",
-			c.Scenario, c.Device, fid, c.Promoted, c.Resumed,
+		owner := c.Owner
+		if owner == "" {
+			owner = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%v\t%v\t%s\t%v\t%d\t%d\t%d\n",
+			c.Scenario, c.Device, fid, c.Promoted, c.Resumed, owner, c.Failed,
 			c.Evaluations, c.FullFidelityEvals, c.LowFidelityEvals)
 	}
 	return tw.Flush()
