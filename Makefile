@@ -1,4 +1,4 @@
-.PHONY: test race bench bench-compare bench-save campaign-smoke campaign-resume-smoke campaign-distributed-smoke
+.PHONY: test race bench bench-compare bench-save campaign-smoke campaign-resume-smoke campaign-distributed-smoke campaign-cache-smoke
 
 test:
 	go build ./... && go test ./...
@@ -9,7 +9,7 @@ test:
 # across workers plus the checkpoint/resume suite — so it needs more
 # than the default 10-minute package timeout under the race detector.
 race:
-	go test -race -timeout 30m ./internal/parallel/... ./internal/hypermapper/... ./internal/campaign/...
+	go test -race -timeout 30m ./internal/parallel/... ./internal/hypermapper/... ./internal/campaign/... ./internal/seqcache/... ./internal/sharedfs/...
 
 bench:
 	go test -run '^$$' -bench . -benchmem .
@@ -17,7 +17,7 @@ bench:
 # Snapshot the benchmarks, compare against the saved baseline with
 # benchstat (when available) and distill the run into
 # BENCH_$(BENCH_INDEX).json (the per-PR snapshot series).
-BENCH_INDEX ?= 4
+BENCH_INDEX ?= 5
 bench-compare:
 	./scripts/bench-compare.sh $(BENCH_INDEX)
 
@@ -66,3 +66,11 @@ campaign-resume-smoke:
 # byte-identical to an uninterrupted single-process run.
 campaign-distributed-smoke:
 	./scripts/distributed-smoke.sh
+
+# Fault-tolerance smoke test of the rendered-sequence cache: two OS
+# processes share a checkpoint AND the sequence cache, one is SIGKILLed
+# and a cache artifact is corrupted in place mid-run; the survivor's
+# report must be byte-identical to an uncached run, with no leaked temp
+# files in the cache directory.
+campaign-cache-smoke:
+	./scripts/cache-smoke.sh

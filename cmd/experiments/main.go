@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -43,6 +44,8 @@ func main() {
 		campStopAfter  = flag.String("campaign-stop-after", "", "end the campaign cleanly after this stage (plan, explore, promote or crossmeasure) — simulates a kill at a stage boundary for checkpoint/resume workflows")
 		campWorkerID   = flag.String("campaign-worker-id", "", "run as one cooperating worker of a multi-process campaign: processes sharing -campaign-checkpoint split the grid through cell leases and any of them can be killed without losing the campaign (implies -campaign-resume)")
 		campLeaseTTL   = flag.Duration("campaign-lease-ttl", 0, "heartbeat deadline after which a dead worker's cell lease is reclaimed by its peers (with -campaign-worker-id; default 10s)")
+		campSeqCache   = flag.String("campaign-seq-cache", "", "content-addressed rendered-sequence cache directory shared by campaign cells and cooperating workers (default: <campaign-checkpoint>/seqcache when checkpointing, otherwise in-process only; \"off\" disables the disk cache entirely)")
+		campSeqCacheMB = flag.Int64("campaign-seq-cache-max-mb", 0, "evict oldest rendered-sequence artifacts once the cache exceeds this many MiB (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -73,6 +76,16 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// The disk cache defaults on alongside checkpointing: the two
+		// cooperate (workers sharing a checkpoint also share renders) and
+		// both live under the same durable directory. "off" opts out.
+		seqCacheDir := *campSeqCache
+		switch {
+		case seqCacheDir == "off":
+			seqCacheDir = ""
+		case seqCacheDir == "" && *campCheckpoint != "":
+			seqCacheDir = filepath.Join(*campCheckpoint, "seqcache")
+		}
 		opts := campaign.Options{
 			RandomSamples:       *random,
 			ActiveIterations:    *active,
@@ -87,6 +100,8 @@ func main() {
 			Resume:              *campResume,
 			WorkerID:            *campWorkerID,
 			LeaseTTL:            *campLeaseTTL,
+			SeqCacheDir:         seqCacheDir,
+			SeqCacheMaxBytes:    *campSeqCacheMB << 20,
 			StopAfter:           stopAfter,
 			Log:                 eprint,
 		}

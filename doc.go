@@ -141,6 +141,53 @@
 // mid-run, and the survivor's report must be byte-identical to an
 // uninterrupted single-process run.
 //
+// # Rendered-sequence cache
+//
+// Rendering a synthetic input sequence dominates a cell's startup, and
+// a campaign grid re-renders the same sequence once per cell — in
+// worker mode once per cell per process. internal/seqcache removes
+// that: a content-addressed, crash-safe artifact store shared by every
+// cell of a campaign and by cooperating worker processes. The key is
+// core.Scale.CacheKey, a hash over every input that determines the
+// rendered frames (scene, trajectory, resolution, frame count, noise
+// flag, seed, a format version) — two scales render identical
+// sequences exactly when their keys collide, so "look up by key" is
+// the whole consistency protocol. Artifacts are a versioned binary
+// encoding of the frames (raw float32 depth, raw float64 poses —
+// nothing quantised, so a cached campaign's report is byte-identical
+// to an uncached one) with an embedded sha256 checksum, written
+// atomically (temp file + rename) and verified on every load.
+//
+// Reads degrade down a strict ladder, and no rung is ever fatal to the
+// campaign: an in-process memory hit, else a checksum-verified disk
+// hit, else render-and-publish under the same lease protocol the cell
+// store uses (one renderer per key per store; peers poll with bounded
+// backoff, a dead renderer's lease is reclaimed after its TTL, a
+// wedged one is abandoned after a bounded number of polls), else —
+// when the cache directory is unusable, the disk is full, or a fault
+// persists past the bounded retries — plain inline rendering, exactly
+// what an uncached run does. Every data defect (absent, truncated,
+// bit-flipped, version-mismatched or misfiled artifact) is a silent
+// miss that the next render repairs in place; only real I/O faults
+// ride the retry ladder, and exhausting it costs a log line and a
+// degradation counter, never the run. Cache provenance (renders, disk
+// hits, memory hits, degradations, evictions, and each cell's
+// sequence source) rides the stderr provenance table next to the
+// resume columns — the deterministic report surface never sees it.
+//
+// cmd/experiments exposes the cache as -campaign-seq-cache: it
+// defaults to <checkpoint>/seqcache whenever -campaign-checkpoint is
+// set (workers sharing a checkpoint automatically share renders),
+// "off" disables it, and without a directory the cache still
+// deduplicates renders in-process (cells sharing a scenario share one
+// immutable in-memory sequence). -campaign-seq-cache-max-mb bounds the
+// store with deterministic lexicographic eviction. Stale temp files
+// and orphaned leases are swept on open (sharedfs.SweepDebris, shared
+// with the checkpoint store). `make campaign-cache-smoke` enforces the
+// end-to-end claim in CI: two processes share checkpoint + cache, one
+// is SIGKILLed and one artifact is corrupted in place mid-run, and the
+// survivor's report must still diff clean against an uncached run.
+//
 // -campaign-cell-stride adds cell-level multi-fidelity, the intra-cell
 // ladder replayed at grid granularity: Explore first screens every
 // cell on a stride-subsampled sequence, then the Promote stage scores

@@ -50,6 +50,7 @@ import (
 	"slamgo/internal/hypermapper"
 	"slamgo/internal/kfusion"
 	"slamgo/internal/phones"
+	"slamgo/internal/seqcache"
 	"slamgo/internal/slambench"
 )
 
@@ -231,6 +232,21 @@ type Options struct {
 	// expired-but-alive holder only wastes duplicate work, never
 	// corrupts the campaign.
 	LeaseTTL time.Duration
+	// SeqCacheDir, when non-empty, shares rendered synthetic sequences
+	// across cells, stages and cooperating worker processes through the
+	// content-addressed crash-safe cache of internal/seqcache: each
+	// distinct sequence (keyed by core.Scale.CacheKey) is rendered once
+	// per shared store and loaded everywhere else. Every cache failure
+	// mode — corrupt or torn artifacts, a full disk, a dead renderer's
+	// lease — degrades gracefully to inline rendering: logged, counted
+	// in Result.SeqStats, never fatal, and the report is byte-identical
+	// either way. Empty keeps the cache in-process only (sequences are
+	// still rendered once per process and shared across cells).
+	SeqCacheDir string
+	// SeqCacheMaxBytes bounds the sequence cache's on-disk size (0 =
+	// unbounded); over-budget artifacts are evicted deterministically in
+	// lexicographic key order, newest write exempt.
+	SeqCacheMaxBytes int64
 	// StopAfter, when non-empty, ends the run cleanly after the named
 	// stage (the checkpoint/resume analogue of a kill at a stage
 	// boundary; Result.StoppedAfter echoes it). The zero value runs to
@@ -253,6 +269,9 @@ type Options struct {
 	// the retry layer — the seam the fault-injection tests use to put a
 	// FaultStore under the campaign.
 	wrapStore func(*Store) ArtifactStore
+	// cacheFaults, when non-nil, arms the sequence cache's fault plan —
+	// the seam the cache crash-safety tests use.
+	cacheFaults *seqcache.FaultPlan
 	// sleepFn and nowFn override time.Sleep / time.Now in the retry,
 	// poll and lease layers (tests only; results never depend on them).
 	sleepFn func(time.Duration)
@@ -375,6 +394,10 @@ type CellResult struct {
 	// computed here, "store" when it was loaded from a checkpoint.
 	// Execution provenance, like Resumed.
 	Owner string
+	// SeqSource reports where the cell's rendered sequence came from —
+	// a seqcache.Source string, or "" when the cell was resumed and
+	// never needed its sequence. Execution provenance, like Resumed.
+	SeqSource string
 	// Failed reports that the cell's exploration panicked and was
 	// quarantined: the cell carries no front or best configuration, is
 	// excluded from promotion, cross-measurement and the robust
@@ -416,6 +439,12 @@ type Result struct {
 	// carries whatever per-cell results its completed stages produced
 	// and no robust configuration.
 	StoppedAfter Stage
+	// SeqStats are this process's rendered-sequence cache counters:
+	// summing Renders over every cooperating process proves each
+	// distinct sequence was rendered exactly once per shared store.
+	// Execution provenance (the render/hit split depends on scheduling),
+	// never part of the deterministic report surface.
+	SeqStats seqcache.Stats
 }
 
 // Run executes the staged campaign: Plan (validation + grid), Explore
@@ -459,8 +488,13 @@ func Run(opts Options) (*Result, error) {
 // Report converts the result into the slambench campaign report.
 func (r *Result) Report() *slambench.CampaignReport {
 	rep := &slambench.CampaignReport{
-		AccuracyLimit: r.AccuracyLimit,
-		Candidates:    r.CandidateCount,
+		AccuracyLimit:   r.AccuracyLimit,
+		Candidates:      r.CandidateCount,
+		SeqRenders:      r.SeqStats.Renders,
+		SeqDiskHits:     r.SeqStats.DiskHits,
+		SeqMemoryHits:   r.SeqStats.MemoryHits,
+		SeqDegradations: r.SeqStats.Degradations,
+		SeqEvictions:    r.SeqStats.Evictions,
 	}
 	feasible := hypermapper.AccuracyLimit(r.AccuracyLimit)
 	for j, c := range r.Cells {
@@ -475,6 +509,7 @@ func (r *Result) Report() *slambench.CampaignReport {
 			Promoted:          c.Promoted,
 			Resumed:           c.Resumed,
 			Owner:             c.Owner,
+			SeqSource:         c.SeqSource,
 			Failed:            c.Failed,
 			FailureReason:     c.FailureReason,
 			Feasible:          c.HasBestFeasible,

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"slamgo/internal/sharedfs"
 )
 
 // The checkpoint store persists one JSON file per stage artifact so a
@@ -59,7 +61,14 @@ type Store struct {
 	dir string
 }
 
-// OpenStore opens (creating if needed) a checkpoint directory.
+// OpenStore opens (creating if needed) a checkpoint directory, and
+// garbage-collects the debris SIGKILLed processes leave behind: stale
+// ".tmp-*" files from writes that never reached their rename and
+// orphaned ".lease" files whose holder died (both judged against
+// sharedfs.DefaultDebrisAge, conservatively old so live writers and
+// heartbeating holders are never mistaken for litter). The sweep is
+// best-effort hygiene — valid artifacts are never touched, and a sweep
+// failure never fails the open.
 func OpenStore(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("campaign: empty checkpoint directory")
@@ -67,6 +76,7 @@ func OpenStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("campaign: checkpoint directory: %w", err)
 	}
+	sharedfs.SweepDebris(dir, sharedfs.DefaultDebrisAge, nil)
 	return &Store{dir: dir}, nil
 }
 
@@ -88,12 +98,14 @@ func (s *Store) path(name string) string {
 func (s *Store) Dir() string { return s.dir }
 
 // Save atomically persists payload under name, replacing any previous
-// artifact of that name. The temp file is uniquely named per call
-// (os.CreateTemp), so concurrent writers — other goroutines or other
-// processes sharing the directory — cannot clobber each other's
-// half-written bytes; whichever rename lands last wins whole. Failed
-// saves remove their temp file instead of leaking it.
-func (s *Store) Save(name string, payload any) (err error) {
+// artifact of that name (sharedfs.WriteFileAtomic: uniquely named temp
+// file, fsync, rename — so concurrent writers, other goroutines or
+// other processes sharing the directory, cannot clobber each other's
+// half-written bytes; whichever rename lands last wins whole, and
+// failed saves remove their temp file instead of leaking it). The
+// ".tmp-" prefix keeps in-flight files out of List (no ".json" suffix)
+// and visually separate from artifacts.
+func (s *Store) Save(name string, payload any) error {
 	raw, err := json.Marshal(payload)
 	if err != nil {
 		return fmt.Errorf("campaign: encoding artifact %s: %w", name, err)
@@ -102,32 +114,7 @@ func (s *Store) Save(name string, payload any) (err error) {
 	if err != nil {
 		return err
 	}
-	// The ".tmp-" prefix keeps in-flight files out of List (no ".json"
-	// suffix) and visually separate from artifacts.
-	f, err := os.CreateTemp(s.dir, ".tmp-"+name+"-*")
-	if err != nil {
-		return fmt.Errorf("campaign: artifact %s: %w", name, err)
-	}
-	tmp := f.Name()
-	defer func() {
-		if err != nil {
-			os.Remove(tmp)
-		}
-	}()
-	if _, err = f.Write(data); err != nil {
-		f.Close()
-		return fmt.Errorf("campaign: artifact %s: %w", name, err)
-	}
-	// Flush to stable storage before the rename publishes the file, so
-	// a machine crash cannot leave a complete-looking empty artifact.
-	if err = f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("campaign: artifact %s: %w", name, err)
-	}
-	if err = f.Close(); err != nil {
-		return fmt.Errorf("campaign: artifact %s: %w", name, err)
-	}
-	if err = os.Rename(tmp, s.path(name)); err != nil {
+	if err := sharedfs.WriteFileAtomic(s.dir, s.path(name), name, data); err != nil {
 		return fmt.Errorf("campaign: artifact %s: %w", name, err)
 	}
 	return nil

@@ -7,8 +7,10 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"slamgo/internal/hypermapper"
+	"slamgo/internal/sharedfs"
 )
 
 // loadHit loads name and fails the test on a real I/O error; it returns
@@ -215,5 +217,55 @@ func TestStoreConcurrentSaveLoad(t *testing.T) {
 func TestOpenStoreRejectsEmptyDir(t *testing.T) {
 	if _, err := OpenStore(""); err == nil {
 		t.Fatal("empty checkpoint directory accepted")
+	}
+}
+
+// TestOpenStoreSweepsDebris seeds the checkpoint directory with the
+// litter a SIGKILLed worker leaves behind — an aged half-written temp
+// file and a lease whose holder's heartbeat is long past — and pins
+// that OpenStore removes exactly that: fresh temp files (a live
+// writer's rename in flight) and real artifacts must survive the sweep.
+func TestOpenStoreSweepsDebris(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save("artifact", map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	old := time.Now().Add(-time.Hour)
+	staleTmp := filepath.Join(dir, ".tmp-artifact-12345")
+	if err := os.WriteFile(staleTmp, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(staleTmp, old, old); err != nil {
+		t.Fatal(err)
+	}
+	freshTmp := filepath.Join(dir, ".tmp-artifact-67890")
+	if err := os.WriteFile(freshTmp, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A dead worker's lease: planted through the real lease manager with
+	// a clock an hour in the past, so its embedded heartbeat is ancient.
+	past := func() time.Time { return old }
+	if _, ok, err := sharedfs.NewLeaseManager(dir, "dead-worker", time.Second, past).TryAcquire("cell-0"); err != nil || !ok {
+		t.Fatalf("seeding dead worker's lease: ok=%v err=%v", ok, err)
+	}
+
+	if _, err := OpenStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, gone := range []string{staleTmp, filepath.Join(dir, "cell-0.lease")} {
+		if _, err := os.Stat(gone); !os.IsNotExist(err) {
+			t.Errorf("debris %s survived the open (stat err %v)", filepath.Base(gone), err)
+		}
+	}
+	if _, err := os.Stat(freshTmp); err != nil {
+		t.Errorf("live writer's fresh temp file was swept: %v", err)
+	}
+	if !loadHit(t, store, "artifact", &map[string]int{}) {
+		t.Error("real artifact lost to the debris sweep")
 	}
 }

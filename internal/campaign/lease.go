@@ -1,206 +1,40 @@
 package campaign
 
 import (
-	"encoding/json"
-	"errors"
-	"fmt"
-	"os"
-	"path/filepath"
 	"time"
+
+	"slamgo/internal/sharedfs"
 )
 
 // The worker-lease protocol turns a shared checkpoint directory into a
 // coordination substrate: N cooperating processes (or machines over a
 // shared filesystem) execute one campaign's grid together, and any of
-// them can die at any instant without losing the campaign.
-//
-// A worker claims a cell by atomically creating `<artifact>.lease`
-// (O_CREATE|O_EXCL) carrying its worker id and a heartbeat timestamp.
-// While the cell runs the holder renews the heartbeat; a lease whose
-// heartbeat is older than the TTL is expired and may be taken over by
-// any other worker. On completion the holder saves the artifact (atomic
-// rename) and releases the lease.
+// them can die at any instant without losing the campaign. The
+// implementation lives in internal/sharedfs (it is shared with the
+// rendered-sequence cache, so both coordinate identically); these
+// aliases keep the campaign API and its tests stable.
 //
 // Leases are a work-distribution optimisation, not a correctness
-// mechanism. Correctness rests entirely on the artifact store: artifact
-// names are content hashes of everything that determines their bytes,
-// every writer of a name produces identical bytes, and writes are
-// atomic — so if a takeover races a slow-but-alive holder, both compute
-// the cell, both write, the last complete rename wins, and the result
-// is indistinguishable from either writer finishing alone. The lease
-// protocol therefore tolerates benign races (two workers both believing
-// they hold an expired lease) instead of paying for distributed
-// consensus the problem does not need.
-//
-// Liveness: a worker that wants a cell either holds the lease (and
-// computes), sees the artifact appear (another worker finished), or
-// watches the lease's heartbeat go stale (the holder died) and takes
-// over. Heartbeat timestamps are wall-clock but exist only in .lease
-// files, never in artifacts or reports — determinism is untouched.
+// mechanism: correctness rests entirely on the artifact store (content-
+// hashed names, identical bytes from every writer, atomic renames), so
+// takeover races are benign double-compute. See sharedfs for the full
+// protocol description.
 
 // ErrLeaseLost reports that a renew found the lease held by another
 // worker: an expired lease was taken over. The holder keeps computing —
 // the write is still safe — but learns its effort may be duplicated.
-var ErrLeaseLost = errors.New("campaign: lease lost to another worker")
-
-// leaseRecord is the JSON body of a .lease file.
-type leaseRecord struct {
-	// Worker identifies the holder (Options.WorkerID).
-	Worker string `json:"worker"`
-	// HeartbeatNS is the holder's last renewal, Unix nanoseconds.
-	HeartbeatNS int64 `json:"heartbeat_ns"`
-}
+var ErrLeaseLost = sharedfs.ErrLeaseLost
 
 // LeaseManager claims, renews and releases cell leases in a store
 // directory on behalf of one worker.
-type LeaseManager struct {
-	dir    string
-	worker string
-	ttl    time.Duration
-	now    func() time.Time
-}
+type LeaseManager = sharedfs.LeaseManager
+
+// Lease is a held claim on one artifact name.
+type Lease = sharedfs.Lease
 
 // NewLeaseManager creates a manager for worker over the store directory
 // dir. A lease is expired once its heartbeat is older than ttl; now nil
 // means time.Now (tests inject clocks to simulate dead workers).
 func NewLeaseManager(dir, worker string, ttl time.Duration, now func() time.Time) *LeaseManager {
-	if now == nil {
-		now = time.Now
-	}
-	return &LeaseManager{dir: dir, worker: worker, ttl: ttl, now: now}
-}
-
-// Lease is a held claim on one artifact name.
-type Lease struct {
-	m    *LeaseManager
-	name string
-	path string
-}
-
-func (m *LeaseManager) leasePath(name string) string {
-	return filepath.Join(m.dir, name+".lease")
-}
-
-// record marshals a fresh heartbeat for this worker.
-func (m *LeaseManager) record() []byte {
-	data, _ := json.Marshal(leaseRecord{Worker: m.worker, HeartbeatNS: m.now().UnixNano()})
-	return data
-}
-
-// read parses a lease file; ok is false when the file is absent.
-// Unparsable lease bytes decode to a zero record, whose ancient
-// heartbeat makes the lease immediately expired — a corrupt lease must
-// never wedge a cell.
-func (m *LeaseManager) read(name string) (rec leaseRecord, ok bool) {
-	data, err := os.ReadFile(m.leasePath(name))
-	if err != nil {
-		return leaseRecord{}, false
-	}
-	json.Unmarshal(data, &rec)
-	return rec, true
-}
-
-// expired reports whether a heartbeat is older than the TTL.
-func (m *LeaseManager) expired(rec leaseRecord) bool {
-	return m.now().Sub(time.Unix(0, rec.HeartbeatNS)) > m.ttl
-}
-
-// TryAcquire attempts to claim name. It returns (lease, true) when this
-// worker now holds the claim — either by creating the lease file
-// atomically or by taking over an expired one — and (nil, false) when a
-// live worker holds it. Errors are real I/O faults; callers in a poll
-// loop may treat them like contention and retry.
-func (m *LeaseManager) TryAcquire(name string) (*Lease, bool, error) {
-	path := m.leasePath(name)
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
-	if err == nil {
-		_, werr := f.Write(m.record())
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			os.Remove(path)
-			return nil, false, fmt.Errorf("campaign: lease %s: %w", name, werr)
-		}
-		return &Lease{m: m, name: name, path: path}, true, nil
-	}
-	if !errors.Is(err, os.ErrExist) {
-		return nil, false, fmt.Errorf("campaign: lease %s: %w", name, err)
-	}
-	rec, ok := m.read(name)
-	if !ok {
-		// The holder released between our create attempt and the read;
-		// let the caller's poll loop re-try (the artifact is probably
-		// about to appear).
-		return nil, false, nil
-	}
-	if !m.expired(rec) {
-		return nil, false, nil
-	}
-	// Expired: take over by atomically replacing the lease file. Two
-	// workers racing this rename both think they won — that is a benign
-	// race (see the package comment): both compute, identical bytes,
-	// last complete artifact rename wins.
-	if err := m.overwrite(name); err != nil {
-		return nil, false, err
-	}
-	return &Lease{m: m, name: name, path: path}, true, nil
-}
-
-// overwrite atomically replaces name's lease file with a fresh record
-// for this worker.
-func (m *LeaseManager) overwrite(name string) error {
-	f, err := os.CreateTemp(m.dir, ".tmp-lease-*")
-	if err != nil {
-		return fmt.Errorf("campaign: lease %s: %w", name, err)
-	}
-	tmp := f.Name()
-	_, werr := f.Write(m.record())
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr == nil {
-		werr = os.Rename(tmp, m.leasePath(name))
-	}
-	if werr != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("campaign: lease %s: %w", name, werr)
-	}
-	return nil
-}
-
-// Renew refreshes the heartbeat. It returns ErrLeaseLost when the lease
-// file now names another worker (an expired lease was taken over) or
-// vanished; the holder should keep computing — artifact writes stay
-// safe — but stop renewing.
-func (l *Lease) Renew() error {
-	rec, ok := l.m.read(l.name)
-	if !ok || rec.Worker != l.m.worker {
-		return ErrLeaseLost
-	}
-	return l.m.overwrite(l.name)
-}
-
-// Release drops the claim after the artifact is saved. Only a lease
-// still held by this worker is removed; a lease lost to takeover is
-// left to its new holder.
-func (l *Lease) Release() error {
-	rec, ok := l.m.read(l.name)
-	if !ok || rec.Worker != l.m.worker {
-		return nil
-	}
-	if err := os.Remove(l.path); err != nil && !errors.Is(err, os.ErrNotExist) {
-		return fmt.Errorf("campaign: lease %s: %w", l.name, err)
-	}
-	return nil
-}
-
-// Holder reports the worker currently named in name's lease file, with
-// ok false when no lease exists. Diagnostic / test surface.
-func (m *LeaseManager) Holder(name string) (worker string, expired, ok bool) {
-	rec, ok := m.read(name)
-	if !ok {
-		return "", false, false
-	}
-	return rec.Worker, m.expired(rec), true
+	return sharedfs.NewLeaseManager(dir, worker, ttl, now)
 }

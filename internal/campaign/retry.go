@@ -1,42 +1,29 @@
 package campaign
 
 import (
-	"fmt"
 	"time"
+
+	"slamgo/internal/sharedfs"
 )
 
 // Transient store faults — a full disk that a log rotation clears, an
 // NFS server blinking, an object-store 5xx behind a FUSE mount — should
 // cost a campaign a few milliseconds, not a cell re-simulation or a
-// crash. RetryStore wraps any ArtifactStore in a bounded
-// retry-with-backoff loop. The backoff schedule is a fixed deterministic
-// ladder (no jitter, no wall-clock dependence), so retrying changes
-// *when* bytes land, never *which* bytes: reports stay byte-identical
-// whether or not faults occurred.
+// crash. RetryStore wraps any ArtifactStore in the bounded
+// retry-with-backoff ladder of internal/sharedfs. The schedule is fixed
+// and deterministic (no jitter, no wall-clock dependence), so retrying
+// changes *when* bytes land, never *which* bytes: reports stay
+// byte-identical whether or not faults occurred.
 
 // RetryPolicy bounds a retry loop: at most Attempts tries, sleeping
 // BaseDelay << attempt between them, capped at MaxDelay.
-type RetryPolicy struct {
-	Attempts  int
-	BaseDelay time.Duration
-	MaxDelay  time.Duration
-}
+type RetryPolicy = sharedfs.RetryPolicy
 
 // DefaultRetryPolicy is the store policy campaigns run with: 5 attempts
 // over ~150ms. Transient blips are absorbed; a genuinely broken disk
 // still fails fast enough to be diagnosable.
 func DefaultRetryPolicy() RetryPolicy {
-	return RetryPolicy{Attempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
-}
-
-// delay is the deterministic backoff before retry attempt (1-based
-// attempt already failed): BaseDelay doubled per attempt, capped.
-func (p RetryPolicy) delay(attempt int) time.Duration {
-	d := p.BaseDelay << (attempt - 1)
-	if d > p.MaxDelay || d <= 0 {
-		d = p.MaxDelay
-	}
-	return d
+	return sharedfs.DefaultRetryPolicy()
 }
 
 // RetryStore retries transient faults of the wrapped store. Load misses
@@ -60,27 +47,14 @@ func NewRetryStore(inner ArtifactStore, policy RetryPolicy, sleep func(time.Dura
 	return &RetryStore{inner: inner, policy: policy, sleep: sleep}
 }
 
-// retry runs op up to policy.Attempts times, backing off between tries.
-func (s *RetryStore) retry(what string, op func() error) error {
-	var err error
-	for attempt := 1; ; attempt++ {
-		if err = op(); err == nil {
-			return nil
-		}
-		if attempt >= s.policy.Attempts {
-			return fmt.Errorf("campaign: %s failed after %d attempts: %w", what, attempt, err)
-		}
-		s.sleep(s.policy.delay(attempt))
-	}
-}
-
 func (s *RetryStore) Save(name string, payload any) error {
-	return s.retry("saving "+name, func() error { return s.inner.Save(name, payload) })
+	return s.policy.Retry("campaign: saving "+name, s.sleep,
+		func() error { return s.inner.Save(name, payload) })
 }
 
 func (s *RetryStore) Load(name string, out any) (bool, error) {
 	var ok bool
-	err := s.retry("loading "+name, func() error {
+	err := s.policy.Retry("campaign: loading "+name, s.sleep, func() error {
 		var ierr error
 		ok, ierr = s.inner.Load(name, out)
 		return ierr
@@ -93,7 +67,7 @@ func (s *RetryStore) Load(name string, out any) (bool, error) {
 
 func (s *RetryStore) List() ([]string, error) {
 	var names []string
-	err := s.retry("listing artifacts", func() error {
+	err := s.policy.Retry("campaign: listing artifacts", s.sleep, func() error {
 		var ierr error
 		names, ierr = s.inner.List()
 		return ierr

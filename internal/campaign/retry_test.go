@@ -98,10 +98,10 @@ func TestRetryStoreNeverRetriesMiss(t *testing.T) {
 
 func TestRetryPolicyDelayCaps(t *testing.T) {
 	p := DefaultRetryPolicy()
-	if d := p.delay(10); d != p.MaxDelay {
-		t.Fatalf("delay(10) = %v, want cap %v", d, p.MaxDelay)
+	if d := p.Delay(10); d != p.MaxDelay {
+		t.Fatalf("Delay(10) = %v, want cap %v", d, p.MaxDelay)
 	}
-	if d := p.delay(63); d != p.MaxDelay { // shift overflow must not go negative
-		t.Fatalf("delay(63) = %v, want cap %v", d, p.MaxDelay)
+	if d := p.Delay(63); d != p.MaxDelay { // shift overflow must not go negative
+		t.Fatalf("Delay(63) = %v, want cap %v", d, p.MaxDelay)
 	}
 }

@@ -3,16 +3,16 @@ package campaign
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"errors"
 	"fmt"
 	"sync"
-	"time"
 
 	"slamgo/internal/core"
 	"slamgo/internal/dataset"
 	"slamgo/internal/device"
 	"slamgo/internal/hypermapper"
 	"slamgo/internal/parallel"
+	"slamgo/internal/seqcache"
+	"slamgo/internal/sharedfs"
 	"slamgo/internal/slambench"
 )
 
@@ -153,13 +153,14 @@ type runner struct {
 	leases *LeaseManager // non-nil only in cooperative worker mode
 	logf   func(format string, args ...any)
 
-	screens  []*cellArtifact    // screening artifacts (cell ladder only)
-	arts     []*cellArtifact    // final per-cell artifacts
-	resumed  []bool             // any artifact of the cell loaded from the store
-	promoted []bool             // cell promoted to full fidelity by the cell ladder
-	owners   []string           // provenance: who produced the reported artifact
-	seqMu    sync.Mutex         // guards seqs
-	seqs     []dataset.Sequence // sequences rendered in-process, reused across stages
+	screens  []*cellArtifact // screening artifacts (cell ladder only)
+	arts     []*cellArtifact // final per-cell artifacts
+	resumed  []bool          // any artifact of the cell loaded from the store
+	promoted []bool          // cell promoted to full fidelity by the cell ladder
+	owners   []string        // provenance: who produced the reported artifact
+	cache    *seqcache.Cache // rendered-sequence cache (memory-only without SeqCacheDir)
+	seqMu    sync.Mutex      // guards seqSrc
+	seqSrc   []string        // provenance: where each cell's sequence came from
 }
 
 // workerLabel is this process's provenance label for cells it computes.
@@ -210,13 +211,31 @@ func newRunner(opts Options) (*runner, error) {
 			r.leases = NewLeaseManager(store.Dir(), opts.WorkerID, opts.LeaseTTL, opts.nowFn)
 		}
 	}
+	// The rendered-sequence cache. With SeqCacheDir it is the shared
+	// content-addressed store (each distinct sequence rendered once per
+	// store across all cells, stages and cooperating processes); without
+	// it the cache still single-flights and memoises in-process. New
+	// never fails — an unusable cache directory degrades every miss to
+	// inline rendering instead of failing the campaign.
+	r.cache = seqcache.New(seqcache.Options{
+		Dir:      opts.SeqCacheDir,
+		Worker:   r.workerLabel(),
+		LeaseTTL: opts.LeaseTTL,
+		MaxBytes: opts.SeqCacheMaxBytes,
+		Log:      func(format string, args ...any) { r.logf(format, args...) },
+		Sleep:    opts.sleepFn,
+		Now:      opts.nowFn,
+	})
+	if opts.cacheFaults != nil {
+		r.cache.InjectFaults(*opts.cacheFaults)
+	}
 	n := len(r.cells)
 	r.screens = make([]*cellArtifact, n)
 	r.arts = make([]*cellArtifact, n)
 	r.resumed = make([]bool, n)
 	r.promoted = make([]bool, n)
 	r.owners = make([]string, n)
-	r.seqs = make([]dataset.Sequence, n)
+	r.seqSrc = make([]string, n)
 	return r, nil
 }
 
@@ -227,27 +246,23 @@ func cellSeed(campaignSeed int64, index int) int64 {
 	return campaignSeed + int64(index+1)*9973
 }
 
-// sequence renders (or returns the cached) sequence of a cell. Rendered
-// sequences are reused between the explore and cross-measure stages;
-// resumed cells render lazily only if cross-measurement needs them.
+// sequence pulls the cell's rendered sequence through the cache, keyed
+// by the content address of its render inputs — so cells sharing a
+// scenario share one immutable in-memory sequence, stages reuse it, and
+// with a shared cache directory cooperating processes render each
+// distinct sequence exactly once between them. Resumed cells render (or
+// load) lazily only if cross-measurement needs them. The first
+// acquisition's source is recorded as the cell's provenance (later
+// stages re-acquiring the same key are in-process memory hits).
 func (r *runner) sequence(cell Cell) (dataset.Sequence, error) {
-	r.seqMu.Lock()
-	if s := r.seqs[cell.Index]; s != nil {
-		r.seqMu.Unlock()
-		return s, nil
-	}
-	r.seqMu.Unlock()
-	seq, err := cell.Scenario.Scale.Sequence()
+	seq, src, err := r.cache.Sequence(cell.Scenario.Scale.CacheKey(), cell.Scenario.Scale.Sequence)
 	if err != nil {
 		return nil, err
 	}
 	r.seqMu.Lock()
-	if s := r.seqs[cell.Index]; s != nil {
-		seq2 := s
-		r.seqMu.Unlock()
-		return seq2, nil
+	if r.seqSrc[cell.Index] == "" {
+		r.seqSrc[cell.Index] = string(src)
 	}
-	r.seqs[cell.Index] = seq
 	r.seqMu.Unlock()
 	return seq, nil
 }
@@ -356,7 +371,7 @@ func (r *runner) cellStage(cell Cell, fidelity string) *cellOutcome {
 			stop()
 			return out
 		}
-		r.opts.sleepFn(backoff.next())
+		r.opts.sleepFn(backoff.Next())
 		if out, done := r.tryLoadCell(cell, name, fidelity); done {
 			return out
 		}
@@ -426,56 +441,16 @@ func (r *runner) exploreCellQuarantined(cell Cell, fidelity string) (art *cellAr
 }
 
 // heartbeat renews lease until the returned stop function is called,
-// then releases it. Renewal runs at a third of the TTL so one missed
-// beat (GC pause, NFS hiccup) does not forfeit the lease.
+// then releases it (sharedfs.Heartbeat: renewal at TTL/3 so one missed
+// beat — GC pause, NFS hiccup — does not forfeit the lease).
 func (r *runner) heartbeat(lease *Lease) (stop func()) {
-	quit := make(chan struct{})
-	done := make(chan struct{})
-	interval := r.opts.LeaseTTL / 3
-	if interval <= 0 {
-		interval = time.Second
-	}
-	go func() {
-		defer close(done)
-		t := time.NewTicker(interval)
-		defer t.Stop()
-		for {
-			select {
-			case <-quit:
-				return
-			case <-t.C:
-				if err := lease.Renew(); err != nil {
-					r.logf("lease %s: %v (continuing; artifact writes stay safe)", lease.name, err)
-					if errors.Is(err, ErrLeaseLost) {
-						return
-					}
-				}
-			}
-		}
-	}()
-	return func() {
-		close(quit)
-		<-done
-		if err := lease.Release(); err != nil {
-			r.logf("lease %s: release: %v", lease.name, err)
-		}
-	}
+	return sharedfs.Heartbeat(lease, r.opts.LeaseTTL, r.logf)
 }
 
-// pollBackoff is the deterministic wait ladder used while another
-// worker holds a cell: 10ms doubling to a 200ms cap. Wall-clock enters
-// scheduling only; results never depend on it.
-type pollBackoff struct{ d time.Duration }
-
-func newPollBackoff() *pollBackoff { return &pollBackoff{d: 10 * time.Millisecond} }
-
-func (b *pollBackoff) next() time.Duration {
-	d := b.d
-	if b.d < 200*time.Millisecond {
-		b.d *= 2
-	}
-	return d
-}
+// newPollBackoff is the deterministic wait ladder used while another
+// worker holds a cell (sharedfs.PollBackoff: 10ms doubling to a 200ms
+// cap). Wall-clock enters scheduling only; results never depend on it.
+func newPollBackoff() *sharedfs.PollBackoff { return sharedfs.NewPollBackoff() }
 
 // exploreCell runs one cell's constrained Fig2-style exploration at the
 // given fidelity and packages the outcome as an artifact.
@@ -731,7 +706,7 @@ func (r *runner) crossCell(j int, cell Cell, candidates []hypermapper.Point, can
 			stop()
 			return metrics, err
 		}
-		r.opts.sleepFn(backoff.next())
+		r.opts.sleepFn(backoff.Next())
 		if metrics, ok, err := load(); ok || err != nil {
 			return metrics, err
 		}
@@ -839,7 +814,8 @@ func (r *runner) aggregate(candidates []hypermapper.Point, perCell [][]hypermapp
 // result materialises the per-cell results available so far (stopped
 // runs included) from the stage artifacts.
 func (r *runner) result(stopped Stage) *Result {
-	res := &Result{AccuracyLimit: r.opts.AccuracyLimit, StoppedAfter: stopped}
+	res := &Result{AccuracyLimit: r.opts.AccuracyLimit, StoppedAfter: stopped,
+		SeqStats: r.cache.Stats()}
 	for i := range r.cells {
 		art := r.arts[i]
 		if art == nil {
@@ -860,6 +836,7 @@ func (r *runner) result(stopped Stage) *Result {
 			Promoted:          r.promoted[i],
 			Resumed:           r.resumed[i],
 			Owner:             r.owners[i],
+			SeqSource:         r.seqSrc[i],
 			Failed:            art.Failed,
 			FailureReason:     art.FailureReason,
 		}

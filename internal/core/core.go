@@ -14,6 +14,8 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math"
 
@@ -45,6 +47,25 @@ func DefaultScale() Scale {
 // QuickScale is a reduced workload for tests and benchmarks.
 func QuickScale() Scale {
 	return Scale{Width: 160, Height: 120, Frames: 16, Noisy: false, Seed: 42, KT: 0}
+}
+
+// CacheKey is the canonical content address of the Scale's rendered
+// sequence: a hash of every input that determines the frames — scene,
+// trajectory, resolution, frame count, noise and seed, plus the FPS
+// Sequence hard-codes and a render-semantics version to bump whenever
+// the renderer's output changes for identical inputs. Two Scales with
+// equal keys render bit-identical sequences (the determinism regression
+// test pins this), which is what lets the rendered-sequence cache share
+// one artifact across cells, stages and cooperating processes.
+func (s Scale) CacheKey() string {
+	h := sha256.New()
+	scene := "livingroom"
+	if s.Office {
+		scene = "office"
+	}
+	fmt.Fprintf(h, "render-v1|scene=%s|kt=%d|w=%d|h=%d|frames=%d|fps=30|noisy=%t|seed=%d",
+		scene, s.KT, s.Width, s.Height, s.Frames, s.Noisy, s.Seed)
+	return "seq-" + hex.EncodeToString(h.Sum(nil))[:24]
 }
 
 // Sequence renders the scale's synthetic sequence.

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"crypto/sha256"
+	"runtime"
+	"testing"
+
+	"slamgo/internal/seqcache"
+)
+
+// renderDigest renders the scale and hashes the frames through the
+// cache's canonical byte serialisation (raw float32 depth, raw float64
+// poses — nothing quantised), so two digests are equal exactly when the
+// renders are bit-identical.
+func renderDigest(t *testing.T, s Scale) [sha256.Size]byte {
+	t.Helper()
+	seq, err := s.Sequence()
+	if err != nil {
+		t.Fatalf("Sequence(%+v): %v", s, err)
+	}
+	return sha256.Sum256(seqcache.Encode("digest", seq))
+}
+
+// TestSequenceRenderDeterministic is the regression test the
+// rendered-sequence cache's correctness rests on: Scale.Sequence must
+// render bit-identical frames on every call and under any degree of
+// parallelism, or cached and uncached campaigns would diverge in their
+// last floating-point bits. It pins clean and noisy scales on both
+// scenes (the noise path is seeded, the render path is parallel over
+// rows — both must be schedule-independent).
+func TestSequenceRenderDeterministic(t *testing.T) {
+	scales := []Scale{
+		{Width: 64, Height: 48, Frames: 3, Noisy: false, Seed: 42, KT: 1},
+		{Width: 64, Height: 48, Frames: 3, Noisy: true, Seed: 7, KT: 0},
+		{Width: 64, Height: 48, Frames: 3, Noisy: true, Seed: 7, KT: 0, Office: true},
+	}
+	for _, s := range scales {
+		first := renderDigest(t, s)
+		if second := renderDigest(t, s); second != first {
+			t.Fatalf("scale %+v: repeated renders differ", s)
+		}
+		// Serialise the scheduler: row-parallel rendering and seeded
+		// noise must not depend on how many frames render concurrently.
+		prev := runtime.GOMAXPROCS(1)
+		serial := renderDigest(t, s)
+		runtime.GOMAXPROCS(prev)
+		if serial != first {
+			t.Fatalf("scale %+v: render differs between GOMAXPROCS=1 and %d", s, prev)
+		}
+	}
+}
+
+// TestCacheKeyCoversEveryRenderInput pins that the cache key separates
+// every Scale field that changes the rendered frames: two scales whose
+// keys collide would silently share one cache artifact.
+func TestCacheKeyCoversEveryRenderInput(t *testing.T) {
+	base := Scale{Width: 64, Height: 48, Frames: 3, Noisy: false, Seed: 42, KT: 0}
+	variants := map[string]Scale{}
+	for name, mut := range map[string]func(*Scale){
+		"width":  func(s *Scale) { s.Width = 65 },
+		"height": func(s *Scale) { s.Height = 49 },
+		"frames": func(s *Scale) { s.Frames = 4 },
+		"noisy":  func(s *Scale) { s.Noisy = true },
+		"seed":   func(s *Scale) { s.Seed = 43 },
+		"kt":     func(s *Scale) { s.KT = 1 },
+		"office": func(s *Scale) { s.Office = true },
+	} {
+		v := base
+		mut(&v)
+		variants[name] = v
+	}
+	baseKey := base.CacheKey()
+	if baseKey != base.CacheKey() {
+		t.Fatal("CacheKey is not stable")
+	}
+	seen := map[string]string{baseKey: "base"}
+	for name, v := range variants {
+		k := v.CacheKey()
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("scales %q and %q share cache key %s", name, prev, k)
+		}
+		seen[k] = name
+	}
+}

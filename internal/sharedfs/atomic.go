@@ -1,0 +1,47 @@
+package sharedfs
+
+import (
+	"os"
+	"strings"
+)
+
+// WriteFileAtomic publishes data at path (which must live in dir) via a
+// uniquely named temp file, fsync and rename, so concurrent writers —
+// other goroutines or other processes sharing the directory — cannot
+// clobber each other's half-written bytes and a machine crash cannot
+// leave a complete-looking partial file: whichever rename lands last
+// wins whole. Failed writes remove their temp file instead of leaking
+// it. The temp prefix keeps in-flight files recognisable (and
+// sweepable, see SweepDebris): ".tmp-<label>-<random>".
+func WriteFileAtomic(dir, path, label string, data []byte) (err error) {
+	f, err := os.CreateTemp(dir, ".tmp-"+label+"-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	// Flush to stable storage before the rename publishes the file, so
+	// a machine crash cannot leave a complete-looking empty artifact.
+	if err = f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// IsTempFile reports whether a directory entry name looks like one of
+// WriteFileAtomic's (or the lease protocol's) in-flight temp files.
+func IsTempFile(name string) bool {
+	return strings.HasPrefix(name, ".tmp-")
+}

@@ -1,0 +1,20 @@
+package sharedfs
+
+import "time"
+
+// PollBackoff is the deterministic wait ladder used while another
+// worker holds a lease: 10ms doubling to a 200ms cap. Wall-clock enters
+// scheduling only; results never depend on it.
+type PollBackoff struct{ d time.Duration }
+
+// NewPollBackoff starts a fresh ladder at 10ms.
+func NewPollBackoff() *PollBackoff { return &PollBackoff{d: 10 * time.Millisecond} }
+
+// Next returns the current delay and doubles the ladder (capped).
+func (b *PollBackoff) Next() time.Duration {
+	d := b.d
+	if b.d < 200*time.Millisecond {
+		b.d *= 2
+	}
+	return d
+}

@@ -1,0 +1,82 @@
+package sharedfs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// A SIGKILLed process leaves two kinds of debris in a shared directory:
+// ".tmp-*" files from writes that never reached their rename, and
+// ".lease" files whose holder will never release them. Neither can
+// corrupt anything — temp files are invisible to loads and expired
+// leases are taken over — but both accumulate forever in a long-lived
+// directory, so openers sweep them.
+//
+// The sweep is deliberately conservative: a temp file is removed only
+// when its mtime is older than maxAge (a live writer's temp file is
+// seconds old; deleting it would fail the writer's rename), and a lease
+// file only when its embedded heartbeat is older than maxAge (live
+// holders renew at TTL/3, so any heartbeat that old belongs to a
+// process long dead — even with generous TTLs). Valid artifacts are
+// never touched: the sweep looks exclusively at ".tmp-*" and "*.lease"
+// names.
+
+// DefaultDebrisAge is the sweep threshold openers use: old enough that
+// no live writer or heartbeating lease holder can be mistaken for
+// debris under any sane TTL, young enough that a crashed campaign's
+// litter is gone by the next morning's run.
+const DefaultDebrisAge = 15 * time.Minute
+
+// SweepDebris removes stale temp files and orphaned lease files from
+// dir, returning the names it removed (sorted by directory order). A
+// missing directory is not an error (nothing to sweep); individual
+// removal failures are skipped — the sweep is best-effort hygiene, a
+// failure means another process raced us to the file or will sweep it
+// next open. now nil means time.Now.
+func SweepDebris(dir string, maxAge time.Duration, now func() time.Time) ([]string, error) {
+	if now == nil {
+		now = time.Now
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	cutoff := now().Add(-maxAge)
+	var removed []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		path := filepath.Join(dir, name)
+		switch {
+		case IsTempFile(name):
+			info, err := e.Info()
+			if err != nil || info.ModTime().After(cutoff) {
+				continue // young enough to be a live writer's file
+			}
+		case strings.HasSuffix(name, ".lease"):
+			data, err := os.ReadFile(path)
+			if err != nil {
+				continue
+			}
+			var rec leaseRecord
+			json.Unmarshal(data, &rec)
+			if time.Unix(0, rec.HeartbeatNS).After(cutoff) {
+				continue // heartbeat recent enough: holder may be alive
+			}
+		default:
+			continue // artifacts and anything unrecognised are never touched
+		}
+		if os.Remove(path) == nil {
+			removed = append(removed, name)
+		}
+	}
+	return removed, nil
+}

@@ -50,6 +50,14 @@ type CampaignCell struct {
 	// of the same campaign report different owners — so it is rendered
 	// only by WriteCampaignProvenance.
 	Owner string `json:"-"`
+	// SeqSource reports where the cell's rendered sequence came from:
+	// "render" (rendered here and published to the sequence cache),
+	// "cache" (verified disk hit), "memory" (in-process reuse), "inline"
+	// (cache degraded; rendered uncached) or "" (the cell was resumed
+	// and never needed its sequence). Execution provenance like Resumed
+	// — it depends on which process rendered first — so it is rendered
+	// only by WriteCampaignProvenance.
+	SeqSource string `json:"-"`
 	// Failed reports that the cell's exploration panicked and was
 	// quarantined: it has no front or best configuration and the robust
 	// aggregation ranked the surviving cells only. Deterministic for a
@@ -106,6 +114,20 @@ type CampaignReport struct {
 	// RobustFeasibleEverywhere reports whether the winner met the
 	// accuracy limit in every cell.
 	RobustFeasibleEverywhere bool `json:"robust_feasible_everywhere"`
+	// SeqRenders / SeqDiskHits / SeqMemoryHits / SeqDegradations /
+	// SeqEvictions are this process's rendered-sequence cache counters.
+	// Renders counts actual renderer invocations, so summing SeqRenders
+	// over every cooperating process proves each distinct sequence was
+	// rendered exactly once per shared store. Execution provenance —
+	// the split between render, disk hit and memory hit depends on which
+	// process got to each sequence first — so the counters are excluded
+	// from the deterministic report writers and rendered only by
+	// WriteCampaignProvenance.
+	SeqRenders      int `json:"-"`
+	SeqDiskHits     int `json:"-"`
+	SeqMemoryHits   int `json:"-"`
+	SeqDegradations int `json:"-"`
+	SeqEvictions    int `json:"-"`
 }
 
 // WriteCampaignTable renders the report as an aligned table — the
@@ -184,7 +206,7 @@ func WriteCampaignCSV(w io.Writer, r *CampaignReport) error {
 // across fresh, resumed and multi-worker runs).
 func WriteCampaignProvenance(w io.Writer, r *CampaignReport) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "scenario\tdevice\tfid\tpromoted\tresumed\towner\tfailed\tevals\tfull\tlow")
+	fmt.Fprintln(tw, "scenario\tdevice\tfid\tpromoted\tresumed\towner\tseq\tfailed\tevals\tfull\tlow")
 	for _, c := range r.Cells {
 		fid := c.Fidelity
 		if fid == "" {
@@ -194,11 +216,20 @@ func WriteCampaignProvenance(w io.Writer, r *CampaignReport) error {
 		if owner == "" {
 			owner = "-"
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%v\t%v\t%s\t%v\t%d\t%d\t%d\n",
-			c.Scenario, c.Device, fid, c.Promoted, c.Resumed, owner, c.Failed,
+		seq := c.SeqSource
+		if seq == "" {
+			seq = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%v\t%v\t%s\t%s\t%v\t%d\t%d\t%d\n",
+			c.Scenario, c.Device, fid, c.Promoted, c.Resumed, owner, seq, c.Failed,
 			c.Evaluations, c.FullFidelityEvals, c.LowFidelityEvals)
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "seqcache: renders=%d disk-hits=%d memory-hits=%d degradations=%d evictions=%d\n",
+		r.SeqRenders, r.SeqDiskHits, r.SeqMemoryHits, r.SeqDegradations, r.SeqEvictions)
+	return err
 }
 
 // WriteCampaignJSON emits the whole report as indented JSON (field

@@ -10,6 +10,13 @@
 #
 #   ./scripts/bench-compare.sh 2
 #   BENCH_PATTERN=Kernel BENCH_COUNT=10 ./scripts/bench-compare.sh 2
+#
+# The script is also a soft performance-regression gate: when a pinned
+# baseline exists, any kernel benchmark (BENCH_GATE_PATTERN, default
+# Kernel_) whose mean ns/op is more than BENCH_GATE_PCT percent (default
+# 20) above the baseline fails the run. The 20% tolerance absorbs
+# machine noise while catching real kernel slowdowns; BENCH_GATE=off
+# disables the gate (e.g. when comparing across different hardware).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,6 +43,52 @@ if [ -f "$OUT_DIR/baseline.txt" ]; then
   fi
 else
   echo "no $OUT_DIR/baseline.txt; run 'make bench-save' to pin this run as the baseline"
+fi
+
+# ---- soft regression gate ----
+BENCH_GATE="${BENCH_GATE:-on}"
+BENCH_GATE_PCT="${BENCH_GATE_PCT:-20}"
+BENCH_GATE_PATTERN="${BENCH_GATE_PATTERN:-Kernel_}"
+if [ "$BENCH_GATE" != "off" ] && [ -f "$OUT_DIR/baseline.txt" ]; then
+  echo
+  echo "gate: kernel benchmarks vs pinned baseline (fail >${BENCH_GATE_PCT}% slower)"
+  if ! awk -v pct="$BENCH_GATE_PCT" -v pattern="$BENCH_GATE_PATTERN" '
+    # Mean ns/op per benchmark name, baseline first then latest
+    # (FNR==NR selects the first file).
+    $1 ~ "^Benchmark" && $1 ~ pattern {
+      name = $1
+      for (i = 3; i < NF; i += 2) {
+        if ($(i + 1) == "ns/op") {
+          if (FNR == NR) { bsum[name] += $i; bn[name]++ }
+          else           { lsum[name] += $i; ln_[name]++ }
+        }
+      }
+    }
+    END {
+      failed = 0; compared = 0
+      for (name in lsum) {
+        if (!(name in bsum)) continue
+        compared++
+        base = bsum[name] / bn[name]
+        latest = lsum[name] / ln_[name]
+        delta = 100 * (latest - base) / base
+        verdict = "ok"
+        if (delta > pct) { verdict = "FAIL"; failed++ }
+        printf "  %-40s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n", name, base, latest, delta, verdict
+      }
+      if (compared == 0) {
+        print "  no benchmarks matching " pattern " in both runs; nothing gated"
+        exit 0
+      }
+      if (failed > 0) {
+        printf "gate: %d kernel benchmark(s) regressed more than %s%%\n", failed, pct
+        exit 1
+      }
+    }
+  ' "$OUT_DIR/baseline.txt" "$OUT_DIR/latest.txt"; then
+    echo "bench-compare: kernel regression gate FAILED (set BENCH_GATE=off to bypass, or 'make bench-save' to accept)" >&2
+    exit 1
+  fi
 fi
 
 # Distill the raw 'go test -bench' output into a JSON array so CI and
