@@ -1,4 +1,4 @@
-.PHONY: test race bench bench-compare bench-save campaign-smoke campaign-resume-smoke campaign-distributed-smoke campaign-cache-smoke
+.PHONY: test race bench bench-compare bench-save campaign-smoke campaign-resume-smoke campaign-distributed-smoke campaign-cache-smoke campaign-transfer-smoke
 
 test:
 	go build ./... && go test ./...
@@ -17,7 +17,7 @@ bench:
 # Snapshot the benchmarks, compare against the saved baseline with
 # benchstat (when available) and distill the run into
 # BENCH_$(BENCH_INDEX).json (the per-PR snapshot series).
-BENCH_INDEX ?= 5
+BENCH_INDEX ?= 6
 bench-compare:
 	./scripts/bench-compare.sh $(BENCH_INDEX)
 
@@ -66,6 +66,14 @@ campaign-resume-smoke:
 # byte-identical to an uninterrupted single-process run.
 campaign-distributed-smoke:
 	./scripts/distributed-smoke.sh
+
+# Transfer-learning smoke test: the same 4×2 campaign grid with and
+# without -campaign-transfer; the transfer-off table must be
+# byte-identical to the pre-transfer golden, and campaigncmp enforces
+# ≥20% borrower savings at equal-or-better shared-reference
+# hypervolume.
+campaign-transfer-smoke:
+	./scripts/transfer-smoke.sh
 
 # Fault-tolerance smoke test of the rendered-sequence cache: two OS
 # processes share a checkpoint AND the sequence cache, one is SIGKILLed

@@ -1,0 +1,152 @@
+// Command campaigncmp compares a transfer-off and a transfer-on
+// campaign JSON report over the same grid and enforces the transfer
+// acceptance bar: every warm-started borrower cell must have spent at
+// least -min-savings percent fewer full-fidelity evaluations than its
+// transfer-off twin, anchors must be untouched (bit-identical fronts
+// and spend), and the summed shared-reference hypervolume of the
+// transfer campaign's fronts must be equal or better. It is the
+// assertion half of scripts/transfer-smoke.sh; exit status 1 means the
+// bar was missed, with one line per violation on stderr.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+
+	"slamgo/internal/hypermapper"
+	"slamgo/internal/slambench"
+)
+
+func main() {
+	var (
+		offPath    = flag.String("off", "", "transfer-off campaign JSON report (required)")
+		onPath     = flag.String("on", "", "transfer-on campaign JSON report (required)")
+		minSavings = flag.Float64("min-savings", 20, "minimum per-borrower full-fidelity evaluation savings, percent")
+	)
+	flag.Parse()
+	if *offPath == "" || *onPath == "" {
+		fmt.Fprintln(os.Stderr, "campaigncmp: both -off and -on are required")
+		os.Exit(2)
+	}
+	off, err := load(*offPath)
+	if err != nil {
+		fatal(err)
+	}
+	on, err := load(*onPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	violations := 0
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "campaigncmp: "+format+"\n", args...)
+		violations++
+	}
+
+	if !on.Transfer {
+		fail("-on report has no transfer summary (was the campaign run with -campaign-transfer?)")
+	}
+	if off.Transfer {
+		fail("-off report carries a transfer summary (it must be a plain campaign)")
+	}
+	if len(off.Cells) != len(on.Cells) {
+		fail("grids differ: %d cells off, %d on", len(off.Cells), len(on.Cells))
+	}
+	if violations > 0 {
+		os.Exit(1)
+	}
+
+	borrowers := 0
+	for i := range on.Cells {
+		oc, nc := &off.Cells[i], &on.Cells[i]
+		if oc.Scenario != nc.Scenario || oc.Device != nc.Device {
+			fail("cell %d is %s/%s off but %s/%s on — reports are not the same grid",
+				i, oc.Scenario, oc.Device, nc.Scenario, nc.Device)
+			continue
+		}
+		if nc.TransferBorrower && len(nc.TransferDonors) > 0 && nc.TransferSeeds > 0 {
+			// A warm-started borrower: enforce the savings bar.
+			borrowers++
+			limit := float64(oc.FullFidelityEvals) * (1 - *minSavings/100)
+			if float64(nc.FullFidelityEvals) > limit {
+				fail("borrower %s/%s spent %d full-fidelity evals with transfer vs %d without (< %.0f%% savings)",
+					nc.Scenario, nc.Device, nc.FullFidelityEvals, oc.FullFidelityEvals, *minSavings)
+			}
+			continue
+		}
+		// An anchor (or a degraded borrower that fell back to the full
+		// budget): transfer must not have touched it.
+		if nc.FullFidelityEvals != oc.FullFidelityEvals {
+			fail("non-borrower %s/%s spent %d full-fidelity evals with transfer vs %d without — anchors must be untouched",
+				nc.Scenario, nc.Device, nc.FullFidelityEvals, oc.FullFidelityEvals)
+		}
+		if !nc.TransferBorrower && !reflect.DeepEqual(nc.Front, oc.Front) {
+			fail("anchor %s/%s front changed under transfer", nc.Scenario, nc.Device)
+		}
+	}
+	if borrowers == 0 {
+		fail("no warm-started borrower cells in the -on report")
+	}
+
+	// Shared-reference hypervolume across all fronts of both reports:
+	// the transfer campaign's sum must be equal or better.
+	fronts := make([][]hypermapper.Observation, 0, len(off.Cells)+len(on.Cells))
+	for _, c := range off.Cells {
+		fronts = append(fronts, front(c))
+	}
+	for _, c := range on.Cells {
+		fronts = append(fronts, front(c))
+	}
+	hv := hypermapper.FrontHypervolumes(fronts, hypermapper.RuntimeAccuracy)
+	offHV, onHV := 0.0, 0.0
+	for i, v := range hv {
+		if i < len(off.Cells) {
+			offHV += v
+		} else {
+			onHV += v
+		}
+	}
+	if onHV < offHV {
+		fail("transfer degraded front quality: hypervolume %g with transfer vs %g without", onHV, offHV)
+	}
+
+	if violations > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("campaigncmp: %d borrowers ≥%.0f%% cheaper, anchors untouched, hypervolume %g with transfer vs %g without\n",
+		borrowers, *minSavings, onHV, offHV)
+}
+
+func load(path string) (*slambench.CampaignReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep slambench.CampaignReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// front lifts a report cell's front points back into observations so
+// the comparison reuses the library's shared-reference hypervolume.
+func front(c slambench.CampaignCell) []hypermapper.Observation {
+	out := make([]hypermapper.Observation, len(c.Front))
+	for i, p := range c.Front {
+		out[i] = hypermapper.Observation{M: hypermapper.Metrics{
+			Runtime: p.Runtime,
+			MaxATE:  p.MaxATE,
+			Power:   p.Power,
+		}}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "campaigncmp:", err)
+	os.Exit(2)
+}

@@ -46,6 +46,9 @@ func main() {
 		campLeaseTTL   = flag.Duration("campaign-lease-ttl", 0, "heartbeat deadline after which a dead worker's cell lease is reclaimed by its peers (with -campaign-worker-id; default 10s)")
 		campSeqCache   = flag.String("campaign-seq-cache", "", "content-addressed rendered-sequence cache directory shared by campaign cells and cooperating workers (default: <campaign-checkpoint>/seqcache when checkpointing, otherwise in-process only; \"off\" disables the disk cache entirely)")
 		campSeqCacheMB = flag.Int64("campaign-seq-cache-max-mb", 0, "evict oldest rendered-sequence artifacts once the cache exceeds this many MiB (0 = unbounded)")
+		campTransfer   = flag.Bool("campaign-transfer", false, "warm-start off-diagonal cells from the grid-diagonal anchor cells' results: borrowers seed from donor winners on a reduced budget and bias acquisition with a donor-pooled prior (donor data steers sampling only — it never enters a cell's reported results)")
+		campTransSeeds = flag.Int("campaign-transfer-seeds", 0, "seeding budget of a warm-started borrower cell (with -campaign-transfer; 0 = default 3, minimum 3)")
+		campKnowledge  = flag.Bool("campaign-knowledge", false, "extract per-cell decision rules (paper §V 'knowledge extraction') from each full-fidelity cell's observations into the JSON report")
 	)
 	flag.Parse()
 
@@ -103,6 +106,9 @@ func main() {
 			SeqCacheDir:         seqCacheDir,
 			SeqCacheMaxBytes:    *campSeqCacheMB << 20,
 			StopAfter:           stopAfter,
+			Transfer:            *campTransfer,
+			TransferSeeds:       *campTransSeeds,
+			Knowledge:           *campKnowledge,
 			Log:                 eprint,
 		}
 		if *quick {

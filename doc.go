@@ -200,6 +200,53 @@
 // still cross-measures every candidate at full fidelity, so the
 // shipped configuration never rests on subsampled metrics.
 //
+// # Cross-cell transfer learning
+//
+// The grid's cells are correlated — the same scene on another device,
+// the same device on another scene — and with -campaign-transfer the
+// campaign exploits that instead of exploring every cell from scratch.
+// The mechanism is a pluggable seeding/prior layer on the optimizer
+// itself: OptimizerConfig.Seeder generates the random-phase
+// configurations (the default LHSSeeder is golden-tested byte-identical
+// to the historical inline Latin hypercube, so a nil Seeder is never a
+// behaviour change) and OptimizerConfig.Prior blends cross-run
+// surrogate knowledge into acquisition scores at a weight that decays
+// as local evidence accumulates. Both are strictly advisory: donor
+// knowledge informs where the borrower samples, it never enters the
+// borrower's observation log, Pareto front or best pick, because
+// metrics are workload- and device-specific. Donor observations are
+// filtered through hypermapper.FullObservations — failed and
+// low-fidelity measurements can never seed a prior, act as warm-start
+// donors, or preload a full-fidelity memo.
+//
+// At campaign scale the Explore stage becomes two waves. Wave 1 runs
+// the grid-diagonal anchor cells (scenario i anchors at target i mod
+// nTargets) exactly as a transfer-off campaign would — same seeds, same
+// artifact names — and publishes each anchor's observation log as a
+// content-addressed obslog artifact. Wave 2 runs every remaining cell
+// as a borrower warm-started from a fixed donor set (its same-scenario
+// anchor first, then its same-device anchors): donor front winners are
+// interleaved round-robin into a hypermapper.WarmStartSeeder that
+// spends most of a slashed seeding budget (TransferSeeds, default 3)
+// on exact donor replays and clamped neighbourhood draws, and the
+// pooled donor logs fit a hypermapper.ForestPrior (per-donor min-max
+// normalised, so a phone and a desktop contribute comparable
+// landscapes). The freed budget funds one extra model-guided
+// active-learning round when the total still clears the 20% savings
+// bar against a from-scratch cell. The determinism contract survives
+// intact: the wave topology, budgets and donor content are pure
+// functions of the options and seed, so a transfer campaign's report is
+// bit-identical for any -workers value and across cooperating
+// processes, borrowers key their artifacts on the donor topology while
+// anchors keep their pre-transfer names (a transfer-off campaign
+// resumes a transfer-on store's anchors and vice versa), and a
+// quarantined anchor degrades its borrowers to exploring from scratch
+// rather than poisoning them. `make campaign-transfer-smoke` enforces
+// the acceptance bar in CI: the transfer-off report diffs byte-for-byte
+// against the pre-transfer golden, and cmd/campaigncmp requires every
+// warm-started borrower to spend at least 20% fewer full-fidelity
+// simulations at an equal-or-better shared-reference hypervolume.
+//
 // The frame kernels are allocation-free in the steady state: an
 // imgproc.BufferPool (sync.Pool-backed, one pool per map size) recycles
 // every per-frame depth/vertex/normal map, the bilateral filter's

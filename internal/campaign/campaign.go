@@ -207,6 +207,30 @@ type Options struct {
 	// full-fidelity exploration (default 0.5; at least one cell is
 	// always promoted).
 	CellPromoteFraction float64
+	// Transfer enables cross-cell transfer learning: the Explore stage
+	// runs as two waves — grid-diagonal anchor cells explore from
+	// scratch, every other cell warm-starts from its same-scenario and
+	// same-device anchors (concentrated seeding around donor winners
+	// plus a pooled surrogate prior; see transfer.go). Donor knowledge
+	// only steers where a borrower samples — observations, fronts and
+	// best picks stay strictly per-cell — and the whole schedule is
+	// deterministic: reports are bit-identical for any Workers value and
+	// across cooperating worker processes.
+	Transfer bool
+	// TransferSeeds is a warm-started borrower's random-phase budget,
+	// replacing RandomSamples (default 3, minimum 3 — the donor-backed
+	// prior lets the surrogate stand on far fewer local observations
+	// than the from-scratch floor of 5). A borrower's freed budget
+	// funds one extra active-learning round when the total still clears
+	// the 20% savings bar against a from-scratch cell: model-guided
+	// picks recover front quality per simulation far better than the
+	// random draws they replace (see transfer.go). Ignored without
+	// Transfer.
+	TransferSeeds int
+	// Knowledge adds per-cell decision rules (hypermapper.Knowledge over
+	// the cell's full-fidelity observations) to the JSON report. Opt-in
+	// so default reports keep their byte surface.
+	Knowledge bool
 	// CheckpointDir, when non-empty, persists every stage's per-cell
 	// artifacts into this directory (created if needed) as versioned
 	// JSON files keyed by content hashes of the cell spec + seed +
@@ -295,6 +319,12 @@ func (o *Options) applyDefaults() {
 	if o.MaxFrontCandidates <= 0 {
 		o.MaxFrontCandidates = 3
 	}
+	if o.TransferSeeds <= 0 {
+		// Three seeds: the donor-backed prior lets the surrogate stand on
+		// as few as two successful local observations (the from-scratch
+		// floor is five), and one spare absorbs a failed configuration.
+		o.TransferSeeds = 3
+	}
 	if o.CellPromoteFraction <= 0 || o.CellPromoteFraction > 1 {
 		o.CellPromoteFraction = 0.5
 	}
@@ -337,6 +367,9 @@ func (o Options) Validate() error {
 	}
 	if o.CellPromoteFraction < 0 || o.CellPromoteFraction > 1 {
 		return fmt.Errorf("campaign: cell promote fraction %g outside [0,1]", o.CellPromoteFraction)
+	}
+	if o.TransferSeeds != 0 && o.TransferSeeds < 3 {
+		return fmt.Errorf("campaign: transfer seeds %d below the prior-backed surrogate minimum of 3", o.TransferSeeds)
 	}
 	if _, err := ParseStage(string(o.StopAfter)); err != nil {
 		return err
@@ -398,6 +431,19 @@ type CellResult struct {
 	// a seqcache.Source string, or "" when the cell was resumed and
 	// never needed its sequence. Execution provenance, like Resumed.
 	SeqSource string
+	// TransferBorrower marks a cell the transfer schedule warm-started
+	// (wave 2); TransferDonors names the donor cells ("scenario/device")
+	// it drew usable knowledge from and TransferSeeds counts the distinct
+	// donor configurations its seeder borrowed (donors with zero seeds
+	// mean the cell degraded to exploring from scratch). All empty for
+	// anchors and transfer-off campaigns. Deterministic, part of the
+	// report surface (rendered only when transfer is on).
+	TransferBorrower bool
+	TransferDonors   []string
+	TransferSeeds    int
+	// Knowledge holds the cell's extracted decision rules when
+	// Options.Knowledge is set (full-fidelity cells only).
+	Knowledge []string
 	// Failed reports that the cell's exploration panicked and was
 	// quarantined: the cell carries no front or best configuration, is
 	// excluded from promotion, cross-measurement and the robust
@@ -434,6 +480,10 @@ type Result struct {
 	// Robust is the rank-aggregated cross-scenario configuration.
 	Robust    RobustResult
 	HasRobust bool
+	// Transfer echoes Options.Transfer; the report writers render the
+	// transfer provenance columns and efficiency summary only when set,
+	// so transfer-off reports keep their byte surface.
+	Transfer bool
 	// StoppedAfter is the stage the run ended at when Options.StopAfter
 	// cut it short; empty for a completed campaign. A stopped result
 	// carries whatever per-cell results its completed stages produced
@@ -490,6 +540,7 @@ func (r *Result) Report() *slambench.CampaignReport {
 	rep := &slambench.CampaignReport{
 		AccuracyLimit:   r.AccuracyLimit,
 		Candidates:      r.CandidateCount,
+		Transfer:        r.Transfer,
 		SeqRenders:      r.SeqStats.Renders,
 		SeqDiskHits:     r.SeqStats.DiskHits,
 		SeqMemoryHits:   r.SeqStats.MemoryHits,
@@ -510,6 +561,10 @@ func (r *Result) Report() *slambench.CampaignReport {
 			Resumed:           c.Resumed,
 			Owner:             c.Owner,
 			SeqSource:         c.SeqSource,
+			TransferBorrower:  c.TransferBorrower,
+			TransferDonors:    c.TransferDonors,
+			TransferSeeds:     c.TransferSeeds,
+			Knowledge:         c.Knowledge,
 			Failed:            c.Failed,
 			FailureReason:     c.FailureReason,
 			Feasible:          c.HasBestFeasible,
@@ -539,6 +594,37 @@ func (r *Result) Report() *slambench.CampaignReport {
 		rep.RobustFeasibleEverywhere = r.Robust.Pick.FeasibleEverywhere
 	} else {
 		rep.RobustConfig = "none (no candidates)"
+	}
+	// Transfer-efficiency summary: the full-fidelity exploration spend of
+	// warm-started borrowers against the from-scratch anchors, averaged
+	// over the healthy cells of each wave. Deterministic like everything
+	// above (the donor topology and every budget are pure functions of
+	// the options).
+	if r.Transfer {
+		anchors, borrowers := 0, 0
+		anchorFull, borrowerFull := 0, 0
+		for _, c := range r.Cells {
+			if c.Failed {
+				continue
+			}
+			if c.TransferBorrower {
+				borrowers++
+				borrowerFull += c.FullFidelityEvals
+				rep.TransferSeedsBorrowed += c.TransferSeeds
+			} else {
+				anchors++
+				anchorFull += c.FullFidelityEvals
+			}
+		}
+		rep.TransferAnchors = anchors
+		rep.TransferBorrowers = borrowers
+		rep.TransferAnchorFullEvals = anchorFull
+		rep.TransferBorrowerFullEvals = borrowerFull
+		if anchors > 0 && borrowers > 0 && anchorFull > 0 {
+			perAnchor := float64(anchorFull) / float64(anchors)
+			perBorrower := float64(borrowerFull) / float64(borrowers)
+			rep.TransferSavingsPct = 100 * (1 - perBorrower/perAnchor)
+		}
 	}
 	return rep
 }

@@ -97,6 +97,15 @@ type cellArtifact struct {
 	Evaluations       int `json:"evaluations"`
 	FullFidelityEvals int `json:"full_fidelity_evals"`
 	LowFidelityEvals  int `json:"low_fidelity_evals"`
+	// TransferBorrower marks a cell the transfer schedule assigned to
+	// wave 2; TransferDonors names the donor cells ("scenario/device")
+	// it drew usable knowledge from and TransferSeeds counts the
+	// distinct donor configurations handed to its seeder (a borrower
+	// with donors but zero seeds degraded to exploring from scratch).
+	// All absent from the JSON for anchors and transfer-off campaigns.
+	TransferBorrower bool     `json:"transfer_borrower,omitempty"`
+	TransferDonors   []string `json:"transfer_donors,omitempty"`
+	TransferSeeds    int      `json:"transfer_seeds,omitempty"`
 	// Failed quarantines a cell whose exploration panicked: the panic
 	// value is recorded, the artifact persists (so peers and resumed
 	// runs do not re-detonate the cell), and the campaign aggregates
@@ -153,6 +162,9 @@ type runner struct {
 	leases *LeaseManager // non-nil only in cooperative worker mode
 	logf   func(format string, args ...any)
 
+	anchors []int   // transfer mode: grid-diagonal anchor cells
+	donors  [][]int // transfer mode: per-cell donor indices (nil = explores from scratch)
+
 	screens  []*cellArtifact // screening artifacts (cell ladder only)
 	arts     []*cellArtifact // final per-cell artifacts
 	resumed  []bool          // any artifact of the cell loaded from the store
@@ -184,6 +196,7 @@ func newRunner(opts Options) (*runner, error) {
 		space: core.DSESpace(),
 		cells: Grid(opts.Scenarios, opts.Targets),
 	}
+	r.planTransfer()
 	// Cells log from worker goroutines; serialise here so any callback
 	// that is fine for the serial Fig2 hooks is fine for campaigns too.
 	var logMu sync.Mutex
@@ -305,6 +318,14 @@ func (r *runner) artifactName(cell Cell, fidelity string) string {
 	} else {
 		fmt.Fprintf(h, "mf=%d/%g|", o.FidelityStride, o.PromoteFraction)
 	}
+	// A warm-started borrower's artifact depends on its donor topology
+	// and reduced seeding budget, so those enter its key — and only its:
+	// anchors and transfer-off cells keep their pre-transfer names, so a
+	// transfer-off campaign resumes a transfer-on store's anchors and
+	// vice versa.
+	if donors := r.transferDonors(cell, fidelity); donors != nil {
+		fmt.Fprintf(h, "transfer=%v/%d|", donors, o.TransferSeeds)
+	}
 	return fmt.Sprintf("%s-c%03d-%s", fidelity, cell.Index, hex.EncodeToString(h.Sum(nil))[:16])
 }
 
@@ -320,27 +341,58 @@ func (r *runner) crossName(cell Cell, candHash string) string {
 
 // explore is the Explore stage: every cell's exploration at screening
 // fidelity when the cell ladder is on, at full fidelity otherwise.
+// With Options.Transfer it runs as two waves — anchors from scratch,
+// then borrowers warm-started from the anchors (see transfer.go); the
+// wave boundary is a plain artifact dependency, so resume, takeover and
+// quarantine behave exactly as in the flat schedule.
 func (r *runner) explore() error {
-	fidelity := FidelityFull
-	if r.opts.CellStride > 1 {
-		fidelity = FidelityScreen
+	fidelity := r.exploreFidelity()
+	if !r.opts.Transfer {
+		return r.exploreWave(allIndices(len(r.cells)), fidelity)
 	}
-	outs := parallel.MapOrdered(r.opts.Workers, r.cells, func(_ int, cell Cell) *cellOutcome {
-		return r.cellStage(cell, fidelity)
+	if err := r.exploreWave(r.anchors, fidelity); err != nil {
+		return err
+	}
+	if err := r.publishObsLogs(fidelity); err != nil {
+		return err
+	}
+	var borrowers []int
+	for i := range r.cells {
+		if r.donors[i] != nil {
+			borrowers = append(borrowers, i)
+		}
+	}
+	return r.exploreWave(borrowers, fidelity)
+}
+
+// exploreWave runs one explore fan-out over the given cell indices.
+func (r *runner) exploreWave(idxs []int, fidelity string) error {
+	outs := parallel.MapOrdered(r.opts.Workers, idxs, func(_ int, idx int) *cellOutcome {
+		return r.cellStage(r.cells[idx], fidelity)
 	})
-	for i, o := range outs {
+	for k, idx := range idxs {
+		o := outs[k]
 		if o.err != nil {
 			return o.err
 		}
 		if fidelity == FidelityScreen {
-			r.screens[i] = o.art
+			r.screens[idx] = o.art
 		} else {
-			r.arts[i] = o.art
+			r.arts[idx] = o.art
 		}
-		r.resumed[i] = r.resumed[i] || o.resumed
-		r.owners[i] = o.owner
+		r.resumed[idx] = r.resumed[idx] || o.resumed
+		r.owners[idx] = o.owner
 	}
 	return nil
+}
+
+// allIndices enumerates 0..n-1 (the flat explore schedule).
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
 }
 
 // cellStage produces one cell's exploration artifact at the given
@@ -503,6 +555,36 @@ func (r *runner) exploreCell(cell Cell, fidelity string) (*cellArtifact, error) 
 	if ladder != nil {
 		cfg.BatchEval = ladder
 	}
+	// Warm-started borrower: concentrate a reduced seeding budget around
+	// the donors' winners and bias acquisition with a prior pooled from
+	// their observation logs. Donor knowledge only steers sampling — the
+	// borrower's artifact holds its own measurements exclusively. When
+	// every donor degraded (quarantined, or no usable full-fidelity
+	// observations) the cell explores from scratch on the full budget.
+	var transferDonors []string
+	var transferSeeds int
+	transferBorrower := false
+	if donors := r.transferDonors(cell, fidelity); donors != nil {
+		transferBorrower = true
+		donorSets, donorPoints, labels := r.donorData(cell, fidelity, donors)
+		if len(donorPoints) > 0 {
+			transferDonors, transferSeeds = labels, len(donorPoints)
+			cfg.RandomSamples = r.opts.TransferSeeds
+			if r.opts.transferExtraRound() {
+				// Reinvest part of the freed seeding budget in one extra
+				// model-guided round — granted only when the total still
+				// clears the savings bar (see transferExtraRound).
+				cfg.ActiveIterations++
+			}
+			cfg.Seeder = hypermapper.WarmStartSeeder{Donors: donorPoints, Fraction: warmFraction}
+			if prior, ok := hypermapper.NewForestPrior(donorSets, hypermapper.RuntimeAccuracy,
+				hypermapper.PriorConfig{Seed: cfg.Seed, Workers: cfg.Workers}); ok {
+				cfg.Prior = prior
+			}
+			r.logf("cell %d (%s on %s): warm start from %d donors, %d seed configurations",
+				cell.Index, cell.Scenario.Name, cell.Target.Name, len(labels), transferSeeds)
+		}
+	}
 	active, err := hypermapper.Optimize(r.space, eval, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: cell %s/%s: %w", cell.Scenario.Name, cell.Target.Name, err)
@@ -516,6 +598,9 @@ func (r *runner) exploreCell(cell Cell, fidelity string) (*cellArtifact, error) 
 		Front:             active.Front,
 		Evaluations:       len(active.Observations),
 		FullFidelityEvals: len(active.Observations),
+		TransferBorrower:  transferBorrower,
+		TransferDonors:    transferDonors,
+		TransferSeeds:     transferSeeds,
 	}
 	if fidelity == FidelityScreen {
 		// Screening runs cost a CellStride-th of a full simulation; they
@@ -589,18 +674,6 @@ func (r *runner) promote() error {
 		}
 	}
 	return nil
-}
-
-// fullObservations filters an artifact's observations down to the
-// full-fidelity ones a cross-measurement memo may be preloaded with.
-func fullObservations(obs []hypermapper.Observation) []hypermapper.Observation {
-	out := make([]hypermapper.Observation, 0, len(obs))
-	for _, o := range obs {
-		if !o.M.LowFidelity {
-			out = append(out, o)
-		}
-	}
-	return out
 }
 
 // crossMeasure is the CrossMeasure stage: build the robust candidate
@@ -726,7 +799,12 @@ func (r *runner) measureCell(j int, cell Cell, candidates []hypermapper.Point, n
 	memo := hypermapper.NewMemoEvaluator(
 		r.instrument(cell, simCross, core.NewEvaluator(r.space, seq, device.NewModel(cell.Target))))
 	if art := r.arts[j]; art.Fidelity == FidelityFull {
-		memo.Preload(fullObservations(art.Observations))
+		// The shared donor/preload filter (hypermapper.FullObservations)
+		// drops LowFidelity and Failed observations; MemoEvaluator.Preload
+		// re-applies the low-fidelity guard itself, so neither this call
+		// site nor any future one can leak a subsampled metric into a
+		// full-fidelity memo.
+		memo.Preload(hypermapper.FullObservations(art.Observations))
 	}
 	metrics := parallel.MapOrdered(r.opts.Workers, candidates, func(_ int, pt hypermapper.Point) hypermapper.Metrics {
 		return measureQuarantined(memo.Evaluate, pt)
@@ -815,7 +893,7 @@ func (r *runner) aggregate(candidates []hypermapper.Point, perCell [][]hypermapp
 // runs included) from the stage artifacts.
 func (r *runner) result(stopped Stage) *Result {
 	res := &Result{AccuracyLimit: r.opts.AccuracyLimit, StoppedAfter: stopped,
-		SeqStats: r.cache.Stats()}
+		Transfer: r.opts.Transfer, SeqStats: r.cache.Stats()}
 	for i := range r.cells {
 		art := r.arts[i]
 		if art == nil {
@@ -837,8 +915,26 @@ func (r *runner) result(stopped Stage) *Result {
 			Resumed:           r.resumed[i],
 			Owner:             r.owners[i],
 			SeqSource:         r.seqSrc[i],
+			TransferBorrower:  art.TransferBorrower,
+			TransferDonors:    art.TransferDonors,
+			TransferSeeds:     art.TransferSeeds,
 			Failed:            art.Failed,
 			FailureReason:     art.FailureReason,
+		}
+		// The exploration transfers across cells, the explanation stays
+		// local: decision rules are extracted from this cell's own
+		// full-fidelity observations only (screening metrics would
+		// mislabel PaperClasses' absolute thresholds, so screened cells
+		// report no rules). Opt-in because the rule strings enlarge the
+		// JSON surface.
+		if r.opts.Knowledge && !art.Failed && art.Fidelity == FidelityFull {
+			label, names := hypermapper.PaperClasses(r.opts.AccuracyLimit, 30, 3.0)
+			full := hypermapper.FullObservations(art.Observations)
+			if _, rules, err := hypermapper.Knowledge(r.space, full, label, names, 3); err == nil {
+				for _, rule := range rules {
+					c.Knowledge = append(c.Knowledge, rule.String())
+				}
+			}
 		}
 		// A promoted cell spent its screening budget too; fold it into
 		// the cell's totals (the full-explore artifact stays pure so it

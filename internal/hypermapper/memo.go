@@ -87,10 +87,20 @@ func (m *MemoEvaluator) Evaluate(pt Point) Metrics {
 // metrics: they must be exactly what the wrapped evaluator would return
 // for that point, which holds for artifacts of a deterministic
 // exploration reloaded under the same options.
+//
+// LowFidelity observations are skipped unconditionally: the memo's
+// callers treat cached metrics as full-fidelity answers, and a
+// subsampled run's fake-good metrics answering a full-fidelity probe
+// would silently corrupt cross-measurements. The filter lives here —
+// not only on the (audited) callers — so no future preload path can
+// reintroduce the leak.
 func (m *MemoEvaluator) Preload(obs []Observation) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, o := range obs {
+		if o.M.LowFidelity {
+			continue
+		}
 		key := string(AppendKey(make([]byte, 0, 8*len(o.X)), o.X))
 		if _, ok := m.cache[key]; !ok {
 			m.cache[key] = o.M

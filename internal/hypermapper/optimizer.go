@@ -49,6 +49,21 @@ type OptimizerConfig struct {
 	ConstraintObjective int
 	// ConstraintLimit is the feasibility bound for the constrained mode.
 	ConstraintLimit float64
+	// Seeder, when non-nil, replaces the default Latin-hypercube
+	// seeding of the random phase (LHSSeeder — the nil value and an
+	// explicit LHSSeeder{} are byte-identical). WarmStartSeeder
+	// concentrates the budget around donor winners for transfer-learned
+	// runs. Seeders must consume the shared rng stream
+	// deterministically; see Seeder.
+	Seeder Seeder
+	// Prior, when non-nil, blends cross-run surrogate knowledge into
+	// the acquisition scores: the prior's normalised predictions are
+	// rescaled onto the local run's observed objective range and mixed
+	// into the surrogate means with a weight that decays as local
+	// observations accumulate. The prior shapes *where the optimizer
+	// samples* only — observations, fronts and Best selection never see
+	// donor data.
+	Prior Prior
 	// BatchEval, when non-nil, replaces the default ParallelEvaluator
 	// around eval for every batch of real measurements — the hook the
 	// multi-fidelity ladder plugs into. It must return metrics in input
@@ -151,11 +166,16 @@ func Optimize(space *Space, eval Evaluator, cfg OptimizerConfig) (*Result, error
 		batch = ParallelEvaluator{Eval: eval, Workers: cfg.Workers}
 	}
 
-	// --- Phase 1: stratified random sampling, evaluated concurrently.
+	// --- Phase 1: seeded sampling (stratified random by default,
+	// donor-concentrated for warm-started runs), evaluated concurrently.
 	// Deduplication and observation order are fixed before any evaluation
 	// starts, so the result is independent of the worker count.
+	seeder := cfg.Seeder
+	if seeder == nil {
+		seeder = LHSSeeder{}
+	}
 	var seedPts []Point
-	for _, pt := range space.LatinHypercube(cfg.RandomSamples, rng) {
+	for _, pt := range seeder.SeedPoints(space, cfg.RandomSamples, rng) {
 		keyBuf = AppendKey(keyBuf[:0], pt)
 		if seen[string(keyBuf)] {
 			continue
@@ -179,7 +199,12 @@ func Optimize(space *Space, eval Evaluator, cfg OptimizerConfig) (*Result, error
 		uncB   = make([]float64, cfg.CandidatePool)         // summed uncertainty
 		used   = make([]bool, cfg.CandidatePool)
 		scorer hv2DScorer
+
+		priorB []float64 // prior predictions, reused (nil without a Prior)
 	)
+	if cfg.Prior != nil {
+		priorB = make([]float64, cfg.CandidatePool)
+	}
 	for iter := 0; iter < cfg.ActiveIterations; iter++ {
 		models, ok := fitSurrogates(res.Observations, cfg)
 		if !ok {
@@ -226,8 +251,25 @@ func Optimize(space *Space, eval Evaluator, cfg OptimizerConfig) (*Result, error
 		// worker pool. Rows are independent, so the scored pool is
 		// identical for any worker count.
 		mean, std, unc := meanB[:rows], stdB[:rows], uncB[:rows]
+		priorW := 0.0
+		if cfg.Prior != nil {
+			priorW = cfg.Prior.Weight(len(res.Observations))
+		}
 		for j, ff := range models.flat {
 			ff.PredictBatch(poolX[:rows*d], mean, std, cfg.Workers)
+			if priorW > 0 {
+				// The prior predicts on its own normalised [0,1] scale;
+				// rescale onto the local run's observed range for this
+				// objective before mixing, so it steers the landscape
+				// without importing foreign magnitudes. Row-independent,
+				// so determinism across worker counts is untouched.
+				if lo, hi, ok := observedRange(res.Observations, cfg.Objectives, j); ok {
+					cfg.Prior.PredictInto(j, poolX[:rows*d], priorB[:rows], cfg.Workers)
+					for i := 0; i < rows; i++ {
+						mean[i] = (1-priorW)*mean[i] + priorW*(lo+priorB[i]*(hi-lo))
+					}
+				}
+			}
 			for i := 0; i < rows; i++ {
 				optBuf[i*objDims+j] = mean[i] - cfg.ExplorationWeight*std[i]
 				if j == 0 {
@@ -338,7 +380,18 @@ func fitSurrogates(obs []Observation, cfg OptimizerConfig) (*surrogate, bool) {
 			ys[i] = append(ys[i], v)
 		}
 	}
-	if len(X) < 5 {
+	// Five successful observations is the floor below which a lone
+	// surrogate is noise. A prior-backed run keeps going on as few as
+	// two: the acquisition blends in the pooled donor landscape at a
+	// weight that grows exactly as local evidence thins (Prior.Weight),
+	// so a warm-started cell whose reduced seeding budget was eaten by
+	// failures still gets its active-learning rounds instead of
+	// silently returning a seeds-only front.
+	minObs := 5
+	if cfg.Prior != nil {
+		minObs = 2
+	}
+	if len(X) < minObs {
 		return nil, false
 	}
 	s := &surrogate{}
@@ -354,6 +407,28 @@ func fitSurrogates(obs []Observation, cfg OptimizerConfig) (*surrogate, bool) {
 		s.flat = append(s.flat, f.Flatten())
 	}
 	return s, true
+}
+
+// observedRange returns the span of objective dimension j over the
+// non-failed observations (the same population the surrogates train
+// on) — the local scale prior predictions are mapped onto. ok is false
+// when the range is empty or degenerate, in which case the prior is
+// skipped for the dimension this iteration.
+func observedRange(obs []Observation, objectives Objectives, j int) (lo, hi float64, ok bool) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, o := range obs {
+		if o.M.Failed {
+			continue
+		}
+		v := objectives(o.M)[j]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi, hi > lo
 }
 
 // referencePoint derives the hypervolume reference from the worst

@@ -108,7 +108,7 @@ func TestMemoPreload(t *testing.T) {
 	memo.Preload([]Observation{
 		{X: Point{1}, M: Metrics{Runtime: 2}},
 		{X: Point{3}, M: Metrics{Runtime: 6}},
-		{X: Point{4}, M: Metrics{Runtime: 8, LowFidelity: true}},
+		{X: Point{4}, M: Metrics{Runtime: 999, LowFidelity: true}},
 	})
 	if got := memo.Evaluate(Point{1}); got.Runtime != 2 || calls != 0 {
 		t.Fatalf("preloaded point re-evaluated: %+v, calls=%d", got, calls)
@@ -118,6 +118,12 @@ func TestMemoPreload(t *testing.T) {
 	}
 	if got := memo.Evaluate(Point{2}); got.Runtime != 4 || calls != 1 {
 		t.Fatalf("unknown point not evaluated: %+v, calls=%d", got, calls)
+	}
+	// The LowFidelity observation must NOT have been preloaded: probing
+	// that point runs the real evaluator instead of replaying the
+	// subsampled run's fake metrics.
+	if got := memo.Evaluate(Point{4}); got.Runtime != 8 || calls != 2 {
+		t.Fatalf("low-fidelity preload answered a full-fidelity probe: %+v, calls=%d", got, calls)
 	}
 	// First write wins: preloading an already-cached key changes nothing.
 	memo.Preload([]Observation{{X: Point{2}, M: Metrics{Runtime: 99}}})

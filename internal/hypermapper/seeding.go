@@ -1,0 +1,258 @@
+package hypermapper
+
+import (
+	"math"
+	"math/rand"
+
+	"slamgo/internal/rf"
+)
+
+// This file is the pluggable seeding/prior layer of the optimizer: how
+// the random phase places its configurations (Seeder) and how knowledge
+// from outside the run — donor observations of a correlated exploration,
+// e.g. a neighbouring campaign cell — shapes the acquisition scores
+// (Prior). Both are strictly advisory: donor knowledge informs *where to
+// sample*, it never enters the run's Observations, Pareto front or Best
+// selection, because metrics are workload- and device-specific.
+//
+// Determinism contract: a Seeder must be a pure function of (space, n,
+// the rng stream) and a Prior's predictions a pure function of the
+// donor observations it was built from, so an Optimize run stays
+// bit-identical for any worker count and across processes that derive
+// the same donors.
+
+// Seeder generates the random-phase seed configurations of Optimize.
+// Implementations must consume rng deterministically (same inputs, same
+// stream, same points) and may return fewer distinct points than n —
+// Optimize deduplicates before evaluating.
+type Seeder interface {
+	SeedPoints(space *Space, n int, rng *rand.Rand) []Point
+}
+
+// LHSSeeder is the default seeder: plain stratified Latin-hypercube
+// coverage of the space, exactly the seeding Optimize always used —
+// OptimizerConfig.Seeder == nil and LHSSeeder{} are byte-identical
+// (golden-tested), so installing it explicitly is never a behaviour
+// change.
+type LHSSeeder struct{}
+
+// SeedPoints implements Seeder.
+func (LHSSeeder) SeedPoints(space *Space, n int, rng *rand.Rand) []Point {
+	return space.LatinHypercube(n, rng)
+}
+
+// WarmStartSeeder concentrates part of the seeding budget around donor
+// configurations — winners of correlated explorations (same scene on a
+// different device, same device on a different scene) whose response
+// surfaces overlap this run's. A Fraction of the budget is drawn from
+// clamped neighbourhoods of the donors (cycling through them in order),
+// the rest from a plain Latin hypercube so global coverage — and with
+// it the ability to discover that the donors were wrong here — is never
+// zero. With no donors it degrades to exactly LHSSeeder.
+type WarmStartSeeder struct {
+	// Donors are the borrowed configurations, most promising first
+	// (fronts and best-feasible picks of donor runs). Order matters for
+	// determinism: donors are cycled in slice order.
+	Donors []Point
+	// Fraction of the budget drawn near donors (default 0.5, clamped to
+	// (0, 1]).
+	Fraction float64
+	// Radius is the neighbourhood width passed to
+	// Space.SampleNeighborhoodInto (default 0.1).
+	Radius float64
+}
+
+// SeedPoints implements Seeder: the ceil-rounded Fraction·n warm budget
+// starts with the donor configurations themselves (snapped onto the
+// space, in donor order — a donor's Pareto winner is the single
+// strongest transfer hypothesis, so it is evaluated exactly, not just
+// near), continues with clamped neighbourhood draws cycling through the
+// donors, and the remaining budget is a global Latin hypercube. Exact
+// copies are capped at half the warm budget even when more donors are
+// available: a donor's front is measured on *its* cell, so past the
+// top few entries a verbatim replay buys less than a perturbed draw
+// that probes how the donor's region deforms on this cell.
+func (s WarmStartSeeder) SeedPoints(space *Space, n int, rng *rand.Rand) []Point {
+	if n <= 0 {
+		return nil
+	}
+	if len(s.Donors) == 0 {
+		return space.LatinHypercube(n, rng)
+	}
+	f := s.Fraction
+	if f <= 0 || f > 1 {
+		f = 0.5
+	}
+	r := s.Radius
+	if r <= 0 {
+		r = 0.1
+	}
+	k := int(math.Ceil(f * float64(n)))
+	if k > n {
+		k = n
+	}
+	exact := (k + 1) / 2
+	if exact > len(s.Donors) {
+		exact = len(s.Donors)
+	}
+	out := make([]Point, 0, n)
+	for i := 0; i < k; i++ {
+		pt := make(Point, len(space.Params))
+		if i < exact {
+			// Radius 0 snaps the donor onto the space exactly (off-grid
+			// ordinals land on their nearest choice) while consuming the
+			// same rng draws as a sampled point, so the donor count never
+			// shifts the stream of the remaining draws.
+			space.SampleNeighborhoodInto(pt, s.Donors[i], 0, rng)
+		} else {
+			space.SampleNeighborhoodInto(pt, s.Donors[i%len(s.Donors)], r, rng)
+		}
+		out = append(out, pt)
+	}
+	return append(out, space.LatinHypercube(n-k, rng)...)
+}
+
+// Prior supplies cross-run surrogate knowledge to the acquisition
+// scorer. Predictions are normalised to the donor runs' own objective
+// ranges ([0, 1] per dimension) because absolute metrics do not
+// transfer across workloads or devices; Optimize rescales them onto the
+// local run's observed range before blending, so the prior contributes
+// landscape shape, never foreign magnitudes.
+type Prior interface {
+	// PredictInto fills out[:rows] with the prior's normalised mean
+	// prediction for objective dimension obj over the row-major matrix
+	// X (rows = len(out)). Must be deterministic for any workers value.
+	PredictInto(obj int, X []float64, out []float64, workers int)
+	// Weight returns the blend weight in [0, 1] given how many
+	// observations the local run has accumulated; implementations
+	// should decay it so local evidence overrides the prior.
+	Weight(localObs int) float64
+}
+
+// PriorConfig parameterises NewForestPrior.
+type PriorConfig struct {
+	// Forest configures the pooled surrogate (zero value: DefaultForestConfig).
+	Forest rf.ForestConfig
+	// Seed drives the forest fits (one derived seed per objective).
+	Seed int64
+	// Workers bounds fit parallelism (predictions are deterministic for
+	// any value).
+	Workers int
+	// MaxWeight caps the blend weight (default 0.4): even a
+	// donor-saturated prior never outvotes the local surrogate.
+	MaxWeight float64
+}
+
+// ForestPrior pools donor observations into one rf.FlatForest per
+// objective dimension, normalising each donor set's objectives to
+// [0, 1] before pooling so cells with different absolute scales (a
+// phone and a desktop GPU) contribute comparable landscapes. Failed and
+// LowFidelity donor observations are excluded at construction — a
+// subsampled run's fake-good metrics must never shape a prior (see the
+// fullDonorObservations regression tests).
+type ForestPrior struct {
+	flat      []*rf.FlatForest
+	strength  float64 // pooled donor observation count
+	maxWeight float64
+	scratch   []float64 // std buffer PredictBatch requires; serial use only
+}
+
+// NewForestPrior fits the pooled prior. donorSets holds one slice of
+// observations per donor run (normalisation is per set). ok is false
+// when fewer than 5 usable full-fidelity observations survive filtering
+// — too few to fit a forest worth blending.
+func NewForestPrior(donorSets [][]Observation, objectives Objectives, cfg PriorConfig) (*ForestPrior, bool) {
+	if cfg.Forest.Trees == 0 {
+		cfg.Forest = rf.DefaultForestConfig()
+	}
+	if cfg.MaxWeight <= 0 || cfg.MaxWeight > 1 {
+		cfg.MaxWeight = 0.4
+	}
+	dims := len(objectives(Metrics{}))
+	var X [][]float64
+	ys := make([][]float64, dims)
+	for _, set := range donorSets {
+		usable := FullObservations(set)
+		if len(usable) == 0 {
+			continue
+		}
+		// Per-set min-max normalisation of every objective dimension.
+		lo := make([]float64, dims)
+		hi := make([]float64, dims)
+		for j := range lo {
+			lo[j], hi[j] = math.Inf(1), math.Inf(-1)
+		}
+		for _, o := range usable {
+			for j, v := range objectives(o.M) {
+				if v < lo[j] {
+					lo[j] = v
+				}
+				if v > hi[j] {
+					hi[j] = v
+				}
+			}
+		}
+		for _, o := range usable {
+			X = append(X, o.X)
+			for j, v := range objectives(o.M) {
+				if hi[j] > lo[j] {
+					v = (v - lo[j]) / (hi[j] - lo[j])
+				} else {
+					v = 0.5 // a flat donor set carries no gradient
+				}
+				ys[j] = append(ys[j], v)
+			}
+		}
+	}
+	if len(X) < 5 {
+		return nil, false
+	}
+	p := &ForestPrior{strength: float64(len(X)), maxWeight: cfg.MaxWeight}
+	for j, y := range ys {
+		fc := cfg.Forest
+		fc.Seed = cfg.Seed + int64(j) + 43
+		fc.Workers = cfg.Workers
+		if fc.Tree.MTry <= 0 {
+			fc.Tree.MTry = len(X[0])
+		}
+		f, err := rf.FitForest(X, y, fc)
+		if err != nil {
+			return nil, false
+		}
+		p.flat = append(p.flat, f.Flatten())
+	}
+	return p, true
+}
+
+// PredictInto implements Prior.
+func (p *ForestPrior) PredictInto(obj int, X []float64, out []float64, workers int) {
+	if cap(p.scratch) < len(out) {
+		p.scratch = make([]float64, len(out))
+	}
+	p.flat[obj].PredictBatch(X, out, p.scratch[:len(out)], workers)
+}
+
+// Weight implements Prior: MaxWeight · strength/(strength + n), so the
+// prior dominates early (when the local surrogate has almost nothing to
+// stand on) and fades as local observations accumulate.
+func (p *ForestPrior) Weight(localObs int) float64 {
+	if localObs < 0 {
+		localObs = 0
+	}
+	return p.maxWeight * p.strength / (p.strength + float64(localObs))
+}
+
+// FullObservations filters observations down to the full-fidelity,
+// non-failed ones — the only observations allowed to seed a prior, act
+// as warm-start donors, or preload a full-fidelity memo. Centralised so
+// every borrower path applies the same rule (the promote path's
+// cross-measure preload included).
+func FullObservations(obs []Observation) []Observation {
+	out := make([]Observation, 0, len(obs))
+	for _, o := range obs {
+		if !o.M.Failed && !o.M.LowFidelity {
+			out = append(out, o)
+		}
+	}
+	return out
+}

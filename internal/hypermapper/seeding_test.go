@@ -1,0 +1,277 @@
+package hypermapper
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"slamgo/internal/rf"
+)
+
+// TestDefaultSeederGolden is the refactor's golden contract: Optimize
+// with a nil Seeder and with an explicit LHSSeeder produce identical
+// results — the pluggable seeding layer changed nothing about the
+// default exploration.
+func TestDefaultSeederGolden(t *testing.T) {
+	s := testSpace()
+	eval := syntheticEvaluator(s)
+	cfg := DefaultOptimizerConfig()
+	cfg.RandomSamples = 12
+	cfg.ActiveIterations = 3
+	cfg.BatchPerIteration = 3
+	cfg.CandidatePool = 300
+	cfg.Seed = 11
+
+	base, err := Optimize(s, eval, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seeder = LHSSeeder{}
+	explicit, err := Optimize(s, eval, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, explicit) {
+		t.Fatal("explicit LHSSeeder diverges from nil default")
+	}
+	// A warm-start seeder with no donors must also be exactly LHS: a
+	// borrower whose anchors were all quarantined degrades to the
+	// default exploration, not to something new.
+	cfg.Seeder = WarmStartSeeder{}
+	empty, err := Optimize(s, eval, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, empty) {
+		t.Fatal("donor-less WarmStartSeeder diverges from LHS default")
+	}
+}
+
+// TestWarmStartSeederConcentrates checks the concentrated fraction
+// lands near its donors (ordinals snap to choice members, numerics stay
+// in-domain) while the rest still covers the space.
+func TestWarmStartSeederConcentrates(t *testing.T) {
+	s := testSpace()
+	donor := Point{128, 2, 0.1, 10}
+	seeder := WarmStartSeeder{Donors: []Point{donor}, Fraction: 0.5, Radius: 0.05}
+	pts := seeder.SeedPoints(s, 20, rand.New(rand.NewSource(3)))
+	if len(pts) != 20 {
+		t.Fatalf("got %d seed points, want 20", len(pts))
+	}
+	for i, pt := range pts {
+		for d, p := range s.Params {
+			if p.Kind == Ordinal {
+				found := false
+				for _, c := range p.Choices {
+					if pt[d] == c {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("point %d dim %s = %g not a choice member", i, p.Name, pt[d])
+				}
+			} else if pt[d] < p.Min || pt[d] > p.Max {
+				t.Fatalf("point %d dim %s = %g outside [%g, %g]", i, p.Name, pt[d], p.Min, p.Max)
+			}
+		}
+	}
+	// The concentrated half (first 10) must hug the donor on the real
+	// axis far more tightly than the global half.
+	iMu := s.Index("mu")
+	maxConc := 0.0
+	for _, pt := range pts[:10] {
+		if d := abs(pt[iMu] - donor[iMu]); d > maxConc {
+			maxConc = d
+		}
+	}
+	span := s.Params[iMu].Max - s.Params[iMu].Min
+	if maxConc > 0.3*span {
+		t.Fatalf("concentrated draws wander: max |mu-donor| = %g of span %g", maxConc, span)
+	}
+}
+
+// TestWarmStartSeederDeterministic pins that two identical rng streams
+// yield identical seed sets (the campaign's cross-process invariance
+// rests on this).
+func TestWarmStartSeederDeterministic(t *testing.T) {
+	s := testSpace()
+	seeder := WarmStartSeeder{Donors: []Point{{64, 1, 0.05, 3}, {256, 8, 0.2, 18}}}
+	a := seeder.SeedPoints(s, 15, rand.New(rand.NewSource(9)))
+	b := seeder.SeedPoints(s, 15, rand.New(rand.NewSource(9)))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same stream, different seed points")
+	}
+}
+
+// donorSet fabricates one donor run's observations over the synthetic
+// surface.
+func donorSet(s *Space, n int, seed int64) []Observation {
+	eval := syntheticEvaluator(s)
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Observation, 0, n)
+	for _, pt := range s.SampleN(n, rng) {
+		out = append(out, Observation{X: pt, M: eval(pt)})
+	}
+	return out
+}
+
+// TestForestPriorExcludesUnusableDonors is the satellite regression:
+// Failed and LowFidelity donor observations must never shape a prior.
+func TestForestPriorExcludesUnusableDonors(t *testing.T) {
+	s := testSpace()
+	full := donorSet(s, 20, 1)
+
+	// All-low-fidelity (or failed) donors: no prior at all.
+	poisoned := make([]Observation, len(full))
+	for i, o := range full {
+		poisoned[i] = o
+		if i%2 == 0 {
+			poisoned[i].M.LowFidelity = true
+		} else {
+			poisoned[i].M.Failed = true
+		}
+	}
+	if _, ok := NewForestPrior([][]Observation{poisoned}, RuntimeAccuracy, PriorConfig{Seed: 1}); ok {
+		t.Fatal("prior fitted from failed/low-fidelity donors only")
+	}
+
+	// Mixing unusable observations into a usable set must not change
+	// the fitted prior: predictions equal the clean-set prior's.
+	mixed := append(append([]Observation{}, full...), poisoned...)
+	clean, ok := NewForestPrior([][]Observation{full}, RuntimeAccuracy, PriorConfig{Seed: 1})
+	if !ok {
+		t.Fatal("clean prior did not fit")
+	}
+	dirty, ok := NewForestPrior([][]Observation{mixed}, RuntimeAccuracy, PriorConfig{Seed: 1})
+	if !ok {
+		t.Fatal("mixed prior did not fit")
+	}
+	probe := s.SampleN(30, rand.New(rand.NewSource(7)))
+	X := make([]float64, 0, len(probe)*len(s.Params))
+	for _, pt := range probe {
+		X = append(X, pt...)
+	}
+	co, do := make([]float64, len(probe)), make([]float64, len(probe))
+	for j := 0; j < 2; j++ {
+		clean.PredictInto(j, X, co, 1)
+		dirty.PredictInto(j, X, do, 1)
+		if !reflect.DeepEqual(co, do) {
+			t.Fatalf("objective %d: low-fidelity/failed donors leaked into the prior", j)
+		}
+	}
+	if clean.Weight(0) != dirty.Weight(0) {
+		t.Fatal("unusable donors inflated the prior's strength")
+	}
+}
+
+// TestForestPriorWeightDecays checks the blend weight starts at its cap
+// and fades with local evidence.
+func TestForestPriorWeightDecays(t *testing.T) {
+	s := testSpace()
+	p, ok := NewForestPrior([][]Observation{donorSet(s, 20, 2)}, RuntimeAccuracy,
+		PriorConfig{Seed: 2, MaxWeight: 0.4})
+	if !ok {
+		t.Fatal("prior did not fit")
+	}
+	if w := p.Weight(0); w != 0.4 {
+		t.Fatalf("Weight(0) = %g, want the 0.4 cap", w)
+	}
+	if !(p.Weight(10) > p.Weight(100)) {
+		t.Fatal("weight does not decay with local observations")
+	}
+	if w := p.Weight(100000); w > 0.01 {
+		t.Fatalf("weight %g barely decays", w)
+	}
+}
+
+// TestOptimizeWithPriorDeterministic: a prior-guided exploration stays
+// bit-identical across worker counts (the blend is row-independent).
+func TestOptimizeWithPriorDeterministic(t *testing.T) {
+	s := testSpace()
+	eval := syntheticEvaluator(s)
+	prior, ok := NewForestPrior([][]Observation{donorSet(s, 25, 3)}, RuntimeAccuracy,
+		PriorConfig{Seed: 3, Forest: rf.ForestConfig{Trees: 10, Tree: rf.TreeConfig{MaxDepth: 6, MinLeaf: 2}}})
+	if !ok {
+		t.Fatal("prior did not fit")
+	}
+	var base *Result
+	for _, workers := range []int{1, 4, 8} {
+		cfg := DefaultOptimizerConfig()
+		cfg.RandomSamples = 8
+		cfg.ActiveIterations = 3
+		cfg.BatchPerIteration = 3
+		cfg.CandidatePool = 200
+		cfg.Seed = 5
+		cfg.Workers = workers
+		cfg.Seeder = WarmStartSeeder{Donors: []Point{{96, 2, 0.1, 8}}}
+		cfg.Prior = prior
+		res, err := Optimize(s, eval, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res
+		} else if !reflect.DeepEqual(base, res) {
+			t.Fatalf("workers=%d diverges from workers=1 under a prior", workers)
+		}
+	}
+	if len(base.Front) == 0 {
+		t.Fatal("prior-guided run produced no front")
+	}
+}
+
+// TestPriorLowersSurrogateFloor pins the failure-rescue rule: a lone
+// surrogate needs 5 successful observations, but a prior-backed run
+// keeps its active-learning rounds on as few as 2 — a warm-started cell
+// whose slashed seeding budget was eaten by failures must not silently
+// return a seeds-only front.
+func TestPriorLowersSurrogateFloor(t *testing.T) {
+	s := testSpace()
+	eval := syntheticEvaluator(s)
+	obs := make([]Observation, 0, 4)
+	for i, pt := range s.SampleN(4, rand.New(rand.NewSource(21))) {
+		o := Observation{X: pt, M: eval(pt)}
+		if i >= 3 {
+			o.M.Failed = true // only 3 successes survive
+		}
+		obs = append(obs, o)
+	}
+	cfg := DefaultOptimizerConfig()
+	cfg.Seed = 21
+	if _, ok := fitSurrogates(obs, cfg); ok {
+		t.Fatal("prior-less surrogate fitted below the 5-observation floor")
+	}
+	prior, ok := NewForestPrior([][]Observation{donorSet(s, 20, 22)}, RuntimeAccuracy, PriorConfig{Seed: 22})
+	if !ok {
+		t.Fatal("prior did not fit")
+	}
+	cfg.Prior = prior
+	if _, ok := fitSurrogates(obs, cfg); !ok {
+		t.Fatal("prior-backed surrogate refused 3 successful observations")
+	}
+	// One success is still too few even with a prior.
+	if _, ok := fitSurrogates(obs[:1], cfg); ok {
+		t.Fatal("prior-backed surrogate fitted on a single observation")
+	}
+}
+
+// TestFullObservations pins the shared donor/preload filter.
+func TestFullObservations(t *testing.T) {
+	obs := []Observation{
+		{M: Metrics{Runtime: 1}},
+		{M: Metrics{Runtime: 2, LowFidelity: true}},
+		{M: Metrics{Runtime: 3, Failed: true}},
+		{M: Metrics{Runtime: 4}},
+	}
+	got := FullObservations(obs)
+	if len(got) != 2 || got[0].M.Runtime != 1 || got[1].M.Runtime != 4 {
+		t.Fatalf("FullObservations = %+v", got)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

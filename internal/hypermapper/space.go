@@ -242,6 +242,44 @@ func (s *Space) LatinHypercube(n int, rng *rand.Rand) []Point {
 	return out
 }
 
+// SampleNeighborhoodInto fills dst with one draw from a clamped
+// neighbourhood of center — the concentrated counterpart of SampleInto
+// that warm-start seeding uses to place configurations near donor
+// winners. radius scales the neighbourhood width as a fraction of each
+// parameter's span (ordinals use index distance so unevenly spaced
+// choice lists keep a uniform notion of "near"); draws landing outside
+// a domain are clamped onto it, and every value is snapped onto the
+// domain via Nearest, so ordinal axes always round-trip to exact
+// choice-list members. Exactly one rng draw is consumed per parameter
+// whatever its kind, so the stream stays aligned across spaces.
+func (s *Space) SampleNeighborhoodInto(dst, center Point, radius float64, rng *rand.Rand) {
+	for i, p := range s.Params {
+		g := rng.NormFloat64()
+		switch p.Kind {
+		case Ordinal:
+			// Step in index space around the nearest choice to center.
+			idx := 0
+			c := p.Nearest(center[i])
+			for j, v := range p.Choices {
+				if v == c {
+					idx = j
+					break
+				}
+			}
+			idx += int(math.Round(g * radius * float64(len(p.Choices))))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(p.Choices) {
+				idx = len(p.Choices) - 1
+			}
+			dst[i] = p.Choices[idx]
+		default:
+			dst[i] = p.Nearest(center[i] + g*radius*(p.Max-p.Min))
+		}
+	}
+}
+
 // Mutate returns a copy of pt with k parameters locally perturbed.
 func (s *Space) Mutate(pt Point, k int, rng *rand.Rand) Point {
 	out := pt.Clone()

@@ -1,6 +1,7 @@
 package hypermapper
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -12,6 +13,94 @@ func testSpace() *Space {
 		{Name: "mu", Kind: Real, Min: 0.01, Max: 0.3},
 		{Name: "icp_iters", Kind: Integer, Min: 1, Max: 20},
 	}}
+}
+
+// TestSampleNeighborhoodEdgeCases covers the degenerate domains the
+// warm-start seeder can hand to concentrated sampling: 1-point spaces
+// (a single ordinal choice, collapsed integer and real ranges), centres
+// sitting on domain boundaries, and ordinal axes, whose samples must
+// round-trip to exact choice-list members.
+func TestSampleNeighborhoodEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+
+	// 1-point domains: every draw is the single member.
+	one := &Space{Params: []Parameter{
+		{Name: "o", Kind: Ordinal, Choices: []float64{128}},
+		{Name: "i", Kind: Integer, Min: 3, Max: 3},
+		{Name: "r", Kind: Real, Min: 0.5, Max: 0.5},
+	}}
+	if err := one.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dst := make(Point, 3)
+	for k := 0; k < 50; k++ {
+		one.SampleNeighborhoodInto(dst, Point{128, 3, 0.5}, 0.5, rng)
+		if dst[0] != 128 || dst[1] != 3 || dst[2] != 0.5 {
+			t.Fatalf("1-point space sampled %v", dst)
+		}
+	}
+
+	// Boundary centres with a huge radius: draws clamp into the domain.
+	s := testSpace()
+	lo := make(Point, len(s.Params))
+	hi := make(Point, len(s.Params))
+	for d, p := range s.Params {
+		if p.Kind == Ordinal {
+			lo[d], hi[d] = p.Choices[0], p.Choices[len(p.Choices)-1]
+		} else {
+			lo[d], hi[d] = p.Min, p.Max
+		}
+	}
+	dst = make(Point, len(s.Params))
+	for _, center := range []Point{lo, hi} {
+		for k := 0; k < 200; k++ {
+			s.SampleNeighborhoodInto(dst, center, 2.0, rng)
+			for d, p := range s.Params {
+				switch p.Kind {
+				case Ordinal:
+					found := false
+					for _, c := range p.Choices {
+						if dst[d] == c {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("ordinal %s sampled %g, not a choice member", p.Name, dst[d])
+					}
+				default:
+					if dst[d] < p.Min || dst[d] > p.Max {
+						t.Fatalf("%s sampled %g outside [%g, %g]", p.Name, dst[d], p.Min, p.Max)
+					}
+				}
+				if p.Kind == Integer && dst[d] != math.Round(dst[d]) {
+					t.Fatalf("integer %s sampled non-integer %g", p.Name, dst[d])
+				}
+			}
+		}
+	}
+
+	// An off-grid ordinal centre (e.g. a donor recorded before a choice
+	// list changed) snaps to its nearest member rather than escaping
+	// the domain.
+	dst = make(Point, len(s.Params))
+	for k := 0; k < 50; k++ {
+		s.SampleNeighborhoodInto(dst, Point{100, 3, 0.15, 10.4}, 0.0, rng)
+		if dst[0] != 96 {
+			t.Fatalf("off-grid ordinal centre 100 sampled %g at radius 0, want nearest choice 96", dst[0])
+		}
+	}
+
+	// The rng stream advances exactly one draw per parameter whatever
+	// the kind: two spaces with different kinds but equal length stay
+	// stream-aligned.
+	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	s.SampleNeighborhoodInto(dst, lo, 0.1, a)
+	for i := 0; i < len(s.Params); i++ {
+		b.NormFloat64()
+	}
+	if a.Int63() != b.Int63() {
+		t.Fatal("SampleNeighborhoodInto consumed a non-uniform rng stream")
+	}
 }
 
 func TestSpaceValidate(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"text/tabwriter"
 )
 
@@ -58,6 +59,21 @@ type CampaignCell struct {
 	// — it depends on which process rendered first — so it is rendered
 	// only by WriteCampaignProvenance.
 	SeqSource string `json:"-"`
+	// TransferBorrower marks a cell the campaign's transfer schedule
+	// warm-started from donor cells; TransferDonors names those donors
+	// ("scenario/device") and TransferSeeds counts the distinct donor
+	// configurations its seeding borrowed. Deterministic (the donor
+	// topology is a pure function of the campaign options), rendered by
+	// the table and CSV writers only when the report's Transfer flag is
+	// set — and omitted from the JSON otherwise — so transfer-off
+	// reports keep their byte surface.
+	TransferBorrower bool     `json:"transfer_borrower,omitempty"`
+	TransferDonors   []string `json:"transfer_donors,omitempty"`
+	TransferSeeds    int      `json:"transfer_seeds,omitempty"`
+	// Knowledge holds the cell's extracted decision rules (rendered
+	// rf.Rule strings) when the campaign ran with knowledge extraction
+	// enabled; JSON only.
+	Knowledge []string `json:"knowledge,omitempty"`
 	// Failed reports that the cell's exploration panicked and was
 	// quarantined: it has no front or best configuration and the robust
 	// aggregation ranked the surviving cells only. Deterministic for a
@@ -114,6 +130,20 @@ type CampaignReport struct {
 	// RobustFeasibleEverywhere reports whether the winner met the
 	// accuracy limit in every cell.
 	RobustFeasibleEverywhere bool `json:"robust_feasible_everywhere"`
+	// Transfer reports that the campaign ran with cross-cell transfer
+	// learning; the fields below summarise its efficiency (all zero and
+	// omitted otherwise, keeping transfer-off reports byte-identical to
+	// pre-transfer ones). Anchor cells explored from scratch, borrower
+	// cells warm-started from them; the eval counters are full-fidelity
+	// exploration spend summed over the healthy cells of each wave, and
+	// SavingsPct compares the per-cell averages.
+	Transfer                  bool    `json:"transfer,omitempty"`
+	TransferAnchors           int     `json:"transfer_anchors,omitempty"`
+	TransferBorrowers         int     `json:"transfer_borrowers,omitempty"`
+	TransferSeedsBorrowed     int     `json:"transfer_seeds_borrowed,omitempty"`
+	TransferAnchorFullEvals   int     `json:"transfer_anchor_full_evals,omitempty"`
+	TransferBorrowerFullEvals int     `json:"transfer_borrower_full_evals,omitempty"`
+	TransferSavingsPct        float64 `json:"transfer_savings_pct,omitempty"`
 	// SeqRenders / SeqDiskHits / SeqMemoryHits / SeqDegradations /
 	// SeqEvictions are this process's rendered-sequence cache counters.
 	// Renders counts actual renderer invocations, so summing SeqRenders
@@ -134,7 +164,11 @@ type CampaignReport struct {
 // campaign analogue of WriteTable.
 func WriteCampaignTable(w io.Writer, r *CampaignReport) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "scenario\tdevice\tfid\tevals\tfull\tfront\tbestFPS\tbestATE(m)\trobustFPS\trobustATE(m)\trobustRank\trobustOK")
+	header := "scenario\tdevice\tfid\tevals\tfull\tfront\tbestFPS\tbestATE(m)\trobustFPS\trobustATE(m)\trobustRank\trobustOK"
+	if r.Transfer {
+		header += "\tdonors\tseeds"
+	}
+	fmt.Fprintln(tw, header)
 	for _, c := range r.Cells {
 		best := "-"
 		bestATE := "-"
@@ -151,22 +185,48 @@ func WriteCampaignTable(w io.Writer, r *CampaignReport) error {
 			// zeros masquerading as measurements.
 			fid = "failed"
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%s\t%s\t%.1f\t%.4f\t%d\t%v\n",
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%s\t%s\t%.1f\t%.4f\t%d\t%v",
 			c.Scenario, c.Device, fid, c.Evaluations, c.FullFidelityEvals, c.FrontSize,
 			best, bestATE, fps(c.RobustRuntime), c.RobustMaxATE, c.RobustRank, c.RobustFeasible)
+		if r.Transfer {
+			donors := "-" // anchor: explored from scratch
+			if c.TransferBorrower {
+				donors = strings.Join(c.TransferDonors, "+")
+				if donors == "" {
+					donors = "degraded" // every donor unusable; explored from scratch
+				}
+			}
+			fmt.Fprintf(tw, "\t%s\t%d", donors, c.TransferSeeds)
+		}
+		fmt.Fprintln(tw)
 	}
 	if err := tw.Flush(); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "\nrobust configuration (of %d candidates, worst rank %d, feasible everywhere: %v):\n  %s\n",
-		r.Candidates, r.RobustWorstRank, r.RobustFeasibleEverywhere, r.RobustConfig)
-	return err
+	if _, err := fmt.Fprintf(w, "\nrobust configuration (of %d candidates, worst rank %d, feasible everywhere: %v):\n  %s\n",
+		r.Candidates, r.RobustWorstRank, r.RobustFeasibleEverywhere, r.RobustConfig); err != nil {
+		return err
+	}
+	if r.Transfer {
+		if _, err := fmt.Fprintf(w, "transfer: %d anchors (%d full-fidelity evals), %d borrowers (%d full-fidelity evals, %d seeds borrowed), savings %.1f%% per cell\n",
+			r.TransferAnchors, r.TransferAnchorFullEvals, r.TransferBorrowers,
+			r.TransferBorrowerFullEvals, r.TransferSeedsBorrowed, r.TransferSavingsPct); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteCampaignCSV emits one row per cell, suitable for external
 // plotting of cross-scenario comparisons.
 func WriteCampaignCSV(w io.Writer, r *CampaignReport) error {
-	if _, err := fmt.Fprintln(w, "scenario,device,fidelity,promoted,failed,evaluations,full_fidelity,low_fidelity,front_size,feasible,best_runtime,best_max_ate,best_power,robust_runtime,robust_max_ate,robust_rank,robust_feasible"); err != nil {
+	header := "scenario,device,fidelity,promoted,failed,evaluations,full_fidelity,low_fidelity,front_size,feasible,best_runtime,best_max_ate,best_power,robust_runtime,robust_max_ate,robust_rank,robust_feasible"
+	if r.Transfer {
+		// Transfer provenance columns appear only in transfer campaigns,
+		// keeping transfer-off CSVs byte-identical to pre-transfer ones.
+		header += ",transfer_borrower,transfer_donors,transfer_seeds"
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
 	for _, c := range r.Cells {
@@ -183,11 +243,26 @@ func WriteCampaignCSV(w io.Writer, r *CampaignReport) error {
 		if c.Failed {
 			failed = 1
 		}
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d",
 			c.Scenario, c.Device, c.Fidelity, prom, failed, c.Evaluations, c.FullFidelityEvals,
 			c.LowFidelityEvals, c.FrontSize,
 			feas, c.BestRuntime, c.BestMaxATE, c.BestPower,
 			c.RobustRuntime, c.RobustMaxATE, c.RobustRank, rfeas); err != nil {
+			return err
+		}
+		if r.Transfer {
+			borrower := 0
+			if c.TransferBorrower {
+				borrower = 1
+			}
+			// Donors are ";"-joined: the labels contain "/" but never ","
+			// or ";", so the column stays a single CSV field.
+			if _, err := fmt.Fprintf(w, ",%d,%s,%d",
+				borrower, strings.Join(c.TransferDonors, ";"), c.TransferSeeds); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
 			return err
 		}
 	}

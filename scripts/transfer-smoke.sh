@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Transfer-learning smoke test: run the same 4-scenario × 2-device
+# campaign grid with and without -campaign-transfer and enforce the
+# acceptance bar end to end through real binaries:
+#
+#   1. the transfer-off table report must be byte-identical to the
+#      golden captured before the transfer layer existed — transfer off
+#      means *nothing* changed;
+#   2. campaigncmp compares the off/on JSON reports: every warm-started
+#      borrower spends ≥20% fewer full-fidelity evaluations, anchors
+#      are untouched, and the summed shared-reference hypervolume of
+#      the transfer fronts is equal or better.
+#
+# In-process tests cover the same invariants (plus determinism under
+# -race) on a smaller grid; this script covers the real CLI surface on
+# the grid the golden pins.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DIR=.campaign-transfer-smoke
+BIN=$DIR/experiments
+CMP=$DIR/campaigncmp
+FLAGS=(-campaign -quick
+  -campaign-scenes lr_kt0,lr_kt1,lr_kt2,of_kt0
+  -campaign-devices odroid-xu3,pixel-adreno530
+  -random 8 -active 2 -batch 2)
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+trap 'rm -rf "$DIR"' EXIT
+
+go build -o "$BIN" ./cmd/experiments
+go build -o "$CMP" ./cmd/campaigncmp
+
+# Transfer off: the report must not have moved a byte since the golden
+# was captured (pre-transfer seeding is golden-tested at the library
+# layer too; this pins the whole binary).
+"$BIN" "${FLAGS[@]}" -o "$DIR/off.txt" 2>/dev/null
+diff scripts/testdata/transfer-smoke-off.golden "$DIR/off.txt"
+
+# The same grid as JSON, off and on, for the structured comparison.
+"$BIN" "${FLAGS[@]}" -campaign-format json -o "$DIR/off.json" 2>/dev/null
+"$BIN" "${FLAGS[@]}" -campaign-format json -campaign-transfer \
+  -o "$DIR/on.json" 2>"$DIR/on.log"
+
+# The transfer campaign must say what it borrowed (stderr provenance).
+grep -q 'warm start' "$DIR/on.log" || {
+  echo "transfer-smoke: transfer campaign logged no warm starts" >&2
+  cat "$DIR/on.log" >&2
+  exit 1
+}
+
+"$CMP" -off "$DIR/off.json" -on "$DIR/on.json" -min-savings 20
+
+echo "campaign-transfer-smoke: transfer-off byte-identical to golden; borrowers ≥20% cheaper at equal-or-better hypervolume"
