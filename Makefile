@@ -1,4 +1,4 @@
-.PHONY: test race bench bench-compare bench-save campaign-smoke campaign-resume-smoke campaign-distributed-smoke campaign-cache-smoke campaign-transfer-smoke
+.PHONY: test race bench bench-compare bench-save campaign-smoke campaign-resume-smoke campaign-distributed-smoke campaign-cache-smoke campaign-transfer-smoke campaign-evalcache-smoke
 
 test:
 	go build ./... && go test ./...
@@ -9,7 +9,7 @@ test:
 # across workers plus the checkpoint/resume suite — so it needs more
 # than the default 10-minute package timeout under the race detector.
 race:
-	go test -race -timeout 30m ./internal/parallel/... ./internal/hypermapper/... ./internal/campaign/... ./internal/seqcache/... ./internal/sharedfs/...
+	go test -race -timeout 30m ./internal/parallel/... ./internal/hypermapper/... ./internal/campaign/... ./internal/seqcache/... ./internal/sharedfs/... ./internal/evalstore/...
 
 bench:
 	go test -run '^$$' -bench . -benchmem .
@@ -17,7 +17,7 @@ bench:
 # Snapshot the benchmarks, compare against the saved baseline with
 # benchstat (when available) and distill the run into
 # BENCH_$(BENCH_INDEX).json (the per-PR snapshot series).
-BENCH_INDEX ?= 6
+BENCH_INDEX ?= 7
 bench-compare:
 	./scripts/bench-compare.sh $(BENCH_INDEX)
 
@@ -82,3 +82,10 @@ campaign-transfer-smoke:
 # files in the cache directory.
 campaign-cache-smoke:
 	./scripts/cache-smoke.sh
+
+# Smoke test of the persistent evaluation store: a cold campaign run
+# fills the store, a warm re-run must simulate nothing while rendering
+# a byte-identical report, and a record corrupted in place must be
+# silently repaired by exactly one re-simulation.
+campaign-evalcache-smoke:
+	./scripts/evalcache-smoke.sh

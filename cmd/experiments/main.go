@@ -46,6 +46,9 @@ func main() {
 		campLeaseTTL   = flag.Duration("campaign-lease-ttl", 0, "heartbeat deadline after which a dead worker's cell lease is reclaimed by its peers (with -campaign-worker-id; default 10s)")
 		campSeqCache   = flag.String("campaign-seq-cache", "", "content-addressed rendered-sequence cache directory shared by campaign cells and cooperating workers (default: <campaign-checkpoint>/seqcache when checkpointing, otherwise in-process only; \"off\" disables the disk cache entirely)")
 		campSeqCacheMB = flag.Int64("campaign-seq-cache-max-mb", 0, "evict oldest rendered-sequence artifacts once the cache exceeds this many MiB (0 = unbounded)")
+		campEvalCache  = flag.String("campaign-eval-cache", "", "persistent content-addressed simulation-result store shared by campaign cells, cooperating workers, resumed runs and separate campaigns — no configuration is ever simulated twice against the same store (default: <campaign-checkpoint>/evalcache when checkpointing, otherwise in-process memoization only; a relative path is anchored under -campaign-checkpoint; \"off\" disables the disk store entirely)")
+		campEvalMB     = flag.Int64("campaign-eval-cache-max-mb", 0, "evict evaluation records deterministically once the store exceeds this many MiB (0 = unbounded)")
+		campCacheStats = flag.Bool("campaign-cache-stats", false, "add the cache counters (memo, evaluation store, sequence cache) to the JSON report under \"caches\" — execution provenance that differs between cold and warm runs, so it is off by default to keep report bytes comparable")
 		campTransfer   = flag.Bool("campaign-transfer", false, "warm-start off-diagonal cells from the grid-diagonal anchor cells' results: borrowers seed from donor winners on a reduced budget and bias acquisition with a donor-pooled prior (donor data steers sampling only — it never enters a cell's reported results)")
 		campTransSeeds = flag.Int("campaign-transfer-seeds", 0, "seeding budget of a warm-started borrower cell (with -campaign-transfer; 0 = default 3, minimum 3)")
 		campKnowledge  = flag.Bool("campaign-knowledge", false, "extract per-cell decision rules (paper §V 'knowledge extraction') from each full-fidelity cell's observations into the JSON report")
@@ -89,6 +92,13 @@ func main() {
 		case seqCacheDir == "" && *campCheckpoint != "":
 			seqCacheDir = filepath.Join(*campCheckpoint, "seqcache")
 		}
+		// Same policy for the evaluation store, with the contradictory
+		// combinations ("off" plus a size bound, a relative path with
+		// nothing to anchor it) rejected here — before any simulation.
+		evalCacheDir, err := campaign.ResolveEvalCacheDir(*campEvalCache, *campCheckpoint, *campEvalMB)
+		if err != nil {
+			fatal(err)
+		}
 		opts := campaign.Options{
 			RandomSamples:       *random,
 			ActiveIterations:    *active,
@@ -105,6 +115,9 @@ func main() {
 			LeaseTTL:            *campLeaseTTL,
 			SeqCacheDir:         seqCacheDir,
 			SeqCacheMaxBytes:    *campSeqCacheMB << 20,
+			EvalCacheDir:        evalCacheDir,
+			EvalCacheMaxBytes:   *campEvalMB << 20,
+			CacheStats:          *campCacheStats,
 			StopAfter:           stopAfter,
 			Transfer:            *campTransfer,
 			TransferSeeds:       *campTransSeeds,
@@ -144,10 +157,11 @@ func main() {
 		if err := writeReport(w, rep); err != nil {
 			fatal(err)
 		}
-		if *campCheckpoint != "" {
+		if *campCheckpoint != "" || seqCacheDir != "" || evalCacheDir != "" {
 			// Execution provenance (which cells were resumed, at which
-			// fidelity) goes to stderr so the report on stdout/-o stays
-			// byte-comparable between fresh and resumed runs.
+			// fidelity, what the caches served) goes to stderr so the
+			// report on stdout/-o stays byte-comparable between fresh,
+			// resumed and cached runs.
 			eprint("campaign provenance:")
 			if err := slambench.WriteCampaignProvenance(os.Stderr, rep); err != nil {
 				fatal(err)

@@ -247,6 +247,54 @@
 // warm-started borrower to spend at least 20% fewer full-fidelity
 // simulations at an equal-or-better shared-reference hypervolume.
 //
+// # Persistent evaluation store
+//
+// A configuration's simulated metrics are a pure function of the
+// configuration, the rendered sequence, the device model and the
+// sampling stride — so once any process anywhere has simulated a
+// point, no process should ever simulate it again.
+// internal/evalstore is that memory: a persistent, content-addressed
+// result store that backs hypermapper's in-process memoisation
+// (MemoEvaluator consults a ResultTier on memory miss) with a disk
+// tier shared across workers, runs and campaigns. The key is a sha256
+// over the canonical point encoding (hypermapper.AppendKey — ±0
+// normalised, NaN rejected, prefix-free, ordinals by index) plus a
+// scope prefix naming everything else that determines the result: the
+// scenario's core.Scale.CacheKey, the device profile, the sampling
+// stride and a format version. Records are small versioned binaries
+// with an embedded sha256, written atomically (temp file + rename)
+// into fan-out shards; failed evaluations persist as failed records
+// (the evaluator's verdict is deterministic), while low-fidelity
+// results are never published and never satisfy a lookup — the stride
+// in the key is the fidelity firewall.
+//
+// Lookups walk the same never-fatal ladder as the sequence cache:
+// in-process memo hit, else checksum-verified disk hit, else
+// simulate-and-publish under a per-key lease (one simulator per
+// configuration per store; peers poll, dead holders are reclaimed
+// after the TTL), else plain inline simulation. Data defects are
+// silent misses repaired by one re-simulation and re-publish; real
+// I/O faults ride the bounded sharedfs retry ladder and then degrade.
+// The instrumentation hook sits under the store, so a disk hit is
+// never counted — or priced — as a simulation, and the store's
+// counters (simulations, disk hits, published, degradations,
+// evictions) plus the memo's hit/miss totals ride the stderr
+// provenance table; -campaign-cache-stats additionally embeds them,
+// with the sequence-cache counters, as a "caches" object in the JSON
+// report. The default report surface stays byte-identical between
+// cached, uncached and any-worker-count runs.
+//
+// cmd/experiments exposes the store as -campaign-eval-cache: it
+// defaults to <checkpoint>/evalcache whenever -campaign-checkpoint is
+// set, "off" disables it, a relative path lives under the checkpoint
+// directory, and -campaign-eval-cache-max-mb bounds the store with
+// deterministic eviction (bounding a disabled store is a flag error,
+// caught before the campaign starts). `make campaign-evalcache-smoke`
+// enforces the claim end-to-end in CI: a warm re-run of a cold
+// campaign must simulate nothing while rendering a byte-identical
+// report, and a record corrupted in place must be silently repaired
+// by exactly one re-simulation.
+//
 // The frame kernels are allocation-free in the steady state: an
 // imgproc.BufferPool (sync.Pool-backed, one pool per map size) recycles
 // every per-frame depth/vertex/normal map, the bilateral filter's

@@ -42,11 +42,13 @@ package campaign
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"slamgo/internal/core"
 	"slamgo/internal/device"
+	"slamgo/internal/evalstore"
 	"slamgo/internal/hypermapper"
 	"slamgo/internal/kfusion"
 	"slamgo/internal/phones"
@@ -271,6 +273,28 @@ type Options struct {
 	// unbounded); over-budget artifacts are evicted deterministically in
 	// lexicographic key order, newest write exempt.
 	SeqCacheMaxBytes int64
+	// EvalCacheDir, when non-empty, persists every simulation result
+	// into the content-addressed evaluation store of internal/evalstore
+	// shared across cells, stages, cooperating worker processes, resumed
+	// runs and entirely separate campaigns: each distinct (configuration,
+	// sequence, device, fidelity stride) is simulated once per shared
+	// store, anywhere, and loaded everywhere else. Every store failure
+	// mode — corrupt or torn records, a full disk, a dead simulator's
+	// lease — degrades gracefully to inline simulation: logged, counted
+	// in Result.EvalStats, never fatal, and the report is byte-identical
+	// either way. Empty keeps evaluation memoization in-process only.
+	EvalCacheDir string
+	// EvalCacheMaxBytes bounds the evaluation store's on-disk size (0 =
+	// unbounded); over-budget records are evicted deterministically in
+	// lexicographic key order, newest write exempt. Requires EvalCacheDir.
+	EvalCacheMaxBytes int64
+	// CacheStats adds the cache-counter summary (memo, evaluation store,
+	// sequence cache) to the JSON report under "caches". Off by default
+	// because the counters are execution provenance — a warm store turns
+	// simulations into disk hits — so the default report surface stays
+	// byte-identical across cold, warm and multi-worker runs; the same
+	// counters always reach stderr via WriteCampaignProvenance.
+	CacheStats bool
 	// StopAfter, when non-empty, ends the run cleanly after the named
 	// stage (the checkpoint/resume analogue of a kill at a stage
 	// boundary; Result.StoppedAfter echoes it). The zero value runs to
@@ -296,6 +320,9 @@ type Options struct {
 	// cacheFaults, when non-nil, arms the sequence cache's fault plan —
 	// the seam the cache crash-safety tests use.
 	cacheFaults *seqcache.FaultPlan
+	// evalFaults, when non-nil, arms the evaluation store's fault plan —
+	// the seam its crash-safety tests use.
+	evalFaults *evalstore.FaultPlan
 	// sleepFn and nowFn override time.Sleep / time.Now in the retry,
 	// poll and lease layers (tests only; results never depend on them).
 	sleepFn func(time.Duration)
@@ -386,7 +413,49 @@ func (o Options) Validate() error {
 	if o.LeaseTTL < 0 {
 		return fmt.Errorf("campaign: negative lease TTL %v", o.LeaseTTL)
 	}
+	if o.EvalCacheMaxBytes < 0 {
+		return fmt.Errorf("campaign: negative eval cache size %d", o.EvalCacheMaxBytes)
+	}
+	if o.EvalCacheMaxBytes > 0 && o.EvalCacheDir == "" {
+		return errors.New("campaign: EvalCacheMaxBytes without EvalCacheDir bounds nothing")
+	}
 	return nil
+}
+
+// ResolveEvalCacheDir maps the -campaign-eval-cache flag (and its size
+// companion) onto Options.EvalCacheDir, failing fast — before any
+// simulation — on contradictory combinations. The cache defaults on
+// alongside checkpointing ("" with a checkpoint directory becomes
+// <checkpoint>/evalcache), "off" disables it entirely, a relative path
+// is anchored under the checkpoint directory (so cooperating workers
+// sharing a checkpoint share the store without repeating an absolute
+// path), and an absolute path stands alone.
+func ResolveEvalCacheDir(flagVal, checkpointDir string, maxMB int64) (string, error) {
+	if maxMB < 0 {
+		return "", fmt.Errorf("campaign: negative eval cache bound %d MiB", maxMB)
+	}
+	switch {
+	case flagVal == "off":
+		if maxMB > 0 {
+			return "", errors.New("campaign: -campaign-eval-cache-max-mb with -campaign-eval-cache=off bounds a cache that does not exist")
+		}
+		return "", nil
+	case flagVal == "":
+		if checkpointDir != "" {
+			return filepath.Join(checkpointDir, "evalcache"), nil
+		}
+		if maxMB > 0 {
+			return "", errors.New("campaign: -campaign-eval-cache-max-mb without an eval cache (set -campaign-eval-cache or -campaign-checkpoint)")
+		}
+		return "", nil
+	case !filepath.IsAbs(flagVal):
+		if checkpointDir == "" {
+			return "", fmt.Errorf("campaign: relative -campaign-eval-cache %q needs -campaign-checkpoint to anchor it (or use an absolute path)", flagVal)
+		}
+		return filepath.Join(checkpointDir, flagVal), nil
+	default:
+		return flagVal, nil
+	}
 }
 
 // CellResult is one cell's exploration outcome.
@@ -495,6 +564,21 @@ type Result struct {
 	// Execution provenance (the render/hit split depends on scheduling),
 	// never part of the deterministic report surface.
 	SeqStats seqcache.Stats
+	// EvalStats are this process's persistent evaluation-store counters:
+	// summing Simulations over every cooperating process proves each
+	// distinct (configuration, sequence, device, stride) was simulated
+	// exactly once per shared store. Execution provenance like SeqStats
+	// — a warm store turns simulations into disk hits.
+	EvalStats evalstore.Stats
+	// MemoHits and MemoMisses aggregate the in-memory memoization layer
+	// over every evaluator the campaign built (cell explorations, ladder
+	// rungs, cross-measurements). A miss means the memo went below its
+	// memory layer — to the evaluation store when one is configured,
+	// straight to simulation otherwise.
+	MemoHits, MemoMisses int
+	// CacheSummary echoes Options.CacheStats: when set, Report adds the
+	// cache counters to the JSON surface under "caches".
+	CacheSummary bool
 }
 
 // Run executes the staged campaign: Plan (validation + grid), Explore
@@ -546,6 +630,30 @@ func (r *Result) Report() *slambench.CampaignReport {
 		SeqMemoryHits:   r.SeqStats.MemoryHits,
 		SeqDegradations: r.SeqStats.Degradations,
 		SeqEvictions:    r.SeqStats.Evictions,
+
+		EvalSimulations:  r.EvalStats.Simulations,
+		EvalDiskHits:     r.EvalStats.DiskHits,
+		EvalPublished:    r.EvalStats.Published,
+		EvalDegradations: r.EvalStats.Degradations,
+		EvalEvictions:    r.EvalStats.Evictions,
+		MemoHits:         r.MemoHits,
+		MemoMisses:       r.MemoMisses,
+	}
+	if r.CacheSummary {
+		rep.Caches = &slambench.CampaignCacheSummary{
+			MemoHits:         r.MemoHits,
+			MemoMisses:       r.MemoMisses,
+			EvalSimulations:  r.EvalStats.Simulations,
+			EvalDiskHits:     r.EvalStats.DiskHits,
+			EvalPublished:    r.EvalStats.Published,
+			EvalDegradations: r.EvalStats.Degradations,
+			EvalEvictions:    r.EvalStats.Evictions,
+			SeqRenders:       r.SeqStats.Renders,
+			SeqDiskHits:      r.SeqStats.DiskHits,
+			SeqMemoryHits:    r.SeqStats.MemoryHits,
+			SeqDegradations:  r.SeqStats.Degradations,
+			SeqEvictions:     r.SeqStats.Evictions,
+		}
 	}
 	feasible := hypermapper.AccuracyLimit(r.AccuracyLimit)
 	for j, c := range r.Cells {

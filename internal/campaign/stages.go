@@ -9,6 +9,7 @@ import (
 	"slamgo/internal/core"
 	"slamgo/internal/dataset"
 	"slamgo/internal/device"
+	"slamgo/internal/evalstore"
 	"slamgo/internal/hypermapper"
 	"slamgo/internal/parallel"
 	"slamgo/internal/seqcache"
@@ -173,6 +174,10 @@ type runner struct {
 	cache    *seqcache.Cache // rendered-sequence cache (memory-only without SeqCacheDir)
 	seqMu    sync.Mutex      // guards seqSrc
 	seqSrc   []string        // provenance: where each cell's sequence came from
+
+	evals  *evalstore.Store             // persistent evaluation store (nil without EvalCacheDir)
+	memoMu sync.Mutex                   // guards memos
+	memos  []*hypermapper.MemoEvaluator // every memo the run built, for stats aggregation
 }
 
 // workerLabel is this process's provenance label for cells it computes.
@@ -242,6 +247,27 @@ func newRunner(opts Options) (*runner, error) {
 	if opts.cacheFaults != nil {
 		r.cache.InjectFaults(*opts.cacheFaults)
 	}
+	// The persistent evaluation store. With EvalCacheDir every simulation
+	// result is published to (and looked up from) the shared
+	// content-addressed store, so each distinct (configuration, sequence,
+	// device, fidelity stride) is simulated once per store — across
+	// cells, stages, cooperating workers, resumed runs and separate
+	// campaigns. Open never fails: an unusable directory degrades every
+	// lookup to inline simulation instead of failing the campaign.
+	if opts.EvalCacheDir != "" {
+		r.evals = evalstore.Open(evalstore.Options{
+			Dir:      opts.EvalCacheDir,
+			Worker:   r.workerLabel(),
+			LeaseTTL: opts.LeaseTTL,
+			MaxBytes: opts.EvalCacheMaxBytes,
+			Log:      func(format string, args ...any) { r.logf(format, args...) },
+			Sleep:    opts.sleepFn,
+			Now:      opts.nowFn,
+		})
+		if opts.evalFaults != nil {
+			r.evals.InjectFaults(*opts.evalFaults)
+		}
+	}
 	n := len(r.cells)
 	r.screens = make([]*cellArtifact, n)
 	r.arts = make([]*cellArtifact, n)
@@ -293,6 +319,33 @@ func (r *runner) instrument(cell Cell, class string, eval hypermapper.Evaluator)
 		hook(idx, class)
 		return eval(pt)
 	}
+}
+
+// memo builds a cell evaluator's memoization stack: the in-process
+// memory layer, backed by the persistent evaluation store when one is
+// configured. stride is the fidelity the evaluator actually runs at —
+// 1 for full-sequence evaluation, the subsampling stride otherwise —
+// and is part of every store key, so a subsampled result can never
+// answer a full-fidelity lookup. Every memo is registered so the run's
+// hit/miss counters can be aggregated into the result.
+func (r *runner) memo(cell Cell, stride int, eval hypermapper.Evaluator) *hypermapper.MemoEvaluator {
+	var tier hypermapper.ResultTier
+	if r.evals != nil {
+		tier = r.evals.Scope(cell.Scenario.Scale.CacheKey(), deviceKey(cell.Target), stride)
+	}
+	m := hypermapper.NewTieredMemoEvaluator(eval, tier)
+	r.memoMu.Lock()
+	r.memos = append(r.memos, m)
+	r.memoMu.Unlock()
+	return m
+}
+
+// deviceKey is the device identity in evaluation-store keys: the full
+// rendered profile — the same `%+v` identity artifactName hashes — so
+// two targets that share a name but differ in any modelled parameter
+// never share records.
+func deviceKey(p device.Profile) string {
+	return fmt.Sprintf("%+v", p)
 }
 
 // artifactName keys a cell's exploration artifact: the fidelity kind,
@@ -521,11 +574,13 @@ func (r *runner) exploreCell(cell Cell, fidelity string) (*cellArtifact, error) 
 		// on the CellStride-subsampled sequence. No intra-cell ladder on
 		// top — the workload is already cheap by the stride.
 		view := slambench.Subsample(seq, r.opts.CellStride)
-		eval = hypermapper.NewMemoEvaluator(
+		eval = r.memo(cell, r.opts.CellStride,
 			r.instrument(cell, simScreen, core.NewEvaluator(r.space, view, model))).Evaluate
 	case r.opts.FidelityStride > 1:
 		// Full fidelity with the intra-cell ladder; the WrapEval hook
-		// threads the simulation instrumentation under the memos.
+		// threads the simulation instrumentation under the memos and the
+		// Memo hook backs both rungs with the evaluation store, each at
+		// its own stride.
 		ladder, eval = core.NewMultiFidelityEvaluator(r.space, seq, model, core.FidelityOptions{
 			Stride:          r.opts.FidelityStride,
 			PromoteFraction: r.opts.PromoteFraction,
@@ -538,9 +593,16 @@ func (r *runner) exploreCell(cell Cell, fidelity string) (*cellArtifact, error) 
 				}
 				return r.instrument(cell, class, e)
 			},
+			Memo: func(fidelity string, e hypermapper.Evaluator) *hypermapper.MemoEvaluator {
+				stride := 1
+				if fidelity == "low" {
+					stride = r.opts.FidelityStride
+				}
+				return r.memo(cell, stride, e)
+			},
 		})
 	default:
-		eval = hypermapper.NewMemoEvaluator(
+		eval = r.memo(cell, 1,
 			r.instrument(cell, simFull, core.NewEvaluator(r.space, seq, model))).Evaluate
 	}
 
@@ -796,7 +858,7 @@ func (r *runner) measureCell(j int, cell Cell, candidates []hypermapper.Point, n
 	if err != nil {
 		return nil, fmt.Errorf("campaign: cell %s/%s: %w", cell.Scenario.Name, cell.Target.Name, err)
 	}
-	memo := hypermapper.NewMemoEvaluator(
+	memo := r.memo(cell, 1,
 		r.instrument(cell, simCross, core.NewEvaluator(r.space, seq, device.NewModel(cell.Target))))
 	if art := r.arts[j]; art.Fidelity == FidelityFull {
 		// The shared donor/preload filter (hypermapper.FullObservations)
@@ -893,7 +955,18 @@ func (r *runner) aggregate(candidates []hypermapper.Point, perCell [][]hypermapp
 // runs included) from the stage artifacts.
 func (r *runner) result(stopped Stage) *Result {
 	res := &Result{AccuracyLimit: r.opts.AccuracyLimit, StoppedAfter: stopped,
-		Transfer: r.opts.Transfer, SeqStats: r.cache.Stats()}
+		Transfer: r.opts.Transfer, SeqStats: r.cache.Stats(),
+		CacheSummary: r.opts.CacheStats}
+	if r.evals != nil {
+		res.EvalStats = r.evals.Stats()
+	}
+	r.memoMu.Lock()
+	for _, m := range r.memos {
+		h, miss := m.Stats()
+		res.MemoHits += h
+		res.MemoMisses += miss
+	}
+	r.memoMu.Unlock()
 	for i := range r.cells {
 		art := r.arts[i]
 		if art == nil {

@@ -219,6 +219,13 @@ type FidelityOptions struct {
 	// because the wrap sits under the memo, cache hits never pass
 	// through it.
 	WrapEval func(fidelity string, eval hypermapper.Evaluator) hypermapper.Evaluator
+	// Memo, when non-nil, constructs each rung's memo evaluator from
+	// its (already wrapped) base evaluator — fidelity is "full" or
+	// "low". The campaign engine plugs in here to back both rungs with
+	// the persistent evaluation store (a full-fidelity rung keyed at
+	// stride 1, a low rung at the ladder's stride); nil gets a plain
+	// in-memory hypermapper.NewMemoEvaluator.
+	Memo func(fidelity string, eval hypermapper.Evaluator) *hypermapper.MemoEvaluator
 }
 
 // FidelityRank is the constraint-aware promotion ranking of the
@@ -259,8 +266,14 @@ func NewMultiFidelityEvaluator(space *hypermapper.Space, seq dataset.Sequence, m
 		highBase = opts.WrapEval("full", highBase)
 		lowBase = opts.WrapEval("low", lowBase)
 	}
-	high := hypermapper.NewMemoEvaluator(highBase)
-	low := hypermapper.NewMemoEvaluator(lowBase)
+	newMemo := opts.Memo
+	if newMemo == nil {
+		newMemo = func(_ string, eval hypermapper.Evaluator) *hypermapper.MemoEvaluator {
+			return hypermapper.NewMemoEvaluator(eval)
+		}
+	}
+	high := newMemo("full", highBase)
+	low := newMemo("low", lowBase)
 	var rank func(hypermapper.Metrics) float64
 	if opts.AccuracyLimit > 0 {
 		rank = FidelityRank(opts.AccuracyLimit)

@@ -1,0 +1,125 @@
+package evalstore
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// Fault injection for the store's crash-safety suite, mirroring
+// seqcache's and campaign.FaultStore's: faults fire on a deterministic
+// schedule keyed by operation index, and faults that damage data damage
+// the real files on disk — the store's own defect handling (miss on
+// corrupt, atomic replace on rewrite, inline degradation on a dead
+// store) is what is under test, not a simulation of it.
+
+// FaultKind selects what an injected fault does.
+type FaultKind int
+
+const (
+	// FaultWriteError fails the save with ENOSPC before anything is
+	// written — the classic full disk.
+	FaultWriteError FaultKind = iota
+	// FaultShortWrite lets the save publish, then truncates the
+	// published record to half its bytes and reports ENOSPC — a torn
+	// write on a filesystem without atomic-rename guarantees (or a crash
+	// straddling the flush). Later loads must see the damage as a miss.
+	FaultShortWrite
+	// FaultCorruptRead flips bytes of the on-disk record before the
+	// read — bit rot / a half-synced page. The store must treat the
+	// damaged record as a miss and silently re-simulate.
+	FaultCorruptRead
+	// FaultReadError fails the load with EIO without touching the file.
+	FaultReadError
+)
+
+// FaultPlan schedules faults by zero-based operation index. Every save
+// attempt counts one save op and every load attempt one load op —
+// retried attempts advance the counters too, so a transient fault is
+// one that schedules no fault at the retried index.
+type FaultPlan struct {
+	Save map[int]FaultKind
+	Load map[int]FaultKind
+}
+
+// faultInjector applies a plan to a store's save/load paths. Safe for
+// concurrent use; with concurrent evaluators the op order (and so the
+// fault placement) depends on scheduling, so deterministic tests drive
+// the store single-threaded.
+type faultInjector struct {
+	plan FaultPlan
+
+	mu       sync.Mutex
+	saveOps  int
+	loadOps  int
+	injected int
+}
+
+func (f *faultInjector) nextSave() (FaultKind, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k, ok := f.plan.Save[f.saveOps]
+	f.saveOps++
+	if ok {
+		f.injected++
+	}
+	return k, ok
+}
+
+func (f *faultInjector) nextLoad() (FaultKind, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k, ok := f.plan.Load[f.loadOps]
+	f.loadOps++
+	if ok {
+		f.injected++
+	}
+	return k, ok
+}
+
+// saveFault applies an injected save fault for path; fired reports
+// whether the op schedules one (when true the caller must return err
+// instead of writing).
+func (f *faultInjector) saveFault(path string, write func() error) (fired bool, err error) {
+	kind, ok := f.nextSave()
+	if !ok {
+		return false, nil
+	}
+	switch kind {
+	case FaultShortWrite:
+		// Let the real write land, then tear the published file: the
+		// bytes that survive a short write are a prefix.
+		if werr := write(); werr != nil {
+			return true, werr
+		}
+		if info, serr := os.Stat(path); serr == nil {
+			os.Truncate(path, info.Size()/2)
+		}
+		return true, fmt.Errorf("evalstore: fault injection: short write of %s: %w", path, syscall.ENOSPC)
+	default: // FaultWriteError
+		return true, fmt.Errorf("evalstore: fault injection: writing %s: %w", path, syscall.ENOSPC)
+	}
+}
+
+// loadFault applies an injected load fault for path. A corrupt-read
+// fault damages the real file in place and lets the real load proceed
+// (err nil); a read-error fault makes the load fail with EIO.
+func (f *faultInjector) loadFault(path string) error {
+	kind, ok := f.nextLoad()
+	if !ok {
+		return nil
+	}
+	switch kind {
+	case FaultCorruptRead:
+		if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+			for i := range data {
+				data[i] ^= 0x5a
+			}
+			os.WriteFile(path, data, 0o644)
+		}
+		return nil
+	default: // FaultReadError
+		return fmt.Errorf("evalstore: fault injection: reading %s: %w", path, syscall.EIO)
+	}
+}

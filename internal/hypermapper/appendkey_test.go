@@ -1,0 +1,146 @@
+package hypermapper
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// AppendKey is now an on-disk cache key (internal/evalstore persists
+// records across processes and campaigns under it), so its encoding is
+// a compatibility surface: it must never collide for distinct
+// configurations and never drift for equal ones.
+
+func TestAppendKeyNegativeZeroCanonical(t *testing.T) {
+	// -0 == +0, and an evaluator cannot distinguish them, so the two
+	// bit patterns must share one persistent key.
+	pos := AppendKey(nil, Point{0.0, 1.5})
+	neg := AppendKey(nil, Point{math.Copysign(0, -1), 1.5})
+	if !bytes.Equal(pos, neg) {
+		t.Fatalf("+0 and -0 encode differently: %x vs %x", pos, neg)
+	}
+	// But -0 stays distinct from everything that is not zero.
+	if bytes.Equal(pos, AppendKey(nil, Point{math.SmallestNonzeroFloat64, 1.5})) {
+		t.Fatalf("zero collided with a denormal")
+	}
+}
+
+func TestAppendKeyDistinguishesNearbyValues(t *testing.T) {
+	// One-ulp neighbours, ordinal choice values that round-trip through
+	// float64 literals, and sign flips must all stay distinct.
+	a, b := 0.1, 0.2 // runtime addition: 0.30000000000000004, one ulp off 0.3
+	pairs := [][2]Point{
+		{{0.3}, {a + b}},
+		{{1e-6}, {math.Nextafter(1e-6, 1)}},
+		{{0.025}, {0.05}},
+		{{2}, {-2}},
+	}
+	for _, p := range pairs {
+		if bytes.Equal(AppendKey(nil, p[0]), AppendKey(nil, p[1])) {
+			t.Fatalf("%v and %v collided", p[0], p[1])
+		}
+	}
+}
+
+func TestAppendKeyOrdinalChoicesRoundTrip(t *testing.T) {
+	// The DSE space's ordinal choice values (volume resolutions, mu
+	// distances, ICP thresholds, ...) must each map to one stable key:
+	// encoding the same choice twice — or after a copy through a
+	// Point slice, as the optimizer does — yields identical bytes.
+	choices := []float64{64, 96, 128, 192, 256, 1, 2, 4, 8,
+		0.025, 0.05, 0.1, 0.2, 0.3, 1e-6, 1e-5, 1e-4, 1e-3}
+	seen := map[string]float64{}
+	for _, c := range choices {
+		k := string(AppendKey(nil, Point{c}))
+		if prev, dup := seen[k]; dup && prev != c {
+			t.Fatalf("choices %v and %v share a key", prev, c)
+		}
+		seen[k] = c
+		copied := append(Point(nil), Point{c}...)
+		if k != string(AppendKey(nil, copied)) {
+			t.Fatalf("choice %v drifted through a copy", c)
+		}
+	}
+}
+
+func TestAppendKeyPrefixFreeAcrossLengths(t *testing.T) {
+	// The encoding is exactly 8 bytes per coordinate, so a shorter
+	// point's key is a strict prefix of — but never equal to — an
+	// extension's key: points of different lengths cannot collide, and
+	// a store that hashes the whole buffer keeps them distinct.
+	short := AppendKey(nil, Point{1, 2})
+	long := AppendKey(nil, Point{1, 2, 0})
+	if bytes.Equal(short, long) {
+		t.Fatalf("points of different lengths encoded identically")
+	}
+	if !bytes.Equal(short, long[:len(short)]) {
+		t.Fatalf("encoding is not positional (prefix mismatch)")
+	}
+	if len(short) != 16 || len(long) != 24 {
+		t.Fatalf("encoding width drifted: %d/%d bytes", len(short), len(long))
+	}
+}
+
+func TestKeyablePointRejectsNaN(t *testing.T) {
+	if KeyablePoint(Point{1, math.NaN(), 3}) {
+		t.Fatalf("NaN coordinate accepted as persistable key material")
+	}
+	if !KeyablePoint(Point{1, math.Inf(1), math.Copysign(0, -1)}) {
+		t.Fatalf("non-NaN specials rejected (Inf and -0 have canonical encodings)")
+	}
+	if !KeyablePoint(Point{}) {
+		t.Fatalf("empty point rejected")
+	}
+}
+
+// fakeTier records delegations and serves a fixed answer without
+// calling the simulator — standing in for the persistent store.
+type fakeTier struct {
+	calls int
+	serve *Metrics // nil: run the simulator
+}
+
+func (f *fakeTier) Evaluate(pt Point, simulate Evaluator) Metrics {
+	f.calls++
+	if f.serve != nil {
+		return *f.serve
+	}
+	return simulate(pt)
+}
+
+func TestTieredMemoDelegatesOnlyOnMemoryMiss(t *testing.T) {
+	tier := &fakeTier{serve: &Metrics{Runtime: 7}}
+	sims := 0
+	memo := NewTieredMemoEvaluator(func(Point) Metrics {
+		sims++
+		return Metrics{Runtime: 1}
+	}, tier)
+	pt := Point{1, 2}
+	if m := memo.Evaluate(pt); m.Runtime != 7 {
+		t.Fatalf("tier's answer not used: %+v", m)
+	}
+	memo.Evaluate(pt)
+	memo.Evaluate(pt)
+	if tier.calls != 1 {
+		t.Fatalf("tier consulted %d times, want 1 (memory layer should absorb repeats)", tier.calls)
+	}
+	if sims != 0 {
+		t.Fatalf("simulator ran %d times behind a serving tier", sims)
+	}
+	if h, m := memo.Stats(); h != 2 || m != 1 {
+		t.Fatalf("stats = %d/%d", h, m)
+	}
+}
+
+func TestTieredMemoNilTierBehavesLikePlainMemo(t *testing.T) {
+	sims := 0
+	memo := NewTieredMemoEvaluator(func(Point) Metrics {
+		sims++
+		return Metrics{Runtime: 1}
+	}, nil)
+	memo.Evaluate(Point{1})
+	memo.Evaluate(Point{1})
+	if sims != 1 {
+		t.Fatalf("sims = %d", sims)
+	}
+}

@@ -18,12 +18,24 @@ import "sync"
 // when a ParallelEvaluator fans the same configuration out twice.
 type MemoEvaluator struct {
 	eval Evaluator
+	tier ResultTier
 
 	mu       sync.Mutex
 	cache    map[string]Metrics
 	inflight map[string]*memoCall
 	hits     int
 	misses   int
+}
+
+// ResultTier is an optional persistent layer behind a MemoEvaluator: on
+// an in-memory miss the memo delegates to the tier, which may answer
+// from durable storage or run the supplied evaluator (publishing the
+// result for other processes) — either way the memo caches what comes
+// back. The tier inherits the memo's purity contract: for a given point
+// it must return exactly what simulate would. internal/evalstore
+// implements this with a content-addressed fault-tolerant disk store.
+type ResultTier interface {
+	Evaluate(pt Point, simulate Evaluator) Metrics
 }
 
 // memoCall is one in-flight evaluation; done closes once m is valid.
@@ -39,6 +51,17 @@ func NewMemoEvaluator(eval Evaluator) *MemoEvaluator {
 		cache:    map[string]Metrics{},
 		inflight: map[string]*memoCall{},
 	}
+}
+
+// NewTieredMemoEvaluator wraps eval with an empty cache backed by a
+// persistent tier: in-memory misses go through tier instead of calling
+// eval directly, so results computed by earlier runs or cooperating
+// processes are reused instead of re-simulated. A nil tier behaves
+// exactly like NewMemoEvaluator.
+func NewTieredMemoEvaluator(eval Evaluator, tier ResultTier) *MemoEvaluator {
+	m := NewMemoEvaluator(eval)
+	m.tier = tier
+	return m
 }
 
 // Evaluate is an Evaluator (use the method value m.Evaluate): it returns
@@ -67,7 +90,11 @@ func (m *MemoEvaluator) Evaluate(pt Point) Metrics {
 	m.misses++
 	m.mu.Unlock()
 
-	c.m = m.eval(pt)
+	if m.tier != nil {
+		c.m = m.tier.Evaluate(pt, m.eval)
+	} else {
+		c.m = m.eval(pt)
+	}
 
 	m.mu.Lock()
 	m.cache[ks] = c.m
@@ -109,8 +136,10 @@ func (m *MemoEvaluator) Preload(obs []Observation) {
 }
 
 // Stats reports cache hits (including calls coalesced onto an in-flight
-// evaluation) and true misses — the number of times the wrapped
-// evaluator actually ran.
+// evaluation) and true misses — the number of times the memo had to go
+// below its memory layer. Without a persistent tier a miss is exactly
+// one run of the wrapped evaluator; with one, the tier's own stats
+// split misses into disk hits and actual simulations.
 func (m *MemoEvaluator) Stats() (hits, misses int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -310,12 +310,40 @@ func (s *Space) Key(pt Point) string {
 
 // AppendKey appends pt's exact binary identity — the raw IEEE-754 bits
 // of every value in order — to buf and returns the extended slice. It
-// is the content address the optimizer's dedup set and the evaluation
-// memo share: used as m[string(AppendKey(buf[:0], pt))], the compiler
-// elides the string copy on lookup, so probing costs no allocation.
+// is the content address the optimizer's dedup set, the evaluation memo
+// and the persistent evaluation store share: used as
+// m[string(AppendKey(buf[:0], pt))], the compiler elides the string
+// copy on lookup, so probing costs no allocation.
+//
+// The encoding is persistence-grade canonical: negative zero is
+// normalised to +0 so the two bit patterns of a value that compares
+// equal (and therefore evaluates identically) share one key, and two
+// points of different lengths can never encode to equal bytes (the
+// encoding is exactly 8 bytes per coordinate, so equal keys imply equal
+// lengths). NaN has no canonical encoding — a NaN coordinate never
+// equals itself, so callers that persist keys across processes must
+// reject such points first (see KeyablePoint).
 func AppendKey(buf []byte, pt Point) []byte {
 	for _, v := range pt {
+		if v == 0 {
+			v = 0 // collapse -0 onto +0: one key per ==-equal value
+		}
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
 	}
 	return buf
+}
+
+// KeyablePoint reports whether pt can serve as a persistent cache key.
+// A NaN coordinate disqualifies it: NaN never compares equal to itself,
+// so no canonical byte encoding can exist and a persisted record under
+// such a key could never be correctly matched. In-memory memoisation
+// tolerates NaN (the exact bit pattern is the key for the lifetime of
+// one process); anything written to disk must check this first.
+func KeyablePoint(pt Point) bool {
+	for _, v := range pt {
+		if math.IsNaN(v) {
+			return false
+		}
+	}
+	return true
 }

@@ -158,6 +158,51 @@ type CampaignReport struct {
 	SeqMemoryHits   int `json:"-"`
 	SeqDegradations int `json:"-"`
 	SeqEvictions    int `json:"-"`
+	// EvalSimulations / EvalDiskHits / EvalPublished / EvalDegradations
+	// / EvalEvictions are this process's persistent evaluation-store
+	// counters. Simulations counts actual pipeline simulations issued
+	// through the store, so summing EvalSimulations over every
+	// cooperating process proves each distinct (configuration, sequence,
+	// device, fidelity) was simulated exactly once per shared store — and
+	// a warm re-run reporting EvalSimulations == 0 performed none at all.
+	// Execution provenance like the sequence-cache counters (a warm store
+	// answers from disk what a cold one simulates), so they are excluded
+	// from the deterministic report writers and rendered by
+	// WriteCampaignProvenance — and, opt-in, by the Caches JSON summary.
+	EvalSimulations  int `json:"-"`
+	EvalDiskHits     int `json:"-"`
+	EvalPublished    int `json:"-"`
+	EvalDegradations int `json:"-"`
+	EvalEvictions    int `json:"-"`
+	// MemoHits / MemoMisses aggregate the in-memory memoization layer
+	// over every evaluator the campaign built. Execution provenance like
+	// the store counters (concurrent first sightings of a key coalesce).
+	MemoHits   int `json:"-"`
+	MemoMisses int `json:"-"`
+	// Caches, when non-nil, renders the full cache-counter summary into
+	// the JSON report (campaign.Options.CacheStats opts in). Nil by
+	// default — the counters differ between cold, warm and multi-worker
+	// runs of one campaign, and the default JSON surface must stay
+	// byte-identical across all of them.
+	Caches *CampaignCacheSummary `json:"caches,omitempty"`
+}
+
+// CampaignCacheSummary is the opt-in JSON rendering of a campaign's
+// cache counters: the in-memory memo layer, the persistent evaluation
+// store and the rendered-sequence cache.
+type CampaignCacheSummary struct {
+	MemoHits         int `json:"memo_hits"`
+	MemoMisses       int `json:"memo_misses"`
+	EvalSimulations  int `json:"eval_simulations"`
+	EvalDiskHits     int `json:"eval_disk_hits"`
+	EvalPublished    int `json:"eval_published"`
+	EvalDegradations int `json:"eval_degradations"`
+	EvalEvictions    int `json:"eval_evictions"`
+	SeqRenders       int `json:"seq_renders"`
+	SeqDiskHits      int `json:"seq_disk_hits"`
+	SeqMemoryHits    int `json:"seq_memory_hits"`
+	SeqDegradations  int `json:"seq_degradations"`
+	SeqEvictions     int `json:"seq_evictions"`
 }
 
 // WriteCampaignTable renders the report as an aligned table — the
@@ -302,8 +347,15 @@ func WriteCampaignProvenance(w io.Writer, r *CampaignReport) error {
 	if err := tw.Flush(); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "seqcache: renders=%d disk-hits=%d memory-hits=%d degradations=%d evictions=%d\n",
-		r.SeqRenders, r.SeqDiskHits, r.SeqMemoryHits, r.SeqDegradations, r.SeqEvictions)
+	if _, err := fmt.Fprintf(w, "seqcache: renders=%d disk-hits=%d memory-hits=%d degradations=%d evictions=%d\n",
+		r.SeqRenders, r.SeqDiskHits, r.SeqMemoryHits, r.SeqDegradations, r.SeqEvictions); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "evalstore: simulations=%d disk-hits=%d published=%d degradations=%d evictions=%d\n",
+		r.EvalSimulations, r.EvalDiskHits, r.EvalPublished, r.EvalDegradations, r.EvalEvictions); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "memo: hits=%d misses=%d\n", r.MemoHits, r.MemoMisses)
 	return err
 }
 

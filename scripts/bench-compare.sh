@@ -12,11 +12,15 @@
 #   BENCH_PATTERN=Kernel BENCH_COUNT=10 ./scripts/bench-compare.sh 2
 #
 # The script is also a soft performance-regression gate: when a pinned
-# baseline exists, any kernel benchmark (BENCH_GATE_PATTERN, default
-# Kernel_) whose mean ns/op is more than BENCH_GATE_PCT percent (default
-# 20) above the baseline fails the run. The 20% tolerance absorbs
-# machine noise while catching real kernel slowdowns; BENCH_GATE=off
-# disables the gate (e.g. when comparing across different hardware).
+# baseline exists, any gated benchmark (BENCH_GATE_PATTERN, default the
+# Kernel_ microbenchmarks plus the DSE-level Fig2_ benchmarks) whose
+# mean ns/op is more than BENCH_GATE_PCT percent (default 20) above the
+# baseline fails the run, and so does one whose mean allocs/op grows
+# more than BENCH_GATE_ALLOC_PCT percent (default 10 — allocation
+# counts are nearly deterministic, so a tighter bound catches the
+# slow-drip regressions wall-clock noise hides). The tolerances absorb
+# machine noise while catching real slowdowns; BENCH_GATE=off disables
+# the gate (e.g. when comparing across different hardware).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -48,19 +52,23 @@ fi
 # ---- soft regression gate ----
 BENCH_GATE="${BENCH_GATE:-on}"
 BENCH_GATE_PCT="${BENCH_GATE_PCT:-20}"
-BENCH_GATE_PATTERN="${BENCH_GATE_PATTERN:-Kernel_}"
+BENCH_GATE_ALLOC_PCT="${BENCH_GATE_ALLOC_PCT:-10}"
+BENCH_GATE_PATTERN="${BENCH_GATE_PATTERN:-Kernel_|Fig2_}"
 if [ "$BENCH_GATE" != "off" ] && [ -f "$OUT_DIR/baseline.txt" ]; then
   echo
-  echo "gate: kernel benchmarks vs pinned baseline (fail >${BENCH_GATE_PCT}% slower)"
-  if ! awk -v pct="$BENCH_GATE_PCT" -v pattern="$BENCH_GATE_PATTERN" '
-    # Mean ns/op per benchmark name, baseline first then latest
-    # (FNR==NR selects the first file).
+  echo "gate: kernel+DSE benchmarks vs pinned baseline (fail >${BENCH_GATE_PCT}% slower or >${BENCH_GATE_ALLOC_PCT}% more allocs/op)"
+  if ! awk -v pct="$BENCH_GATE_PCT" -v apct="$BENCH_GATE_ALLOC_PCT" -v pattern="$BENCH_GATE_PATTERN" '
+    # Mean ns/op and allocs/op per benchmark name, baseline first then
+    # latest (FNR==NR selects the first file).
     $1 ~ "^Benchmark" && $1 ~ pattern {
       name = $1
       for (i = 3; i < NF; i += 2) {
         if ($(i + 1) == "ns/op") {
           if (FNR == NR) { bsum[name] += $i; bn[name]++ }
           else           { lsum[name] += $i; ln_[name]++ }
+        } else if ($(i + 1) == "allocs/op") {
+          if (FNR == NR) { basum[name] += $i; ban[name]++ }
+          else           { lasum[name] += $i; lan[name]++ }
         }
       }
     }
@@ -74,19 +82,30 @@ if [ "$BENCH_GATE" != "off" ] && [ -f "$OUT_DIR/baseline.txt" ]; then
         delta = 100 * (latest - base) / base
         verdict = "ok"
         if (delta > pct) { verdict = "FAIL"; failed++ }
-        printf "  %-40s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n", name, base, latest, delta, verdict
+        printf "  %-40s %12.0f -> %12.0f ns/op      %+6.1f%%  %s\n", name, base, latest, delta, verdict
+        if ((name in lasum) && (name in basum)) {
+          abase = basum[name] / ban[name]
+          alatest = lasum[name] / lan[name]
+          # A zero-alloc baseline cannot express a percentage; any new
+          # allocation on one is a regression outright.
+          if (abase == 0) { adelta = (alatest > 0) ? apct + 1 : 0 }
+          else            { adelta = 100 * (alatest - abase) / abase }
+          averdict = "ok"
+          if (adelta > apct) { averdict = "FAIL"; failed++ }
+          printf "  %-40s %12.1f -> %12.1f allocs/op  %+6.1f%%  %s\n", name, abase, alatest, adelta, averdict
+        }
       }
       if (compared == 0) {
         print "  no benchmarks matching " pattern " in both runs; nothing gated"
         exit 0
       }
       if (failed > 0) {
-        printf "gate: %d kernel benchmark(s) regressed more than %s%%\n", failed, pct
+        printf "gate: %d benchmark metric(s) regressed beyond tolerance\n", failed
         exit 1
       }
     }
   ' "$OUT_DIR/baseline.txt" "$OUT_DIR/latest.txt"; then
-    echo "bench-compare: kernel regression gate FAILED (set BENCH_GATE=off to bypass, or 'make bench-save' to accept)" >&2
+    echo "bench-compare: benchmark regression gate FAILED (set BENCH_GATE=off to bypass, or 'make bench-save' to accept)" >&2
     exit 1
   fi
 fi
