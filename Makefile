@@ -1,4 +1,4 @@
-.PHONY: test race bench bench-compare bench-save campaign-smoke campaign-resume-smoke campaign-distributed-smoke campaign-cache-smoke campaign-transfer-smoke campaign-evalcache-smoke
+.PHONY: test race bench bench-compare bench-save campaign-smoke campaign-resume-smoke campaign-distributed-smoke campaign-cache-smoke campaign-transfer-smoke campaign-evalcache-smoke serve-smoke
 
 test:
 	go build ./... && go test ./...
@@ -9,7 +9,7 @@ test:
 # across workers plus the checkpoint/resume suite — so it needs more
 # than the default 10-minute package timeout under the race detector.
 race:
-	go test -race -timeout 30m ./internal/parallel/... ./internal/hypermapper/... ./internal/campaign/... ./internal/seqcache/... ./internal/sharedfs/... ./internal/evalstore/...
+	go test -race -timeout 30m ./internal/parallel/... ./internal/hypermapper/... ./internal/campaign/... ./internal/seqcache/... ./internal/sharedfs/... ./internal/evalstore/... ./internal/serve/...
 
 bench:
 	go test -run '^$$' -bench . -benchmem .
@@ -17,7 +17,7 @@ bench:
 # Snapshot the benchmarks, compare against the saved baseline with
 # benchstat (when available) and distill the run into
 # BENCH_$(BENCH_INDEX).json (the per-PR snapshot series).
-BENCH_INDEX ?= 7
+BENCH_INDEX ?= 8
 bench-compare:
 	./scripts/bench-compare.sh $(BENCH_INDEX)
 
@@ -89,3 +89,11 @@ campaign-cache-smoke:
 # silently repaired by exactly one re-simulation.
 campaign-evalcache-smoke:
 	./scripts/evalcache-smoke.sh
+
+# End-to-end smoke test of the campaign service: a campaign submitted
+# to cmd/dseserve over HTTP must render a report byte-identical to
+# cmd/experiments, and a server SIGTERMed mid-campaign must resume the
+# job after restart with zero repeated simulation (evalstore counters
+# prove it).
+serve-smoke:
+	./scripts/serve-smoke.sh

@@ -1,0 +1,183 @@
+// Command dsesoak exercises a running dseserve under sustained load:
+// it submits a tiny campaign, waits for it to complete, then hammers
+// the steady-state read surface (status, report, healthz) from many
+// goroutines for a fixed duration while watching the server's heap
+// through /healthz. It exits non-zero on any request error, any
+// non-200 answer, or a heap that climbs past the ceiling — the
+// process-level check that the read path really is allocation-free in
+// steady state.
+//
+//	dsesoak -addr 127.0.0.1:8080 -duration 30s -concurrency 8 -heap-max-mb 512
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "dseserve address to soak")
+		duration    = flag.Duration("duration", 30*time.Second, "how long to hammer the read surface")
+		concurrency = flag.Int("concurrency", 8, "concurrent request loops")
+		heapMaxMB   = flag.Uint64("heap-max-mb", 512, "fail if the server heap_alloc exceeds this many MiB during the soak")
+		jobTimeout  = flag.Duration("job-timeout", 10*time.Minute, "give up if the seed campaign has not completed by then")
+	)
+	flag.Parse()
+	base := "http://" + *addr
+
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Seed job: the smallest real campaign (one quick cell, minimal
+	// budget). Idempotent by content, so repeated soaks reuse it — and
+	// the shared evaluation store makes the reruns free.
+	spec := []byte(`{"quick":true,"scenarios":["lr_kt0"],"devices":["odroid-xu3"],"random_samples":4,"active_iterations":1,"batch_per_iteration":2}`)
+	resp, err := client.Post(base+"/campaigns", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		fatal(err)
+	}
+	var submitted struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("submit: HTTP %d", resp.StatusCode))
+	}
+	fmt.Fprintf(os.Stderr, "[dsesoak] job %s %s; waiting for completion\n", submitted.ID, submitted.State)
+
+	statusURL := base + "/campaigns/" + submitted.ID
+	deadline := time.Now().Add(*jobTimeout)
+	for {
+		state, err := jobState(client, statusURL)
+		if err != nil {
+			fatal(err)
+		}
+		if state == "done" {
+			break
+		}
+		if state == "failed" || state == "canceled" {
+			fatal(fmt.Errorf("seed job ended %s", state))
+		}
+		if time.Now().After(deadline) {
+			fatal(fmt.Errorf("seed job still %s after %s", state, *jobTimeout))
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+	fmt.Fprintf(os.Stderr, "[dsesoak] job done; soaking for %s at concurrency %d\n", *duration, *concurrency)
+
+	var (
+		requests atomic.Int64
+		failures atomic.Int64
+		stop     = make(chan struct{})
+		wg       sync.WaitGroup
+	)
+	urls := []string{statusURL, statusURL + "/report?format=json", statusURL + "/report?format=table", base + "/healthz"}
+	for i := 0; i < *concurrency; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u := urls[(i+n)%len(urls)]
+				resp, err := client.Get(u)
+				if err != nil {
+					failures.Add(1)
+					requests.Add(1)
+					continue
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					failures.Add(1)
+				} else if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+				}
+				resp.Body.Close()
+				requests.Add(1)
+			}
+		}(i)
+	}
+
+	// Heap watchdog: sample /healthz while the loops run.
+	var peakHeap uint64
+	heapFail := false
+	soakEnd := time.Now().Add(*duration)
+	for time.Now().Before(soakEnd) {
+		time.Sleep(time.Second)
+		heap, err := heapAlloc(client, base)
+		if err != nil {
+			continue // the request loops already count failures
+		}
+		if heap > peakHeap {
+			peakHeap = heap
+		}
+		if heap > *heapMaxMB<<20 {
+			heapFail = true
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	fmt.Fprintf(os.Stderr, "[dsesoak] %d requests, %d failures, peak heap %.1f MiB\n",
+		requests.Load(), failures.Load(), float64(peakHeap)/(1<<20))
+	if heapFail {
+		fatal(fmt.Errorf("server heap exceeded %d MiB during soak", *heapMaxMB))
+	}
+	if failures.Load() > 0 {
+		fatal(fmt.Errorf("%d of %d requests failed", failures.Load(), requests.Load()))
+	}
+	fmt.Fprintln(os.Stderr, "[dsesoak] ok")
+}
+
+func jobState(client *http.Client, url string) (string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status: HTTP %d", resp.StatusCode)
+	}
+	var st struct {
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", err
+	}
+	return st.State, nil
+}
+
+func heapAlloc(client *http.Client, base string) (uint64, error) {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var h struct {
+		HeapAlloc uint64 `json:"heap_alloc_bytes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return 0, err
+	}
+	return h.HeapAlloc, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsesoak:", err)
+	os.Exit(1)
+}

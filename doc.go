@@ -295,6 +295,49 @@
 // report, and a record corrupted in place must be silently repaired
 // by exactly one re-simulation.
 //
+// # Campaign service
+//
+// cmd/dseserve is the long-running face of the engine: an HTTP
+// service (internal/serve) that runs campaigns as durable jobs.
+// POST /campaigns submits a JSON spec — normalized to the CLI's
+// defaults and validated by the same fail-fast Options.Validate path
+// before any simulation, then content-addressed (worker count
+// excluded) so resubmitting a spec joins the existing job instead of
+// starting a twin. GET /campaigns/{id} serves status and per-cell
+// progress, GET /campaigns/{id}/events streams stage/cell transitions
+// as SSE (an append-only frame log replays history to late
+// subscribers, then follows live), GET /campaigns/{id}/report serves
+// the table/CSV/JSON renderings of the slambench writers, POST
+// /campaigns/{id}/cancel stops a job cooperatively, and
+// /debug/pprof/* exposes the standard profiling surface.
+//
+// The shared-cache topology is the point: a bounded job pool runs
+// every campaign through the same staged runner as the CLI, with all
+// jobs sharing one evalstore and one seqcache under the server's data
+// directory — concurrent tenants never re-simulate or re-render each
+// other's work — while each job checkpoints into its own
+// campaign.Store using the worker-lease protocol. Campaign progress
+// flows out through campaign.Options.OnProgress (stage and cell
+// events emitted by the staged runner) and cancellation flows in
+// through Options.Cancel: a closed channel stops the campaign at the
+// next stage or cell boundary with ErrCanceled, after in-flight cells
+// finish and checkpoint.
+//
+// Drain semantics distinguish a user cancel from a shutdown. Cancel
+// writes a marker file into the job directory before closing the
+// cancel channel, so the job lands in a permanent canceled state that
+// survives restarts (resubmitting the spec revives it). SIGTERM drain
+// closes the same channel without a marker: the job ends this process
+// as interrupted, and the next boot re-enqueues it to resume from its
+// checkpoints — `make serve-smoke` proves the restarted server's
+// report is byte-identical to the CLI's with the evalstore counters
+// showing no repeated simulation. The steady-state request path
+// (status and report reads) is allocation-free: a frozen linear-scan
+// router, per-job cached renderings refreshed only on state change,
+// pooled response writers and an append-formatted access log, pinned
+// at zero allocs/op by the Kernel_Serve* benchmarks under the bench
+// gate.
+//
 // The frame kernels are allocation-free in the steady state: an
 // imgproc.BufferPool (sync.Pool-backed, one pool per map size) recycles
 // every per-frame depth/vertex/normal map, the bilateral filter's

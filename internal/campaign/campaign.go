@@ -307,6 +307,23 @@ type Options struct {
 	// Log, when non-nil, receives progress lines (order follows
 	// scheduling, not the grid; the report itself stays deterministic).
 	Log func(string)
+	// Cancel, when non-nil, requests a cooperative early stop: the
+	// runner checks it before starting any cell work and between
+	// stages, lets cells already in flight finish and checkpoint (a
+	// half-explored cell is lost work, a persisted one resumes for
+	// free), and returns ErrCanceled once they drain. With a
+	// CheckpointDir a canceled campaign is indistinguishable from one
+	// killed at an artifact boundary — rerunning with Resume continues
+	// it with zero re-simulation. The long-running campaign service
+	// uses this for both user cancellation and graceful drain.
+	Cancel <-chan struct{}
+	// OnProgress, when non-nil, receives stage and cell transition
+	// events (see ProgressEvent): every stage start and end, and one
+	// event per cell as its stage artifact becomes available — computed
+	// locally or observed in the checkpoint store. Calls are
+	// serialised; cell-event order follows scheduling (execution
+	// provenance, like Log), while the report stays deterministic.
+	OnProgress func(ProgressEvent)
 
 	// observeSimulation, when non-nil, is called once per actual
 	// pipeline simulation with the cell's grid index and the simulation
@@ -592,31 +609,55 @@ func Run(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.emitStage(ProgressStageDone, StagePlan)
 	if r.opts.StopAfter == StagePlan {
 		return r.result(StagePlan), nil
 	}
+	if r.canceled() {
+		return nil, ErrCanceled
+	}
+	r.emitStage(ProgressStageStart, StageExplore)
 	if err := r.explore(); err != nil {
 		return nil, err
 	}
+	r.emitStage(ProgressStageDone, StageExplore)
 	if r.opts.StopAfter == StageExplore {
 		return r.result(StageExplore), nil
 	}
+	if r.canceled() {
+		return nil, ErrCanceled
+	}
+	r.emitStage(ProgressStageStart, StagePromote)
 	if err := r.promote(); err != nil {
 		return nil, err
 	}
+	r.emitStage(ProgressStageDone, StagePromote)
 	if r.opts.StopAfter == StagePromote {
 		return r.result(StagePromote), nil
 	}
+	if r.canceled() {
+		return nil, ErrCanceled
+	}
+	r.emitStage(ProgressStageStart, StageCrossMeasure)
 	candidates, perCell, err := r.crossMeasure()
 	if err != nil {
 		return nil, err
 	}
+	r.emitStage(ProgressStageDone, StageCrossMeasure)
 	if r.opts.StopAfter == StageCrossMeasure {
 		res := r.result(StageCrossMeasure)
 		res.CandidateCount = len(candidates)
 		return res, nil
 	}
-	return r.aggregate(candidates, perCell)
+	if r.canceled() {
+		return nil, ErrCanceled
+	}
+	r.emitStage(ProgressStageStart, StageAggregate)
+	res, err := r.aggregate(candidates, perCell)
+	if err == nil {
+		r.emitStage(ProgressStageDone, StageAggregate)
+	}
+	return res, err
 }
 
 // Report converts the result into the slambench campaign report.

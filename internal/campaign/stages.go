@@ -178,6 +178,8 @@ type runner struct {
 	evals  *evalstore.Store             // persistent evaluation store (nil without EvalCacheDir)
 	memoMu sync.Mutex                   // guards memos
 	memos  []*hypermapper.MemoEvaluator // every memo the run built, for stats aggregation
+
+	progressMu sync.Mutex // serialises OnProgress callbacks (see emit)
 }
 
 // workerLabel is this process's provenance label for cells it computes.
@@ -421,7 +423,7 @@ func (r *runner) explore() error {
 // exploreWave runs one explore fan-out over the given cell indices.
 func (r *runner) exploreWave(idxs []int, fidelity string) error {
 	outs := parallel.MapOrdered(r.opts.Workers, idxs, func(_ int, idx int) *cellOutcome {
-		return r.cellStage(r.cells[idx], fidelity)
+		return r.cellStage(StageExplore, r.cells[idx], fidelity)
 	})
 	for k, idx := range idxs {
 		o := outs[k]
@@ -454,8 +456,20 @@ func allIndices(n int) []int {
 // mode the computation is guarded by the cell's lease — the worker
 // claims, computes under a heartbeat, and releases; when another live
 // worker holds the claim, this one polls until the artifact appears or
-// the holder's lease expires and is taken over.
-func (r *runner) cellStage(cell Cell, fidelity string) *cellOutcome {
+// the holder's lease expires and is taken over. A cancellation request
+// is honoured before any computation (and on every poll turn), so a
+// canceled campaign stops at cell granularity: in-flight cells finish
+// and checkpoint, waiting ones never start.
+func (r *runner) cellStage(stage Stage, cell Cell, fidelity string) *cellOutcome {
+	out := r.cellStageLocked(cell, fidelity)
+	r.emitCell(stage, cell, out)
+	return out
+}
+
+func (r *runner) cellStageLocked(cell Cell, fidelity string) *cellOutcome {
+	if r.canceled() {
+		return &cellOutcome{err: ErrCanceled}
+	}
 	name := r.artifactName(cell, fidelity)
 	if out, done := r.tryLoadCell(cell, name, fidelity); done {
 		return out
@@ -465,6 +479,9 @@ func (r *runner) cellStage(cell Cell, fidelity string) *cellOutcome {
 	}
 	backoff := newPollBackoff()
 	for {
+		if r.canceled() {
+			return &cellOutcome{err: ErrCanceled}
+		}
 		lease, acquired, err := r.leases.TryAcquire(name)
 		if err != nil {
 			// Lease-file I/O faults are contention-shaped: log and poll.
@@ -719,7 +736,7 @@ func (r *runner) promote() error {
 	r.logf("promote: %d of %d cells promoted to full fidelity", len(chosen), len(r.cells))
 
 	outs := parallel.MapOrdered(r.opts.Workers, chosen, func(_ int, idx int) *cellOutcome {
-		return r.cellStage(r.cells[idx], FidelityFull)
+		return r.cellStage(StagePromote, r.cells[idx], FidelityFull)
 	})
 	for k, idx := range chosen {
 		if outs[k].err != nil {
@@ -806,6 +823,20 @@ func (r *runner) crossMeasure() ([]hypermapper.Point, [][]hypermapper.Metrics, e
 // the store when a peer (or prior run) measured it, measured here
 // otherwise — under the cell's lease in cooperative worker mode.
 func (r *runner) crossCell(j int, cell Cell, candidates []hypermapper.Point, candHash string) ([]hypermapper.Metrics, error) {
+	metrics, resumed, err := r.crossCellLocked(j, cell, candidates, candHash)
+	if err == nil {
+		r.emit(ProgressEvent{
+			Kind: ProgressCellDone, Stage: StageCrossMeasure, Cell: cell.Index,
+			Scenario: cell.Scenario.Name, Device: cell.Target.Name, Resumed: resumed,
+		})
+	}
+	return metrics, err
+}
+
+func (r *runner) crossCellLocked(j int, cell Cell, candidates []hypermapper.Point, candHash string) ([]hypermapper.Metrics, bool, error) {
+	if r.canceled() {
+		return nil, false, ErrCanceled
+	}
 	name := r.crossName(cell, candHash)
 	load := func() ([]hypermapper.Metrics, bool, error) {
 		if !r.opts.Resume || r.store == nil {
@@ -824,13 +855,17 @@ func (r *runner) crossCell(j int, cell Cell, candidates []hypermapper.Point, can
 		return ca.Metrics, true, nil
 	}
 	if metrics, ok, err := load(); ok || err != nil {
-		return metrics, err
+		return metrics, true, err
 	}
 	if r.leases == nil {
-		return r.measureCell(j, cell, candidates, name)
+		metrics, err := r.measureCell(j, cell, candidates, name)
+		return metrics, false, err
 	}
 	backoff := newPollBackoff()
 	for {
+		if r.canceled() {
+			return nil, false, ErrCanceled
+		}
 		lease, acquired, err := r.leases.TryAcquire(name)
 		if err != nil {
 			r.logf("cell %d (%s on %s): %v", cell.Index, cell.Scenario.Name, cell.Target.Name, err)
@@ -839,11 +874,11 @@ func (r *runner) crossCell(j int, cell Cell, candidates []hypermapper.Point, can
 			stop := r.heartbeat(lease)
 			metrics, err := r.measureCell(j, cell, candidates, name)
 			stop()
-			return metrics, err
+			return metrics, false, err
 		}
 		r.opts.sleepFn(backoff.Next())
 		if metrics, ok, err := load(); ok || err != nil {
-			return metrics, err
+			return metrics, true, err
 		}
 	}
 }

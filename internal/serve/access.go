@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// accessLogger emits one structured key=value line per request. The
+// line is assembled by appending into a buffer reused under the lock
+// and written with a single Write, so steady-state logging allocates
+// nothing and lines from concurrent requests never interleave.
+type accessLogger struct {
+	mu  sync.Mutex
+	out io.Writer
+	buf []byte
+}
+
+func newAccessLogger(out io.Writer) *accessLogger {
+	if out == nil {
+		return nil
+	}
+	return &accessLogger{out: out, buf: make([]byte, 0, 256)}
+}
+
+// log records one completed request. A nil logger discards.
+func (l *accessLogger) log(start time.Time, method, path, query string, status int, bytes int64) {
+	if l == nil {
+		return
+	}
+	dur := time.Since(start)
+	l.mu.Lock()
+	b := l.buf[:0]
+	b = append(b, "time="...)
+	b = start.AppendFormat(b, time.RFC3339)
+	b = append(b, " method="...)
+	b = append(b, method...)
+	b = append(b, " path="...)
+	b = append(b, path...)
+	if query != "" {
+		b = append(b, '?')
+		b = append(b, query...)
+	}
+	b = append(b, " status="...)
+	b = strconv.AppendInt(b, int64(status), 10)
+	b = append(b, " bytes="...)
+	b = strconv.AppendInt(b, bytes, 10)
+	b = append(b, " dur_us="...)
+	b = strconv.AppendInt(b, dur.Microseconds(), 10)
+	b = append(b, '\n')
+	l.out.Write(b)
+	l.buf = b[:0]
+	l.mu.Unlock()
+}
+
+// statusWriter wraps the ResponseWriter to capture the status code and
+// byte count for the access log. Instances are pooled: the wrapper is
+// the only per-request object the hot path needs, and the pool keeps
+// it off the allocator.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+var statusWriterPool = sync.Pool{New: func() any { return new(statusWriter) }}
+
+func getStatusWriter(w http.ResponseWriter) *statusWriter {
+	sw := statusWriterPool.Get().(*statusWriter)
+	sw.ResponseWriter = w
+	sw.code = 0
+	sw.bytes = 0
+	return sw
+}
+
+func putStatusWriter(sw *statusWriter) {
+	sw.ResponseWriter = nil
+	statusWriterPool.Put(sw)
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer
+// (the SSE handler flushes through it).
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

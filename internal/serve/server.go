@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// maxSpecBytes bounds a campaign submission body. Specs are a few
+// hundred bytes; anything near the limit is abuse, not a campaign.
+const maxSpecBytes = 1 << 20
+
+// Preallocated header values: assigning a package-level slice into the
+// header map keeps the steady-state handlers allocation-free.
+var (
+	ctJSON   = []string{"application/json; charset=utf-8"}
+	ctCSV    = []string{"text/csv; charset=utf-8"}
+	ctText   = []string{"text/plain; charset=utf-8"}
+	ctStream = []string{"text/event-stream"}
+	noCache  = []string{"no-cache"}
+)
+
+// Server is the campaign service's HTTP surface: the frozen router,
+// the job manager behind it, and the access logger. It implements
+// http.Handler; cmd/dseserve wraps it in an http.Server with
+// production timeouts.
+type Server struct {
+	m      *Manager
+	router Router
+	access *accessLogger
+}
+
+// NewServer wires the route table. accessOut receives one structured
+// line per request (nil disables access logging).
+func NewServer(m *Manager, accessOut io.Writer) *Server {
+	s := &Server{m: m, access: newAccessLogger(accessOut)}
+	s.router.Handle(http.MethodGet, "/healthz", s.handleHealthz)
+	s.router.Handle(http.MethodPost, "/campaigns", s.handleSubmit)
+	s.router.Handle(http.MethodGet, "/campaigns/{id}", s.handleStatus)
+	s.router.Handle(http.MethodGet, "/campaigns/{id}/report", s.handleReport)
+	s.router.Handle(http.MethodGet, "/campaigns/{id}/events", s.handleEvents)
+	s.router.Handle(http.MethodPost, "/campaigns/{id}/cancel", s.handleCancel)
+	s.router.Handle(http.MethodGet, "/debug/pprof", s.handlePprof)
+	s.router.Handle(http.MethodGet, "/debug/pprof/*", s.handlePprof)
+	return s
+}
+
+// ServeHTTP is the request hot path: match, dispatch, log. Everything
+// it touches per request — the pooled status-capturing writer, the
+// router match, the cached status/report bytes, the appended log line
+// — stays off the allocator in steady state (enforced by the
+// BenchmarkKernel_Serve* benchmarks at the repo root).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := getStatusWriter(w)
+	h, param, code := s.router.match(r.Method, r.URL.Path)
+	if h == nil {
+		if code == http.StatusMethodNotAllowed {
+			http.Error(sw, "method not allowed", http.StatusMethodNotAllowed)
+		} else {
+			http.Error(sw, "not found", http.StatusNotFound)
+		}
+	} else {
+		h(sw, r, param)
+	}
+	s.access.log(start, r.Method, r.URL.Path, r.URL.RawQuery, sw.code, sw.bytes)
+	putStatusWriter(sw)
+}
+
+// jsonError writes a small JSON error payload (error paths may
+// allocate; only the steady-state read paths are allocation-free).
+func jsonError(w http.ResponseWriter, code int, msg string) {
+	w.Header()["Content-Type"] = ctJSON
+	w.WriteHeader(code)
+	body, err := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	if err != nil {
+		return
+	}
+	w.Write(append(body, '\n'))
+}
+
+// handleSubmit accepts a campaign spec, validates it completely before
+// any job state exists, and installs (or joins) its job. 201 created,
+// 200 joined an existing job, 400 invalid, 503 draining.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, _ string) {
+	if s.m.Draining() {
+		jsonError(w, http.StatusServiceUnavailable, ErrDraining.Error())
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxSpecBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec CampaignSpec
+	if err := dec.Decode(&spec); err != nil {
+		jsonError(w, http.StatusBadRequest, "invalid spec: "+err.Error())
+		return
+	}
+	if dec.More() {
+		jsonError(w, http.StatusBadRequest, "invalid spec: trailing data after JSON object")
+		return
+	}
+	job, created, err := s.m.Submit(spec)
+	switch {
+	case errors.Is(err, ErrDraining):
+		jsonError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.Header()["Content-Type"] = ctJSON
+	if created {
+		w.WriteHeader(http.StatusCreated)
+	}
+	w.Write(job.StatusJSON())
+}
+
+// handleStatus serves the cached status bytes — the zero-allocation
+// steady-state read path.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, id string) {
+	j := s.m.Get(id)
+	if j == nil {
+		jsonError(w, http.StatusNotFound, "unknown campaign")
+		return
+	}
+	h := w.Header()
+	h["Content-Type"] = ctJSON
+	h["Cache-Control"] = noCache
+	w.Write(j.StatusJSON())
+}
+
+// handleReport serves a completed job's cached report rendering. The
+// format comes from the raw query string, compared literally so the
+// hot path never parses url.Values: "", "format=json", "format=csv" or
+// "format=table".
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request, id string) {
+	j := s.m.Get(id)
+	if j == nil {
+		jsonError(w, http.StatusNotFound, "unknown campaign")
+		return
+	}
+	var format string
+	var ct []string
+	switch r.URL.RawQuery {
+	case "", "format=json":
+		format, ct = "json", ctJSON
+	case "format=csv":
+		format, ct = "csv", ctCSV
+	case "format=table":
+		format, ct = "table", ctText
+	default:
+		jsonError(w, http.StatusBadRequest, "unknown report format (want format=json, format=csv or format=table)")
+		return
+	}
+	body, ok := j.Report(format)
+	if !ok {
+		jsonError(w, http.StatusConflict, "campaign not done")
+		return
+	}
+	w.Header()["Content-Type"] = ct
+	w.Write(body)
+}
+
+// handleCancel requests user cancellation: in-flight cells finish and
+// checkpoint, the job lands canceled and is never auto-resumed
+// (resubmitting the spec revives it, reusing the checkpointed work).
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request, id string) {
+	state, err := s.m.Cancel(id)
+	if err != nil {
+		jsonError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	w.Header()["Content-Type"] = ctJSON
+	fmt.Fprintf(w, "{\"id\":%q,\"state\":%q}\n", id, state)
+}
+
+// healthStatus is the wire form of GET /healthz.
+type healthStatus struct {
+	Status     string         `json:"status"`
+	Draining   bool           `json:"draining"`
+	Jobs       map[string]int `json:"jobs"`
+	Goroutines int            `json:"goroutines"`
+	HeapAlloc  uint64         `json:"heap_alloc_bytes"`
+	HeapSys    uint64         `json:"heap_sys_bytes"`
+}
+
+// handleHealthz reports liveness, job-state counts and heap size (the
+// soak client's memory-ceiling probe).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request, _ string) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st := healthStatus{
+		Status:     "ok",
+		Draining:   s.m.Draining(),
+		Jobs:       map[string]int{},
+		Goroutines: runtime.NumGoroutine(),
+		HeapAlloc:  ms.HeapAlloc,
+		HeapSys:    ms.HeapSys,
+	}
+	for _, j := range s.m.Jobs() {
+		st.Jobs[j.State()]++
+	}
+	w.Header()["Content-Type"] = ctJSON
+	body, err := json.Marshal(st)
+	if err != nil {
+		return
+	}
+	w.Write(append(body, '\n'))
+}
+
+// handlePprof dispatches the standard pprof surface under
+// /debug/pprof/. The named endpoints get their dedicated handlers;
+// everything else (including the index and named profiles) goes to
+// Index, which routes on the URL path.
+func (s *Server) handlePprof(w http.ResponseWriter, r *http.Request, rest string) {
+	switch rest {
+	case "cmdline":
+		pprof.Cmdline(w, r)
+	case "profile":
+		pprof.Profile(w, r)
+	case "symbol":
+		pprof.Symbol(w, r)
+	case "trace":
+		pprof.Trace(w, r)
+	default:
+		pprof.Index(w, r)
+	}
+}

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// sseHeartbeat keeps idle event streams alive through proxies and
+// detects dead clients between campaign events.
+const sseHeartbeat = 15 * time.Second
+
+var heartbeatFrame = []byte(": heartbeat\n\n")
+
+// handleEvents streams a job's progress as Server-Sent Events: the
+// full replay of frames observed so far (a late subscriber sees the
+// whole history), then live frames as the campaign produces them. The
+// stream ends when the job reaches a terminal state — a frame
+// announcing that state is always the last one — so a drain completes
+// as soon as its jobs have checkpointed: every follower's job goes
+// terminal (interrupted), every stream closes, and http.Server.
+// Shutdown returns.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, id string) {
+	j := s.m.Get(id)
+	if j == nil {
+		jsonError(w, http.StatusNotFound, "unknown campaign")
+		return
+	}
+	h := w.Header()
+	h["Content-Type"] = ctStream
+	h["Cache-Control"] = noCache
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	sent := 0
+	for {
+		frames, changed, terminal := j.framesFrom(sent)
+		for _, f := range frames {
+			if _, err := w.Write(f); err != nil {
+				return
+			}
+			sent++
+		}
+		if err := rc.Flush(); err != nil {
+			return
+		}
+		if terminal {
+			// framesFrom snapshots frames and terminal under one lock, and
+			// the terminal transition appends its state frame under that
+			// same lock, so once terminal is observed the replay above
+			// already delivered the final frame.
+			return
+		}
+		select {
+		case <-changed:
+		case <-heartbeat.C:
+			if _, err := w.Write(heartbeatFrame); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -11,16 +11,21 @@
 #   ./scripts/bench-compare.sh 2
 #   BENCH_PATTERN=Kernel BENCH_COUNT=10 ./scripts/bench-compare.sh 2
 #
-# The script is also a soft performance-regression gate: when a pinned
-# baseline exists, any gated benchmark (BENCH_GATE_PATTERN, default the
-# Kernel_ microbenchmarks plus the DSE-level Fig2_ benchmarks) whose
-# mean ns/op is more than BENCH_GATE_PCT percent (default 20) above the
-# baseline fails the run, and so does one whose mean allocs/op grows
-# more than BENCH_GATE_ALLOC_PCT percent (default 10 — allocation
-# counts are nearly deterministic, so a tighter bound catches the
-# slow-drip regressions wall-clock noise hides). The tolerances absorb
-# machine noise while catching real slowdowns; BENCH_GATE=off disables
-# the gate (e.g. when comparing across different hardware).
+# The script is also a performance-regression gate over the gated
+# benchmarks (BENCH_GATE_PATTERN, default the Kernel_ microbenchmarks
+# plus the DSE-level Fig2_ benchmarks). The primary gate is
+# statistical: with benchstat installed and BENCH_COUNT >= 5 samples,
+# a gated benchmark fails the run iff benchstat reports a
+# statistically significant sec/op or allocs/op increase — noise shows
+# up as '~' and passes, real slowdowns show up as '+N.NN%' and fail,
+# with no hand-tuned tolerance to mask small-but-real drifts. When
+# benchstat is missing or the sample count is too small for a
+# significance test, the gate falls back to mean thresholds
+# (BENCH_GATE_PCT percent ns/op, default 20; BENCH_GATE_ALLOC_PCT
+# percent allocs/op, default 10). Independently of either gate, a
+# gated benchmark pinned at zero allocs/op fails on ANY allocation —
+# zero is an invariant, not a statistic. BENCH_GATE=off disables all
+# gating (e.g. when comparing across different hardware).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,8 +41,13 @@ echo "running benchmarks (pattern '$BENCH_PATTERN', count $BENCH_COUNT)..."
 go test -run '^$' -bench "$BENCH_PATTERN" -benchmem -count "$BENCH_COUNT" . \
   | tee "$OUT_DIR/latest.txt"
 
+HAVE_BENCHSTAT=0
+if command -v benchstat >/dev/null 2>&1; then
+  HAVE_BENCHSTAT=1
+fi
+
 if [ -f "$OUT_DIR/baseline.txt" ]; then
-  if command -v benchstat >/dev/null 2>&1; then
+  if [ "$HAVE_BENCHSTAT" = 1 ]; then
     echo
     echo "benchstat baseline vs latest:"
     benchstat "$OUT_DIR/baseline.txt" "$OUT_DIR/latest.txt" | tee "$OUT_DIR/compare.txt"
@@ -49,15 +59,75 @@ else
   echo "no $OUT_DIR/baseline.txt; run 'make bench-save' to pin this run as the baseline"
 fi
 
-# ---- soft regression gate ----
+# ---- regression gate ----
 BENCH_GATE="${BENCH_GATE:-on}"
 BENCH_GATE_PCT="${BENCH_GATE_PCT:-20}"
 BENCH_GATE_ALLOC_PCT="${BENCH_GATE_ALLOC_PCT:-10}"
 BENCH_GATE_PATTERN="${BENCH_GATE_PATTERN:-Kernel_|Fig2_}"
-if [ "$BENCH_GATE" != "off" ] && [ -f "$OUT_DIR/baseline.txt" ]; then
-  echo
-  echo "gate: kernel+DSE benchmarks vs pinned baseline (fail >${BENCH_GATE_PCT}% slower or >${BENCH_GATE_ALLOC_PCT}% more allocs/op)"
-  if ! awk -v pct="$BENCH_GATE_PCT" -v apct="$BENCH_GATE_ALLOC_PCT" -v pattern="$BENCH_GATE_PATTERN" '
+
+# gate_zero_alloc: unconditionally fail any gated benchmark whose
+# baseline allocs/op is zero but which now allocates. A zero-alloc
+# steady state is an engineered invariant (pools, cached renderings);
+# the first allocation is a bug no significance test should excuse.
+gate_zero_alloc() {
+  awk -v pattern="$BENCH_GATE_PATTERN" '
+    $1 ~ "^Benchmark" && $1 ~ pattern {
+      name = $1
+      for (i = 3; i < NF; i += 2) {
+        if ($(i + 1) == "allocs/op") {
+          if (FNR == NR) { bsum[name] += $i; bn[name]++ }
+          else           { lsum[name] += $i; ln_[name]++ }
+        }
+      }
+    }
+    END {
+      failed = 0
+      for (name in lsum) {
+        if (!(name in bsum)) continue
+        if (bsum[name] / bn[name] == 0 && lsum[name] / ln_[name] > 0) {
+          printf "  %-40s zero-alloc baseline now allocates %.1f allocs/op  FAIL\n",
+                 name, lsum[name] / ln_[name]
+          failed++
+        }
+      }
+      exit failed > 0 ? 1 : 0
+    }
+  ' "$OUT_DIR/baseline.txt" "$OUT_DIR/latest.txt"
+}
+
+# gate_benchstat: parse the benchstat table. Rows live under metric
+# section headers (sec/op / time/op for wall clock, allocs/op for
+# allocations; B/op is reported but not gated). benchstat prints '~'
+# for statistically insignificant deltas and a signed percentage for
+# significant ones, in both its old (old/new/delta columns) and new
+# (vs-base column) output formats — so the rule is simply: a gated,
+# non-geomean row carrying a '+N%' delta in a gated section fails.
+gate_benchstat() {
+  awk -v pattern="$BENCH_GATE_PATTERN" '
+    # Section headers name the metric; remember whether it is gated.
+    /sec\/op|time\/op/ { metric = "time" }
+    /allocs\/op/       { metric = "allocs" }
+    /B\/op|bytes\/op/ && !/allocs/ { metric = "bytes" }
+    {
+      if ($1 !~ pattern || $1 ~ /^geomean/) next
+      if (metric != "time" && metric != "allocs") next
+      for (i = 2; i <= NF; i++) {
+        if ($i ~ /^\+[0-9.]+%$/) {
+          printf "  %-40s %s significantly regressed: %s  FAIL\n", $1, metric, $i
+          failed++
+          break
+        }
+      }
+    }
+    END { exit failed > 0 ? 1 : 0 }
+  ' "$OUT_DIR/compare.txt"
+}
+
+# gate_thresholds: the pre-benchstat fallback — compare per-benchmark
+# means against fixed tolerances. Used when benchstat is unavailable
+# or the sample count is too small for a significance test.
+gate_thresholds() {
+  awk -v pct="$BENCH_GATE_PCT" -v apct="$BENCH_GATE_ALLOC_PCT" -v pattern="$BENCH_GATE_PATTERN" '
     # Mean ns/op and allocs/op per benchmark name, baseline first then
     # latest (FNR==NR selects the first file).
     $1 ~ "^Benchmark" && $1 ~ pattern {
@@ -86,8 +156,6 @@ if [ "$BENCH_GATE" != "off" ] && [ -f "$OUT_DIR/baseline.txt" ]; then
         if ((name in lasum) && (name in basum)) {
           abase = basum[name] / ban[name]
           alatest = lasum[name] / lan[name]
-          # A zero-alloc baseline cannot express a percentage; any new
-          # allocation on one is a regression outright.
           if (abase == 0) { adelta = (alatest > 0) ? apct + 1 : 0 }
           else            { adelta = 100 * (alatest - abase) / abase }
           averdict = "ok"
@@ -104,7 +172,24 @@ if [ "$BENCH_GATE" != "off" ] && [ -f "$OUT_DIR/baseline.txt" ]; then
         exit 1
       }
     }
-  ' "$OUT_DIR/baseline.txt" "$OUT_DIR/latest.txt"; then
+  ' "$OUT_DIR/baseline.txt" "$OUT_DIR/latest.txt"
+}
+
+if [ "$BENCH_GATE" != "off" ] && [ -f "$OUT_DIR/baseline.txt" ]; then
+  echo
+  GATE_OK=1
+  if [ "$HAVE_BENCHSTAT" = 1 ] && [ "$BENCH_COUNT" -ge 5 ]; then
+    echo "gate: benchstat significance test over '$BENCH_GATE_PATTERN' (fail on significant sec/op or allocs/op increase)"
+    gate_benchstat || GATE_OK=0
+    [ "$GATE_OK" = 1 ] && echo "  no statistically significant regressions"
+  else
+    [ "$HAVE_BENCHSTAT" = 1 ] && \
+      echo "gate: only $BENCH_COUNT sample(s) — too few for a significance test; using mean thresholds (BENCH_COUNT>=5 enables benchstat gating)"
+    echo "gate: '$BENCH_GATE_PATTERN' vs pinned baseline (fail >${BENCH_GATE_PCT}% slower or >${BENCH_GATE_ALLOC_PCT}% more allocs/op)"
+    gate_thresholds || GATE_OK=0
+  fi
+  gate_zero_alloc || GATE_OK=0
+  if [ "$GATE_OK" != 1 ]; then
     echo "bench-compare: benchmark regression gate FAILED (set BENCH_GATE=off to bypass, or 'make bench-save' to accept)" >&2
     exit 1
   fi

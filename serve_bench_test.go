@@ -1,0 +1,122 @@
+// Benchmarks for the campaign service's steady-state request path.
+// They join the Kernel_ family gated by scripts/bench-compare.sh: the
+// served status/report hot path must stay allocation-free per request,
+// so its allocs/op baseline is zero and any new allocation fails the
+// gate outright.
+package slamgo_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"slamgo/internal/serve"
+)
+
+// nullResponseWriter discards the response body so the benchmark
+// measures only the server's own work, not recorder bookkeeping.
+type nullResponseWriter struct {
+	header http.Header
+}
+
+func (w *nullResponseWriter) Header() http.Header         { return w.header }
+func (w *nullResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nullResponseWriter) WriteHeader(int)             {}
+
+// serveFixture runs one real (tiny, quick-scale) campaign through the
+// service manager once per test process, then hands every benchmark
+// the same completed job. The campaign itself takes a few seconds; the
+// benchmarks measure only the request path over its cached artifacts.
+var serveFixture struct {
+	once   sync.Once
+	dir    string
+	server *serve.Server
+	jobID  string
+	err    error
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if serveFixture.dir != "" {
+		os.RemoveAll(serveFixture.dir)
+	}
+	os.Exit(code)
+}
+
+func serveBenchServer(b *testing.B) (*serve.Server, string) {
+	b.Helper()
+	serveFixture.once.Do(func() {
+		dir, err := os.MkdirTemp("", "serve-bench-")
+		if err != nil {
+			serveFixture.err = err
+			return
+		}
+		serveFixture.dir = dir
+		m, err := serve.NewManager(dir, 2, nil)
+		if err != nil {
+			serveFixture.err = err
+			return
+		}
+		spec := serve.CampaignSpec{
+			Quick:             true,
+			Scenarios:         []string{"lr_kt0"},
+			Devices:           []string{"odroid-xu3"},
+			RandomSamples:     4,
+			ActiveIterations:  1,
+			BatchPerIteration: 2,
+		}
+		job, _, err := m.Submit(spec)
+		if err != nil {
+			serveFixture.err = err
+			return
+		}
+		select {
+		case <-job.Done():
+		case <-time.After(5 * time.Minute):
+			serveFixture.err = fmt.Errorf("fixture campaign did not finish")
+			return
+		}
+		if job.State() != serve.StateDone {
+			serveFixture.err = fmt.Errorf("fixture campaign ended %s", job.State())
+			return
+		}
+		serveFixture.server = serve.NewServer(m, nil)
+		serveFixture.jobID = job.ID()
+	})
+	if serveFixture.err != nil {
+		b.Fatalf("serve fixture: %v", serveFixture.err)
+	}
+	return serveFixture.server, serveFixture.jobID
+}
+
+func benchServeRequest(b *testing.B, path string) {
+	s, id := serveBenchServer(b)
+	req := httptest.NewRequest(http.MethodGet, fmt.Sprintf(path, id), nil)
+	w := &nullResponseWriter{header: make(http.Header)}
+	// One warm-up request so lazily rendered bytes are cached before
+	// the measured iterations.
+	s.ServeHTTP(w, req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkKernel_ServeStatus measures GET /campaigns/{id} against a
+// completed job — the poll loop every client sits in. Steady state
+// must be zero allocs/op.
+func BenchmarkKernel_ServeStatus(b *testing.B) {
+	benchServeRequest(b, "/campaigns/%s")
+}
+
+// BenchmarkKernel_ServeReport measures GET /campaigns/{id}/report
+// (JSON form) against a completed job. The report bytes are rendered
+// once at completion; serving them must be zero allocs/op.
+func BenchmarkKernel_ServeReport(b *testing.B) {
+	benchServeRequest(b, "/campaigns/%s/report?format=json")
+}
